@@ -1,0 +1,55 @@
+"""Shared machinery for the figure-regeneration benchmarks.
+
+Each benchmark file regenerates one paper figure/table: it sweeps the
+relevant workload over thread counts and variants, prints the series the
+paper plots (throughput and energy per op), records them in
+``benchmark.extra_info``, and asserts the paper's qualitative shape (who
+wins, roughly by how much, where trends go).
+
+The simulation is deterministic, so a single round is meaningful --
+``benchmark.pedantic(rounds=1)`` wraps the whole sweep; wall time of the
+sweep is what pytest-benchmark reports.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.harness import run_experiment
+from repro.harness.runner import series_table
+
+#: Thread axis used by the paper ("2, 4, 8, 16, 32, 64 threads/cores").
+FULL_THREADS = (2, 4, 8, 16, 32, 64)
+#: Reduced axis for expensive ablations.
+SHORT_THREADS = (2, 8, 32)
+
+
+def regenerate(benchmark, exp_id: str,
+               thread_counts: Sequence[int] = FULL_THREADS,
+               **overrides: Any) -> dict:
+    """Run experiment ``exp_id`` once under pytest-benchmark and print the
+    figure's series."""
+    box: dict = {}
+
+    def once():
+        box["res"] = run_experiment(exp_id, thread_counts, **overrides)
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    res = box["res"]
+    print()
+    print(f"=== {exp_id}: throughput (Mops/s) ===")
+    print(series_table(res, metric="mops_per_sec"))
+    print(f"=== {exp_id}: energy (nJ/op) ===")
+    print(series_table(res, metric="nj_per_op"))
+    for variant, series in res.items():
+        benchmark.extra_info[f"{variant}_mops"] = [
+            round(r.mops_per_sec, 3) for r in series]
+        benchmark.extra_info[f"{variant}_nj_per_op"] = [
+            round(r.energy_nj_per_op, 1) for r in series]
+    benchmark.extra_info["threads"] = list(thread_counts)
+    return res
+
+
+def at(series: list, threads: int, thread_counts: Sequence[int]):
+    """Series entry for a given thread count."""
+    return series[list(thread_counts).index(threads)]

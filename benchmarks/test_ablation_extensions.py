@@ -1,0 +1,79 @@
+"""Ablations for the Section 8 extensions implemented beyond the paper's
+headline evaluation:
+
+* MESI (Section 8 "Other Protocols"): the lease benefit must hold
+  unchanged under MESI, and MESI must not regress the baseline.
+* The Section 5 involuntary-release predictor: enabling it rescues the
+  "improper use" workload by blacklisting the offending lease site.
+"""
+
+from repro.config import LeaseConfig, MachineConfig
+from repro.workloads import bench_counter, bench_stack
+
+THREADS = (2, 8, 32)
+
+
+def test_mesi_preserves_lease_benefit(benchmark):
+    box = {}
+
+    def once():
+        for proto in ("msi", "mesi"):
+            cfg = MachineConfig(protocol=proto)
+            box[proto] = {
+                v: [bench_stack(n, variant=v, config=cfg) for n in THREADS]
+                for v in ("base", "lease")
+            }
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    print()
+    for proto in ("msi", "mesi"):
+        base, lease = box[proto]["base"], box[proto]["lease"]
+        for b, l in zip(base, lease):
+            print(f"{proto} t={b.num_threads}: base={b.mops_per_sec:.2f} "
+                  f"lease={l.mops_per_sec:.2f} Mops/s")
+        # The lease speedup at high contention holds under both protocols.
+        assert lease[-1].throughput_ops_per_sec > \
+            3 * base[-1].throughput_ops_per_sec
+    # MESI never regresses the corresponding MSI variant by much (the
+    # shared hot lines bounce between owners either way).
+    for v in ("base", "lease"):
+        for msi_r, mesi_r in zip(box["msi"][v], box["mesi"][v]):
+            assert mesi_r.throughput_ops_per_sec > \
+                0.8 * msi_r.throughput_ops_per_sec
+    benchmark.extra_info["msi_lease_mops"] = [
+        round(r.mops_per_sec, 3) for r in box["msi"]["lease"]]
+    benchmark.extra_info["mesi_lease_mops"] = [
+        round(r.mops_per_sec, 3) for r in box["mesi"]["lease"]]
+
+
+def test_predictor_rescues_misuse(benchmark):
+    """With the predictor on, the deliberately-misused counter recovers
+    most of the proper implementation's throughput."""
+    box = {}
+
+    def once():
+        base_lease = LeaseConfig(prioritize_regular_requests=False,
+                                 max_lease_time=2_000)
+        pred = LeaseConfig(prioritize_regular_requests=False,
+                           max_lease_time=2_000, predictor_enabled=True,
+                           predictor_min_samples=4)
+        box["proper"] = bench_counter(
+            16, use_lease=True, config=MachineConfig(lease=base_lease))
+        box["misuse"] = bench_counter(
+            16, use_lease=True, misuse=True,
+            config=MachineConfig(lease=base_lease))
+        box["misuse+predictor"] = bench_counter(
+            16, use_lease=True, misuse=True,
+            config=MachineConfig(lease=pred))
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    proper = box["proper"].throughput_ops_per_sec
+    misuse = box["misuse"].throughput_ops_per_sec
+    rescued = box["misuse+predictor"].throughput_ops_per_sec
+    print(f"\nproper={proper / 1e6:.2f}  misuse={misuse / 1e6:.2f}  "
+          f"misuse+predictor={rescued / 1e6:.2f} Mops/s")
+    assert misuse < proper            # misuse hurts
+    assert rescued > misuse * 1.3     # the predictor recovers a chunk
+    for name, r in box.items():
+        benchmark.extra_info[f"{name}_mops"] = round(
+            r.throughput_ops_per_sec / 1e6, 3)

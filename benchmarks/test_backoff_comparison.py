@@ -1,0 +1,29 @@
+"""Section 7 "Comparison with Backoffs": exponential backoff vs leases on
+the Treiber stack.
+
+Paper shape: backoff improves the base implementation (up to ~3x under
+contention) but remains clearly below leases (the paper quotes leases
+~2.5x above even the highly optimized backoff implementation of [14]).
+"""
+
+from conftest import FULL_THREADS, at, regenerate
+
+
+def test_e1_backoff_comparison(benchmark):
+    res = regenerate(benchmark, "e1_backoff")
+    base, backoff, lease = res["base"], res["backoff"], res["lease"]
+
+    # Backoff beats the bare base under high contention...
+    for threads in (32, 64):
+        assert at(backoff, threads, FULL_THREADS).throughput_ops_per_sec > \
+            at(base, threads, FULL_THREADS).throughput_ops_per_sec
+
+    # ...but leases clearly beat backoff.
+    for threads in (16, 32, 64):
+        assert at(lease, threads, FULL_THREADS).throughput_ops_per_sec > \
+            1.5 * at(backoff, threads, FULL_THREADS).throughput_ops_per_sec
+
+    # Backoff reduces CAS failures but does not eliminate them; leases do.
+    assert 0 < at(backoff, 64, FULL_THREADS).cas_failure_rate < \
+        at(base, 64, FULL_THREADS).cas_failure_rate
+    assert at(lease, 64, FULL_THREADS).cas_failure_rate == 0

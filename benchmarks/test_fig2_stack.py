@@ -1,0 +1,33 @@
+"""Figure 2: Treiber stack throughput with and without leases, 100%
+updates, 2-64 threads.
+
+Paper shape: the lease variant wins at every contended point; the base
+implementation's throughput *decreases* beyond a few threads while the
+lease variant stays roughly flat; the gap reaches ~5x+ at high threads.
+"""
+
+from conftest import FULL_THREADS, at, regenerate
+
+
+def test_fig2_stack(benchmark):
+    res = regenerate(benchmark, "fig2_stack")
+    base, lease = res["base"], res["lease"]
+
+    # Lease >= base at every contended thread count.
+    for b, l in zip(base[1:], lease[1:]):
+        assert l.throughput_ops_per_sec >= b.throughput_ops_per_sec
+
+    # Baseline throughput collapses with threads...
+    assert at(base, 64, FULL_THREADS).throughput_ops_per_sec < \
+        at(base, 4, FULL_THREADS).throughput_ops_per_sec / 2
+    # ...while the gap at 64 threads reaches at least 5x.
+    speedup = (at(lease, 64, FULL_THREADS).throughput_ops_per_sec /
+               at(base, 64, FULL_THREADS).throughput_ops_per_sec)
+    assert speedup >= 5.0
+
+    # Energy per op: leases cut it by a large factor at high threads.
+    assert at(lease, 64, FULL_THREADS).energy_nj_per_op < \
+        at(base, 64, FULL_THREADS).energy_nj_per_op / 3
+
+    # Leases remove CAS retries entirely.
+    assert all(r.cas_failure_rate == 0 for r in lease)

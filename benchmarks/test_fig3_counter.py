@@ -1,0 +1,43 @@
+"""Figure 3a: contended lock-based counter -- TTS lock +/- lease vs the
+optimized software locks (ticket with proportional backoff, CLH queue lock).
+
+Paper shape: the leased TTS lock wins under contention (up to ~20x over
+the plain TTS base) and cuts energy per op by a large factor; the queue
+locks beat plain TTS but lose to leases.
+"""
+
+from conftest import FULL_THREADS, at, regenerate
+
+
+def test_fig3_counter(benchmark):
+    res = regenerate(benchmark, "fig3_counter")
+    tts, leased = res["tts"], res["tts+lease"]
+    ticket, clh = res["ticket"], res["clh"]
+
+    # At 2-4 threads the plain TTS lock profits from *unfair* same-thread
+    # reacquisition (the counter line stays in the owner's cache), while
+    # the lease enforces a fair FIFO handoff -- so the lease may trail by
+    # a bounded margin there (see EXPERIMENTS.md).  From 16 threads up the
+    # lease must win, by a large factor at 64.
+    for b, l in zip(tts, leased):
+        assert l.throughput_ops_per_sec >= 0.55 * b.throughput_ops_per_sec
+    for threads in (16, 32, 64):
+        assert at(leased, threads, FULL_THREADS).throughput_ops_per_sec > \
+            at(tts, threads, FULL_THREADS).throughput_ops_per_sec
+    speedup = (at(leased, 64, FULL_THREADS).throughput_ops_per_sec /
+               at(tts, 64, FULL_THREADS).throughput_ops_per_sec)
+    assert speedup >= 4.0
+
+    # Leased TTS beats both optimized software locks at high contention.
+    assert at(leased, 64, FULL_THREADS).throughput_ops_per_sec > \
+        at(ticket, 64, FULL_THREADS).throughput_ops_per_sec
+    assert at(leased, 64, FULL_THREADS).throughput_ops_per_sec > \
+        at(clh, 64, FULL_THREADS).throughput_ops_per_sec
+
+    # Energy: leases reduce nJ/op substantially at high threads.
+    assert at(leased, 64, FULL_THREADS).energy_nj_per_op < \
+        at(tts, 64, FULL_THREADS).energy_nj_per_op / 3
+
+    # With leases, lock acquisitions stop failing (Section 6 invariant) --
+    # visible as a zero CAS/TAS failure path in the extra counters.
+    assert all(r.extra["invol_releases"] == 0 for r in leased)

@@ -1,0 +1,33 @@
+"""Figure 3c: skiplist-based priority queue -- Pugh fine-grained locking
+baseline vs the global-lock + lease implementation.
+
+Paper shape: PQ throughput decreases with concurrency for every variant
+(skiplist cache misses grow with contention), and the lease-based
+implementation is superior under high contention.  The global lock
+*without* leases shows that the lease, not the lock granularity, provides
+the win.
+"""
+
+from conftest import FULL_THREADS, at, regenerate
+
+
+def test_fig3_pq(benchmark):
+    res = regenerate(benchmark, "fig3_pq")
+    pugh, glock, lease = res["pugh"], res["globallock"], res["lease"]
+
+    # Throughput decreases with concurrency (paper's observation).
+    assert at(pugh, 64, FULL_THREADS).throughput_ops_per_sec < \
+        at(pugh, 4, FULL_THREADS).throughput_ops_per_sec
+    assert at(lease, 64, FULL_THREADS).throughput_ops_per_sec < \
+        at(lease, 4, FULL_THREADS).throughput_ops_per_sec
+
+    # Lease-based implementation is superior under high contention.
+    for threads in (32, 64):
+        assert at(lease, threads, FULL_THREADS).throughput_ops_per_sec > \
+            at(pugh, threads, FULL_THREADS).throughput_ops_per_sec
+
+    # The lease (not merely the global lock) is what wins: plain global
+    # lock must not beat the leased variant anywhere contended.
+    for threads in (8, 16, 32, 64):
+        assert at(lease, threads, FULL_THREADS).throughput_ops_per_sec >= \
+            at(glock, threads, FULL_THREADS).throughput_ops_per_sec

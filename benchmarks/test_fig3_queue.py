@@ -1,0 +1,36 @@
+"""Figure 3b: Michael-Scott queue -- base vs single lease (Algorithm 3)
+vs multi-lease (tail + last node's next, jointly).
+
+Paper shape: single leases beat the base under contention; multileases
+also beat the base but are inferior to single leases on this linear
+structure (extra overhead, and leasing the predecessor already prevents
+successor misses).
+"""
+
+from conftest import FULL_THREADS, at, regenerate
+
+
+def test_fig3_queue(benchmark):
+    res = regenerate(benchmark, "fig3_queue")
+    base, lease, multi = res["base"], res["lease"], res["multilease"]
+
+    # Single lease wins under high contention.
+    for threads in (16, 32, 64):
+        assert at(lease, threads, FULL_THREADS).throughput_ops_per_sec > \
+            at(base, threads, FULL_THREADS).throughput_ops_per_sec
+
+    # Multi-lease also beats base under high contention...
+    assert at(multi, 64, FULL_THREADS).throughput_ops_per_sec > \
+        at(base, 64, FULL_THREADS).throughput_ops_per_sec
+    # ...but trails the single-lease placement (the paper's finding for
+    # linear structures).
+    assert at(lease, 64, FULL_THREADS).throughput_ops_per_sec > \
+        at(multi, 64, FULL_THREADS).throughput_ops_per_sec
+
+    # Lease messages/op stay bounded while the base's grow severalfold.
+    base_growth = (at(base, 64, FULL_THREADS).messages_per_op /
+                   at(base, 4, FULL_THREADS).messages_per_op)
+    lease_growth = (at(lease, 64, FULL_THREADS).messages_per_op /
+                    at(lease, 4, FULL_THREADS).messages_per_op)
+    assert base_growth > 2.0
+    assert lease_growth < 1.5

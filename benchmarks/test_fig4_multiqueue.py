@@ -1,0 +1,28 @@
+"""Figure 4a: MultiQueues (8 sequential heaps + try-locks) with the
+Algorithm 4 lease placement.
+
+Paper shape: ~50% improvement from leases (the critical sections are
+long, so the lock-handoff savings are a bounded fraction of the op).
+"""
+
+from conftest import FULL_THREADS, at, regenerate
+
+
+def test_fig4_multiqueue(benchmark):
+    res = regenerate(benchmark, "fig4_multiqueue")
+    base, lease = res["base"], res["lease"]
+
+    # Leases help under contention (threads >= queues).
+    for threads in (16, 32, 64):
+        assert at(lease, threads, FULL_THREADS).throughput_ops_per_sec > \
+            at(base, threads, FULL_THREADS).throughput_ops_per_sec
+
+    # The improvement is a moderate factor (roughly the paper's ~1.5x),
+    # not the order-of-magnitude of the single-hotspot benchmarks.
+    ratio = (at(lease, 32, FULL_THREADS).throughput_ops_per_sec /
+             at(base, 32, FULL_THREADS).throughput_ops_per_sec)
+    assert 1.2 <= ratio <= 4.0
+
+    # Leases reduce coherence traffic per op.
+    assert at(lease, 64, FULL_THREADS).messages_per_op < \
+        at(base, 64, FULL_THREADS).messages_per_op

@@ -1,0 +1,30 @@
+"""Figure 4b: TL2-style two-object transactions over ten objects.
+
+Paper shape: MultiLeases improve throughput by up to ~5x by driving the
+abort rate to (near) zero; leasing only the first object helps moderately;
+the baseline's abort rate explodes with contention.
+"""
+
+from conftest import FULL_THREADS, at, regenerate
+
+
+def test_fig4_tl2(benchmark):
+    res = regenerate(benchmark, "fig4_tl2")
+    none, single, multi = res["none"], res["single"], res["multi"]
+
+    # Ordering under contention: none < single < multi.
+    for threads in (16, 32, 64):
+        t_n = at(none, threads, FULL_THREADS).throughput_ops_per_sec
+        t_s = at(single, threads, FULL_THREADS).throughput_ops_per_sec
+        t_m = at(multi, threads, FULL_THREADS).throughput_ops_per_sec
+        assert t_m > t_s > t_n
+
+    # MultiLease reaches >= 4x over the base at high contention (paper:
+    # "up to 5x").
+    ratio = (at(multi, 64, FULL_THREADS).throughput_ops_per_sec /
+             at(none, 64, FULL_THREADS).throughput_ops_per_sec)
+    assert ratio >= 4.0
+
+    # Abort rates: baseline explodes, multilease stays ~zero.
+    assert at(none, 64, FULL_THREADS).extra["abort_rate"] > 0.5
+    assert at(multi, 64, FULL_THREADS).extra["abort_rate"] < 0.05

@@ -1,0 +1,24 @@
+"""Figure 5 (left): hardware vs software MultiLeases on the TL2 benchmark.
+
+Paper shape: performance is comparable; the software emulation incurs a
+slight but consistent hit (extra software operations; joint holding not
+guaranteed).
+"""
+
+from conftest import regenerate
+
+
+def test_fig5_hw_sw_multilease(benchmark):
+    res = regenerate(benchmark, "fig5_hw_sw_multilease")
+    hw, sw = res["hardware"], res["software"]
+
+    for h, s in zip(hw, sw):
+        # Comparable: within 2x everywhere...
+        assert s.throughput_ops_per_sec > h.throughput_ops_per_sec / 2
+        # ...but the software emulation never wins by more than noise.
+        assert s.throughput_ops_per_sec <= h.throughput_ops_per_sec * 1.05
+
+    # The hit is consistent: software is slower at most thread counts.
+    slower = sum(1 for h, s in zip(hw, sw)
+                 if s.throughput_ops_per_sec < h.throughput_ops_per_sec)
+    assert slower >= len(hw) - 1

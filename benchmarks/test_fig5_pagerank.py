@@ -1,0 +1,35 @@
+"""Figure 5 (right): lock-based Pagerank with the contended
+inaccessible-pages lock, with and without a lease on that lock.
+
+Paper shape: the base version stops scaling (throughput collapses with
+threads); protecting the critical section with a lease lets the
+application scale, with a large speedup at 32 threads (paper: 8x; the
+synthetic-graph substitute reaches ~4x, see EXPERIMENTS.md).
+"""
+
+from conftest import at, regenerate
+
+PR_THREADS = (2, 4, 8, 16, 32)
+
+
+def test_fig5_pagerank(benchmark):
+    res = regenerate(benchmark, "fig5_pagerank", thread_counts=PR_THREADS)
+    base, lease = res["base"], res["lease"]
+
+    # The base stops scaling: 32 threads is slower than 4.
+    assert at(base, 32, PR_THREADS).throughput_ops_per_sec < \
+        at(base, 4, PR_THREADS).throughput_ops_per_sec
+
+    # The lease version scales: 32 threads beats 2 threads.
+    assert at(lease, 32, PR_THREADS).throughput_ops_per_sec > \
+        at(lease, 2, PR_THREADS).throughput_ops_per_sec
+
+    # Large speedup at 32 threads.
+    ratio = (at(lease, 32, PR_THREADS).throughput_ops_per_sec /
+             at(base, 32, PR_THREADS).throughput_ops_per_sec)
+    assert ratio >= 3.0
+
+    # Uncontended (2 threads): leases are harmless (within 10%).
+    r2 = (at(lease, 2, PR_THREADS).throughput_ops_per_sec /
+          at(base, 2, PR_THREADS).throughput_ops_per_sec)
+    assert r2 > 0.9

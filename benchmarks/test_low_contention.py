@@ -1,0 +1,30 @@
+"""Section 7 "Low Contention": Harris list, lock-free skiplist, lock-based
+hash table and external BST with 20% updates / 80% searches on uniform
+keys.
+
+Paper shape: throughput is essentially identical with and without leases
+(the paper quotes <=5% differences, slightly positive at high thread
+counts).  We allow a 15% band to absorb simulator noise on short runs.
+"""
+
+import pytest
+
+from conftest import SHORT_THREADS, regenerate
+
+BAND = 0.15
+
+
+@pytest.mark.parametrize("exp_id", [
+    "e2_low_contention_list",
+    "e2_low_contention_skiplist",
+    "e2_low_contention_hashtable",
+    "e2_low_contention_bst",
+])
+def test_e2_low_contention(benchmark, exp_id):
+    res = regenerate(benchmark, exp_id, thread_counts=SHORT_THREADS)
+    base, lease = res["base"], res["lease"]
+    for b, l in zip(base, lease):
+        ratio = l.throughput_ops_per_sec / b.throughput_ops_per_sec
+        assert 1 - BAND <= ratio <= 1 + BAND, (
+            f"{exp_id} t={b.num_threads}: lease/base ratio {ratio:.3f} "
+            "outside the low-contention band")

@@ -1,0 +1,55 @@
+"""Section 7 constant-cost claim: with leases, cache misses per operation
+and coherence messages per operation stay roughly constant as thread count
+grows (the paper quotes ~2.1 misses/op and ~9.5 messages/op for the stack
+from 4 to 64 threads), while the base implementation's grow severalfold
+(~5x).  The claim also holds with MAX_LEASE_TIME reduced to 1K cycles.
+"""
+
+from conftest import FULL_THREADS, at, regenerate
+from repro.harness import run_experiment
+
+
+def test_e3_messages_and_misses_per_op(benchmark):
+    res = regenerate(benchmark, "e3_messages_per_op")
+    base, lease = res["base"], res["lease"]
+
+    # Lease: messages/op and misses/op ~constant from 4 to 64 threads.
+    lease_msg_growth = (at(lease, 64, FULL_THREADS).messages_per_op /
+                        at(lease, 4, FULL_THREADS).messages_per_op)
+    lease_miss_growth = (at(lease, 64, FULL_THREADS).l1_misses_per_op /
+                         at(lease, 4, FULL_THREADS).l1_misses_per_op)
+    assert lease_msg_growth < 1.3
+    assert lease_miss_growth < 1.3
+
+    # Base: both grow severalfold (paper: ~5x at 64 threads).
+    base_msg_growth = (at(base, 64, FULL_THREADS).messages_per_op /
+                       at(base, 4, FULL_THREADS).messages_per_op)
+    base_miss_growth = (at(base, 64, FULL_THREADS).l1_misses_per_op /
+                        at(base, 4, FULL_THREADS).l1_misses_per_op)
+    assert base_msg_growth > 3.0
+    assert base_miss_growth > 3.0
+
+    # Absolute scale: the lease stack needs only a handful of misses and
+    # messages per op, in the paper's ballpark.
+    assert at(lease, 64, FULL_THREADS).l1_misses_per_op < 4.0
+    assert at(lease, 64, FULL_THREADS).messages_per_op < 15.0
+
+    benchmark.extra_info["lease_msg_growth"] = round(lease_msg_growth, 3)
+    benchmark.extra_info["base_msg_growth"] = round(base_msg_growth, 3)
+
+
+def test_e3_robust_at_1k_lease_time(benchmark):
+    """The constant-cost property survives MAX_LEASE_TIME = 1K cycles."""
+    box = {}
+
+    def once():
+        box["res"] = run_experiment("a2_lease_time",
+                                    thread_counts=(4, 16, 64))
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    res = box["res"]
+    for name, series in res.items():
+        growth = series[-1].messages_per_op / series[0].messages_per_op
+        assert growth < 1.3, f"{name}: messages/op grew {growth:.2f}x"
+        benchmark.extra_info[f"{name}_msgs_per_op"] = [
+            round(r.messages_per_op, 2) for r in series]

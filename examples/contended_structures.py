@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Figure 2/3 in miniature: scalability of contended data structures.
+
+Sweeps the paper's contended workloads (Treiber stack, Michael-Scott
+queue, lock-based counter, skiplist priority queue) over thread counts and
+prints throughput series for the base and lease variants -- the textual
+version of the paper's Figures 2 and 3.
+
+Run:  python examples/contended_structures.py [--full]
+  --full uses the paper's full 2..64 thread axis (slower).
+"""
+
+import sys
+
+from repro.harness import run_experiment
+from repro.harness.runner import series_table
+
+EXPERIMENTS = ["fig2_stack", "fig3_counter", "fig3_queue", "fig3_pq"]
+
+
+def main():
+    threads = (2, 4, 8, 16, 32, 64) if "--full" in sys.argv else (2, 8, 32)
+    for exp_id in EXPERIMENTS:
+        res = run_experiment(exp_id, thread_counts=threads)
+        print(f"\n=== {exp_id} -- throughput (Mops/s) ===")
+        print(series_table(res, metric="mops_per_sec"))
+        print(f"--- {exp_id} -- energy (nJ/op) ---")
+        print(series_table(res, metric="nj_per_op"))
+
+
+if __name__ == "__main__":
+    main()

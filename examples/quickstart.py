@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Quickstart: the Treiber stack with and without Lease/Release.
+
+Builds a 16-core simulated machine (Table 1 configuration), runs the
+paper's Figure 1/2 workload (100% push/pop updates), and prints the
+throughput, coherence traffic and CAS failure rate for the classic stack
+and the leased stack.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Machine, MachineConfig
+from repro.structures import TreiberStack
+
+THREADS = 16
+OPS_PER_THREAD = 100
+
+
+def run(use_lease: bool):
+    config = MachineConfig(num_cores=THREADS).with_leases(use_lease)
+    machine = Machine(config)
+    stack = TreiberStack(machine)
+    stack.prefill(range(128))
+    for _ in range(THREADS):
+        machine.add_thread(stack.update_worker, OPS_PER_THREAD)
+    machine.run()
+    machine.check_coherence_invariants()
+    return machine.result("lease" if use_lease else "base")
+
+
+def main():
+    base = run(use_lease=False)
+    lease = run(use_lease=True)
+    print(f"Treiber stack, {THREADS} threads, 100% updates "
+          f"({THREADS * OPS_PER_THREAD} ops)\n")
+    hdr = f"{'variant':<8} {'Mops/s':>8} {'nJ/op':>8} {'msgs/op':>8} " \
+          f"{'CAS fail':>9}"
+    print(hdr)
+    print("-" * len(hdr))
+    for r in (base, lease):
+        print(f"{r.name:<8} {r.mops_per_sec:>8.2f} "
+              f"{r.energy_nj_per_op:>8.1f} {r.messages_per_op:>8.1f} "
+              f"{r.cas_failure_rate:>9.3f}")
+    speedup = lease.throughput_ops_per_sec / base.throughput_ops_per_sec
+    print(f"\nLease/Release speedup: {speedup:.1f}x  "
+          f"(energy saving: "
+          f"{base.energy_nj_per_op / lease.energy_nj_per_op:.1f}x)")
+
+
+if __name__ == "__main__":
+    main()

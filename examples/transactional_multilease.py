@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""MultiLease in transactional scenarios (Figures 4 and 5-left).
+
+Part 1 -- TL2-style two-object transactions over ten objects: compares no
+leases, a single lease on the first object, and a MultiLease on both, then
+hardware vs software MultiLease emulation.
+
+Part 2 -- MultiQueues (8 sequential heaps behind try-locks): insert uses a
+single lease, deleteMin jointly leases two locks (Algorithm 4).
+
+Run:  python examples/transactional_multilease.py
+"""
+
+from repro.workloads import bench_multiqueue, bench_tl2
+
+THREADS = (2, 8, 32)
+
+
+def main():
+    print("TL2: two-object transactions, 10 objects "
+          "(Mtxn/s [abort rate])")
+    header = f"{'variant':<18}" + "".join(f"{f't={n}':>16}" for n in THREADS)
+    print(header)
+    print("-" * len(header))
+    for variant in ("none", "single", "multi"):
+        cells = []
+        for n in THREADS:
+            r = bench_tl2(n, variant=variant)
+            cells.append(f"{r.mops_per_sec:9.2f} [{r.extra['abort_rate']:.2f}]")
+        print(f"{variant:<18}" + "".join(f"{c:>16}" for c in cells))
+    for mode in ("hardware", "software"):
+        cells = []
+        for n in THREADS:
+            r = bench_tl2(n, variant="multi", multilease_mode=mode)
+            cells.append(f"{r.mops_per_sec:9.2f} [{r.extra['abort_rate']:.2f}]")
+        print(f"{'multi/' + mode:<18}" + "".join(f"{c:>16}" for c in cells))
+
+    print("\nMultiQueues: 8 queues, alternating insert/deleteMin (Mops/s)")
+    print(header)
+    print("-" * len(header))
+    for lease in (False, True):
+        cells = []
+        for n in THREADS:
+            r = bench_multiqueue(n, use_lease=lease)
+            cells.append(f"{r.mops_per_sec:9.2f}")
+        name = "multilease" if lease else "base"
+        print(f"{name:<18}" + "".join(f"{c:>16}" for c in cells))
+
+
+if __name__ == "__main__":
+    main()

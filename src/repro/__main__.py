@@ -1,0 +1,97 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list``               -- list the registered experiments (one per paper
+                            figure/table) with their paper claims.
+* ``run <experiment>``   -- run one experiment and print its series.
+* ``config``             -- print the Table-1 machine configuration.
+
+Examples::
+
+    python -m repro list
+    python -m repro run fig2_stack --threads 2,8,32
+    python -m repro run fig4_tl2 --metric nj_per_op
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .config import MachineConfig
+from .harness import EXPERIMENTS, run_experiment
+from .harness.runner import PAPER_THREAD_COUNTS, series_table
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    width = max(len(k) for k in EXPERIMENTS)
+    for exp_id, exp in EXPERIMENTS.items():
+        print(f"{exp_id:<{width}}  {exp.title}")
+        print(f"{'':<{width}}  paper: {exp.paper_claim}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.experiment not in EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; "
+              f"try: python -m repro list", file=sys.stderr)
+        return 2
+    threads = tuple(int(t) for t in args.threads.split(","))
+    exp = EXPERIMENTS[args.experiment]
+    print(f"{exp.id}: {exp.title}")
+    res = run_experiment(args.experiment, thread_counts=threads)
+    for metric, label in (("mops_per_sec", "throughput (Mops/s)"),
+                          ("nj_per_op", "energy (nJ/op)")):
+        if args.metric in ("all", metric):
+            print(f"\n-- {label} --")
+            print(series_table(res, metric=metric))
+    return 0
+
+
+def _cmd_config(_args: argparse.Namespace) -> int:
+    cfg = MachineConfig()
+    print("Table 1 machine configuration (defaults):")
+    print(f"  core model        : in-order, {cfg.clock_hz / 1e9:g} GHz")
+    print(f"  L1 per tile       : {cfg.l1_size_bytes // 1024} KB, "
+          f"{cfg.l1_assoc}-way, {cfg.l1_latency} cycle")
+    print(f"  L2 per tile       : {cfg.l2_size_bytes_per_tile // 1024} KB, "
+          f"{cfg.l2_assoc}-way, tag/data {cfg.l2_tag_latency}/"
+          f"{cfg.l2_data_latency} cycles")
+    print(f"  cache line        : {cfg.line_size} bytes")
+    print(f"  protocol          : {cfg.protocol.upper()} "
+          "(private L1, shared L2)")
+    print(f"  MAX_LEASE_TIME    : {cfg.lease.max_lease_time} cycles")
+    print(f"  MAX_NUM_LEASES    : {cfg.lease.max_num_leases}")
+    print(f"  multilease mode   : {cfg.lease.multilease_mode}")
+    print(f"  prioritization    : {cfg.lease.prioritize_regular_requests}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Lease/Release (PPoPP 2016) reproduction harness")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments")
+    sub.add_parser("config", help="print the machine configuration")
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("experiment", help="experiment id (see `list`)")
+    run_p.add_argument(
+        "--threads", default=",".join(map(str, PAPER_THREAD_COUNTS)),
+        help="comma-separated thread counts (default: the paper's axis)")
+    run_p.add_argument("--metric", default="all",
+                       choices=["all", "mops_per_sec", "nj_per_op"])
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return {"list": _cmd_list, "run": _cmd_run,
+            "config": _cmd_config}[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,8 @@
+"""Applications: lock-based Pagerank (Figure 5 right) and the Section 5
+"cheap snapshots" construction."""
+
+from .pagerank import PagerankApp, make_web_graph
+from .snapshot import SnapshotRegion
+from .barrier import SenseBarrier
+
+__all__ = ["PagerankApp", "make_web_graph", "SnapshotRegion", "SenseBarrier"]

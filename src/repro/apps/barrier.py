@@ -1,0 +1,40 @@
+"""Sense-reversing centralized barrier over simulated memory.
+
+Used by the Pagerank application to separate iterations, as CRONO's
+pthread-barrier does.  The count word and the sense word live on separate
+lines (arrivals hammer the count; waiters spin on the sense).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..core.isa import FetchAdd, Load, Store, Work
+from ..core.machine import Machine
+from ..core.thread import Ctx
+
+_SPIN = 12
+
+
+class SenseBarrier:
+    """Classic sense-reversing barrier for a fixed thread count."""
+
+    def __init__(self, machine: Machine, num_threads: int) -> None:
+        self.num_threads = num_threads
+        self.count_addr = machine.alloc_var(0)
+        self.sense_addr = machine.alloc_var(0)
+
+    def wait(self, ctx: Ctx, local_sense: int) -> Generator[Any, Any, int]:
+        """Block until all threads arrive.  Callers thread their flipped
+        ``local_sense`` through successive calls (start with 1)."""
+        arrived = yield FetchAdd(self.count_addr, 1)
+        if arrived + 1 == self.num_threads:
+            yield Store(self.count_addr, 0)
+            yield Store(self.sense_addr, local_sense)
+        else:
+            while True:
+                s = yield Load(self.sense_addr)
+                if s == local_sense:
+                    break
+                yield Work(_SPIN)
+        return 1 - local_sense

@@ -1,0 +1,111 @@
+"""Cheap lock-free snapshots via the voluntary-release bit (Section 5).
+
+"The snapshot operation first leases the lines corresponding to the
+locations, reads them, and then releases them.  If all the releases are
+voluntary, the values read form a correct snapshot.  Otherwise, the thread
+should repeat the procedure."
+
+Baseline: the classic double-collect snapshot -- read all locations twice
+and retry until the two collects are identical (writers tag every write
+with a monotonically increasing per-writer sequence number, so identical
+collects imply an atomic snapshot).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..core.isa import Lease, Load, Release, Store, Work
+from ..core.machine import Machine
+from ..core.thread import Ctx
+
+
+class SnapshotRegion:
+    """``k`` shared words (one line each) supporting atomic snapshots."""
+
+    def __init__(self, machine: Machine, num_words: int) -> None:
+        if num_words > machine.config.lease.max_num_leases:
+            raise ValueError(
+                "lease-based snapshots need num_words <= MAX_NUM_LEASES")
+        self.machine = machine
+        self.num_words = num_words
+        self.addrs = [machine.alloc_var((0, 0)) for _ in range(num_words)]
+        #: Set by the snapshot worker when done; open-loop writers stop.
+        self.stop_flag = False
+        #: Total snapshot retries (interference detected), for reporting.
+        self.retries = 0
+
+    # -- writers -------------------------------------------------------------
+
+    def write(self, ctx: Ctx, index: int, value) -> Generator:
+        """Tagged write: stores ``(seq, value)`` with a fresh sequence
+        number so double-collect can detect interference."""
+        old = yield Load(self.addrs[index])
+        yield Store(self.addrs[index], (old[0] + 1, value))
+
+    # -- snapshot via leases ----------------------------------------------
+
+    def snapshot_lease(self, ctx: Ctx) -> Generator[Any, Any, list]:
+        """Lease all lines, read, release; retry unless every release was
+        voluntary.  Requires leases enabled."""
+        while True:
+            for addr in self.addrs:
+                yield Lease(addr)
+            values = []
+            for addr in self.addrs:
+                v = yield Load(addr)
+                values.append(v)
+            all_voluntary = True
+            for addr in self.addrs:
+                vol = yield Release(addr)
+                if not vol:
+                    all_voluntary = False
+            if all_voluntary:
+                return [v[1] for v in values]
+            self.retries += 1
+
+    # -- snapshot via double-collect ------------------------------------------
+
+    def snapshot_double_collect(self, ctx: Ctx) -> Generator[Any, Any, list]:
+        collect = []
+        for addr in self.addrs:
+            v = yield Load(addr)
+            collect.append(v)
+        while True:
+            again = []
+            for addr in self.addrs:
+                v = yield Load(addr)
+                again.append(v)
+            if again == collect:
+                return [v[1] for v in again]
+            self.retries += 1
+            collect = again
+
+    # -- benchmark workers -----------------------------------------------------
+
+    def writer_worker(self, ctx: Ctx, ops: int | None = None,
+                      local_work: int = 40) -> Generator:
+        """Write random words; open-loop (runs until :attr:`stop_flag`)
+        when ``ops`` is None."""
+        i = 0
+        while (ops is None and not self.stop_flag) or \
+                (ops is not None and i < ops):
+            idx = ctx.rng.randrange(self.num_words)
+            yield from self.write(ctx, idx, (ctx.tid << 32) | i)
+            if local_work:
+                yield Work(local_work)
+            i += 1
+
+    def snapshot_worker(self, ctx: Ctx, ops: int, *, use_lease: bool,
+                        local_work: int = 40,
+                        stop_when_done: bool = False) -> Generator:
+        for _ in range(ops):
+            if use_lease:
+                yield from self.snapshot_lease(ctx)
+            else:
+                yield from self.snapshot_double_collect(ctx)
+            if local_work:
+                yield Work(local_work)
+            ctx.machine.counters.note_op(ctx.core_id)
+        if stop_when_done:
+            self.stop_flag = True

@@ -1,0 +1,21 @@
+"""Directory-based MSI cache-coherence substrate (Graphite-style).
+
+Private per-core L1 caches, a shared L2 (one slice per tile, at the line's
+home tile), and a directory with one FIFO request queue per cache line.
+Probes to cores are where the Lease/Release mechanism hooks in: a core
+holding a valid lease on a line queues incoming probes until voluntary
+release or expiry (see :mod:`repro.lease`).
+"""
+
+from .states import DirState, LineState
+from .messages import MessageKind
+from .network import MeshNetwork
+from .cache import L1Cache
+from .l2 import SharedL2
+from .directory import Directory, Request
+from .memunit import MemUnit, Probe
+
+__all__ = [
+    "DirState", "LineState", "MessageKind", "MeshNetwork", "L1Cache",
+    "SharedL2", "Directory", "Request", "MemUnit", "Probe",
+]

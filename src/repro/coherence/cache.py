@@ -1,0 +1,105 @@
+"""Set-associative private L1 cache model (tags + state only).
+
+Data values live in the global backing store (see :mod:`repro.mem.memory`);
+the cache tracks presence and MSI state for timing and statistics.  Leased
+lines (and lines holding a queued probe) are *pinned*: the hardware proposal
+keeps them in the load buffer, so they are never silently evicted.  If every
+way of a set is pinned the set temporarily over-fills (counted), mirroring
+the separate load-buffer capacity.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..errors import ProtocolError
+from ..stats import Counters
+from .states import LineState
+
+
+class L1Cache:
+    """LRU, set-associative tag store for one core."""
+
+    __slots__ = ("num_sets", "assoc", "_sets", "_pinned", "counters")
+
+    def __init__(self, num_sets: int, assoc: int, counters: Counters) -> None:
+        self.num_sets = num_sets
+        self.assoc = assoc
+        # One OrderedDict per set: line -> LineState, LRU order (front=old).
+        self._sets: list[OrderedDict[int, LineState]] = [
+            OrderedDict() for _ in range(num_sets)
+        ]
+        self._pinned: set[int] = set()
+        self.counters = counters
+
+    def _set_of(self, line: int) -> OrderedDict[int, LineState]:
+        return self._sets[line % self.num_sets]
+
+    # -- queries ------------------------------------------------------------
+
+    def state_of(self, line: int) -> LineState:
+        return self._set_of(line).get(line, LineState.I)
+
+    def touch(self, line: int) -> None:
+        """Mark ``line`` most-recently-used."""
+        s = self._set_of(line)
+        if line in s:
+            s.move_to_end(line)
+
+    def resident_lines(self) -> list[int]:
+        return [line for s in self._sets for line in s]
+
+    # -- pinning (leases) -----------------------------------------------------
+
+    def pin(self, line: int) -> None:
+        self._pinned.add(line)
+
+    def unpin(self, line: int) -> None:
+        self._pinned.discard(line)
+
+    def is_pinned(self, line: int) -> bool:
+        return line in self._pinned
+
+    # -- mutation -------------------------------------------------------------
+
+    def set_state(self, line: int, state: LineState) -> None:
+        """Change the state of a *resident* line (downgrade/upgrade)."""
+        s = self._set_of(line)
+        if line not in s:
+            raise ProtocolError(f"set_state on non-resident line {line}")
+        if state == LineState.I:
+            raise ProtocolError("use invalidate() to drop a line")
+        s[line] = state
+
+    def invalidate(self, line: int) -> None:
+        """Drop a line (probe-induced; not an eviction)."""
+        self._set_of(line).pop(line, None)
+        self._pinned.discard(line)
+
+    def fill(self, line: int, state: LineState
+             ) -> tuple[int, LineState] | None:
+        """Insert ``line`` in ``state``; returns the evicted victim
+        ``(line, state)`` if one had to be displaced, else None.
+
+        If the line is already resident this is an upgrade in place (no
+        eviction).  The victim is the least-recently-used unpinned way.
+        """
+        s = self._set_of(line)
+        if line in s:
+            s[line] = state
+            s.move_to_end(line)
+            return None
+        victim = None
+        if len(s) >= self.assoc:
+            for cand in s:  # LRU order: oldest first
+                if cand not in self._pinned:
+                    victim = (cand, s[cand])
+                    break
+            if victim is not None:
+                del s[victim[0]]
+                self.counters.l1_evictions += 1
+            else:
+                # Every way pinned by leases/queued probes: over-fill.
+                self.counters.l1_eviction_overflows += 1
+        s[line] = state
+        return victim

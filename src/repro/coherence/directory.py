@@ -1,0 +1,378 @@
+"""Directory controller with per-line FIFO request queues.
+
+Each cache line has an independent directory entry with its own FIFO queue
+of pending requests, and at most one transaction per line is in flight at a
+time.  This matches Graphite ("the directory structure in Graphite
+implements a separate request queue per cache line") and the paper's
+Assumption 1, and yields Proposition 1: at any time at most one request per
+line is queued at a core -- the one currently being serviced -- while all
+others wait in the line's directory queue.
+
+Transaction flow (MSI):
+
+* ``GetS``  -- MODIFIED: downgrade probe to owner, writeback, grant S.
+             SHARED/UNCACHED: fetch from L2 (DRAM on cold miss), grant S.
+* ``GetX``  -- MODIFIED: invalidate probe to owner, grant M.
+             SHARED: invalidate all other sharers, collect acks, grant M
+             (no data fetch if the requester was itself a sharer: upgrade).
+             UNCACHED: fetch, grant M.
+* ``PutM``/``PutS`` -- eviction notices; applied only if still accurate
+             (the core may have re-acquired the line since: stale notices
+             are dropped harmlessly because data lives in the backing
+             store, not in the caches).
+
+The requester's L1 tags are updated synchronously at grant time (so the
+directory's sharer/owner bookkeeping and the L1 states never disagree), but
+the requesting *thread* resumes only when the data message arrives at its
+tile.  Probes arriving in that window are deferred by the core's
+:class:`~repro.coherence.memunit.MemUnit` until the pending access commits,
+modeling a real core completing the waiting access before servicing probes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable
+
+from ..engine import Simulator
+from ..errors import ProtocolError
+from ..mem import AddressMap
+from ..stats import Counters
+from .l2 import SharedL2
+from .messages import MessageKind
+from .network import MeshNetwork
+from .states import DirState, LineState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .memunit import MemUnit
+
+
+class Request:
+    """One coherence request from a core, queued per line at the directory."""
+
+    __slots__ = ("kind", "line", "core_id", "is_lease", "callback",
+                 "had_shared", "probe_carried_data")
+
+    def __init__(self, kind: MessageKind, line: int, core_id: int,
+                 is_lease: bool, callback: Callable[[], None]) -> None:
+        self.kind = kind
+        self.line = line
+        self.core_id = core_id
+        self.is_lease = is_lease
+        self.callback = callback
+        #: Requester held the line in S when issuing (upgrade; no data).
+        self.had_shared = False
+        #: The owner's probe reply carried dirty data (writeback needed).
+        self.probe_carried_data = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Req {self.kind.value} line={self.line} core={self.core_id}"
+                f"{' lease' if self.is_lease else ''}>")
+
+
+class _Eviction:
+    """A PutM/PutS eviction notice travelling to the directory."""
+
+    __slots__ = ("kind", "line", "core_id")
+
+    def __init__(self, kind: MessageKind, line: int, core_id: int) -> None:
+        self.kind = kind
+        self.line = line
+        self.core_id = core_id
+
+
+class DirEntry:
+    __slots__ = ("state", "owner", "sharers", "busy", "queue")
+
+    def __init__(self) -> None:
+        self.state = DirState.UNCACHED
+        self.owner: int | None = None
+        self.sharers: set[int] = set()
+        self.busy = False
+        self.queue: deque = deque()
+
+
+class Directory:
+    """The (logically distributed) MSI directory."""
+
+    def __init__(self, amap: AddressMap, network: MeshNetwork,
+                 l2: SharedL2, sim: Simulator, counters: Counters,
+                 *, mesi: bool = False) -> None:
+        self.amap = amap
+        self.network = network
+        self.l2 = l2
+        self.sim = sim
+        self.counters = counters
+        #: Grant exclusive-clean (E) on read misses to uncached lines.
+        self.mesi = mesi
+        self.entries: dict[int, DirEntry] = {}
+        #: Wired by the Machine after cores are built.
+        self.mem_units: list["MemUnit"] = []
+
+    def _entry(self, line: int) -> DirEntry:
+        e = self.entries.get(line)
+        if e is None:
+            e = self.entries[line] = DirEntry()
+        return e
+
+    # -- ingress ---------------------------------------------------------
+
+    def issue(self, req: Request) -> None:
+        """Send ``req`` from its core to the line's home tile."""
+        if req.kind is MessageKind.GETS:
+            self.counters.gets_requests += 1
+        else:
+            self.counters.getx_requests += 1
+        home = self.amap.home_tile(req.line)
+        self.network.send(req.core_id, home, req.kind, self._arrive, req)
+
+    def issue_eviction(self, kind: MessageKind, line: int,
+                       core_id: int) -> None:
+        """Send a PutM/PutS notice from ``core_id`` to the home tile."""
+        home = self.amap.home_tile(line)
+        ev = _Eviction(kind, line, core_id)
+        self.network.send(core_id, home, kind, self._arrive, ev)
+
+    def _arrive(self, req) -> None:
+        e = self._entry(req.line)
+        if e.busy:
+            e.queue.append(req)
+            self.counters.dir_queued_requests += 1
+            if len(e.queue) > self.counters.dir_max_queue_depth:
+                self.counters.dir_max_queue_depth = len(e.queue)
+            return
+        self._start(req)
+
+    def _start(self, req) -> None:
+        e = self._entry(req.line)
+        e.busy = True
+        if isinstance(req, _Eviction):
+            # Evictions carry no response; apply after the tag lookup.
+            self.sim.after(self.l2.lookup_latency(),
+                           self._apply_eviction, req)
+        else:
+            self.sim.after(self.l2.lookup_latency(), self._process, req)
+
+    def _finish(self, line: int) -> None:
+        e = self._entry(line)
+        e.busy = False
+        if e.queue:
+            self._start(e.queue.popleft())
+
+    # -- evictions --------------------------------------------------------
+
+    def _apply_eviction(self, ev: _Eviction) -> None:
+        e = self._entry(ev.line)
+        core_l1 = self.mem_units[ev.core_id].l1
+        # Drop stale notices: only apply if the core still does not hold the
+        # line (it may have re-acquired it since evicting).
+        if core_l1.state_of(ev.line) == LineState.I:
+            if ev.kind is MessageKind.PUTM:
+                if e.state == DirState.MODIFIED and e.owner == ev.core_id:
+                    self.l2.writeback(ev.line)
+                    e.state = DirState.UNCACHED
+                    e.owner = None
+            else:  # PUTS (clean drop: a shared copy, or an E line in MESI)
+                if e.state == DirState.MODIFIED and e.owner == ev.core_id:
+                    e.state = DirState.UNCACHED
+                    e.owner = None
+                else:
+                    e.sharers.discard(ev.core_id)
+                    if e.state == DirState.SHARED and not e.sharers:
+                        e.state = DirState.UNCACHED
+        self._finish(ev.line)
+
+    # -- main transactions ---------------------------------------------------
+
+    def _process(self, req: Request) -> None:
+        e = self._entry(req.line)
+        if req.kind is MessageKind.GETS:
+            self._process_gets(req, e)
+        elif req.kind is MessageKind.GETX:
+            self._process_getx(req, e)
+        else:  # pragma: no cover - defensive
+            raise ProtocolError(f"unexpected request kind {req.kind}")
+
+    def _process_gets(self, req: Request, e: DirEntry) -> None:
+        if e.state == DirState.MODIFIED and e.owner != req.core_id:
+            self.counters.downgrades_sent += 1
+            owner = e.owner
+            assert owner is not None
+            self._send_probe(owner, req, MessageKind.DOWNGRADE,
+                             self._gets_owner_replied)
+        elif e.state == DirState.UNCACHED and self.mesi:
+            # MESI: a read miss to an uncached line is granted
+            # exclusive-clean, enabling later silent E->M upgrades.
+            self._grant(req, LineState.E, fetch=True)
+        else:
+            # SHARED, or (stale) owner==requester: serve from L2.
+            self._grant(req, LineState.S, fetch=True)
+
+    def _gets_owner_replied(self, req: Request) -> None:
+        """Owner acknowledged the downgrade (now holds S; data written back
+        if the line was dirty)."""
+        e = self._entry(req.line)
+        owner = e.owner
+        if req.probe_carried_data:
+            self.l2.writeback(req.line)
+        e.state = DirState.SHARED
+        e.owner = None
+        if owner is not None:
+            e.sharers.add(owner)
+        self._grant(req, LineState.S, fetch=False)
+
+    def _process_getx(self, req: Request, e: DirEntry) -> None:
+        if e.state == DirState.MODIFIED and e.owner != req.core_id:
+            self.counters.invalidations_sent += 1
+            owner = e.owner
+            assert owner is not None
+            self._send_probe(owner, req, MessageKind.INV,
+                             self._getx_owner_replied)
+        elif e.state == DirState.SHARED:
+            targets = [c for c in e.sharers if c != req.core_id]
+            req.had_shared = req.core_id in e.sharers
+            if targets:
+                self._inv_sharers(req, targets)
+            else:
+                self._grant(req, LineState.M, fetch=not req.had_shared)
+        else:
+            # UNCACHED or stale owner==requester.
+            self._grant(req, LineState.M, fetch=e.state == DirState.UNCACHED)
+
+    def _getx_owner_replied(self, req: Request) -> None:
+        """Owner acknowledged the invalidation (dirty data came back)."""
+        if req.probe_carried_data:
+            self.l2.writeback(req.line)
+        e = self._entry(req.line)
+        e.owner = None
+        e.state = DirState.UNCACHED
+        self._grant(req, LineState.M, fetch=False)
+
+    def _inv_sharers(self, req: Request, targets: list[int]) -> None:
+        pending = {"n": len(targets)}
+
+        def one_ack(_req: Request = req) -> None:
+            pending["n"] -= 1
+            if pending["n"] == 0:
+                e = self._entry(req.line)
+                e.sharers.clear()
+                e.state = DirState.UNCACHED
+                self._grant(req, LineState.M, fetch=not req.had_shared)
+
+        for core in targets:
+            self.counters.invalidations_sent += 1
+            self._send_probe(core, req, MessageKind.INV, lambda r: one_ack())
+
+    # -- probes ------------------------------------------------------------
+
+    def _send_probe(self, target_core: int, req: Request,
+                    kind: MessageKind,
+                    done: Callable[[Request], None]) -> None:
+        """Forward a probe to ``target_core``; ``done(req)`` runs when the
+        core's reply arrives back at the home tile."""
+        from .memunit import Probe  # local import to avoid cycle
+
+        home = self.amap.home_tile(req.line)
+
+        def reply(carries_data: bool) -> None:
+            req.probe_carried_data = carries_data
+            kind_back = MessageKind.DATA if carries_data else MessageKind.ACK
+            self.network.send(target_core, home, kind_back, done, req)
+
+        probe = Probe(line=req.line, kind=kind,
+                      requester_is_lease=req.is_lease, reply=reply)
+        self.network.send(home, target_core, kind,
+                          self.mem_units[target_core].handle_probe, probe)
+
+    # -- grant ---------------------------------------------------------------
+
+    def _grant(self, req: Request, state: LineState, *, fetch: bool) -> None:
+        e = self._entry(req.line)
+        if state == LineState.M or state == LineState.E:
+            # E and M are merged at the directory: one exclusive owner.
+            e.state = DirState.MODIFIED
+            e.owner = req.core_id
+            e.sharers.clear()
+        else:
+            e.state = DirState.SHARED
+            e.owner = None
+            e.sharers.add(req.core_id)
+        # L1 tags update now so directory and caches never disagree...
+        unit = self.mem_units[req.core_id]
+        unit.fill_granted(req, state)
+        # ...but the thread resumes when the data message arrives.
+        lat = self.l2.fetch_latency(req.line) if fetch else 0
+        home = self.amap.home_tile(req.line)
+        kind = MessageKind.ACK if req.had_shared else MessageKind.DATA
+        self.sim.after(lat, self.network.send, home, req.core_id, kind,
+                       unit.complete_request, req)
+        self._finish(req.line)
+
+    # -- warm allocation -------------------------------------------------------
+
+    def preinstall_owned(self, line: int, core_id: int) -> None:
+        """Install a *fresh* line directly into ``core_id``'s L1 in M state
+        (no traffic).  Models a freshly allocated object that the allocating
+        core's local pool already holds.  Only valid for lines that have
+        never entered coherence circulation."""
+        e = self._entry(line)
+        if e.busy or e.queue or e.state != DirState.UNCACHED:
+            raise ProtocolError(
+                f"preinstall_owned on circulating line {line}")
+        e.state = DirState.MODIFIED
+        e.owner = core_id
+        unit = self.mem_units[core_id]
+        victim = unit.l1.fill(line, LineState.M)
+        if victim is not None:
+            vline, vstate = victim
+            kind = (MessageKind.PUTM if vstate == LineState.M
+                    else MessageKind.PUTS)
+            self.issue_eviction(kind, vline, core_id)
+        self.l2.mark_warm(line)
+
+    # -- introspection (used by tests) ----------------------------------------
+
+    def state_of(self, line: int) -> DirState:
+        return self._entry(line).state
+
+    def owner_of(self, line: int) -> int | None:
+        return self._entry(line).owner
+
+    def sharers_of(self, line: int) -> frozenset[int]:
+        return frozenset(self._entry(line).sharers)
+
+    def check_invariants(self) -> None:
+        """Assert directory/L1 agreement (exact, thanks to synchronous tag
+        updates).  Called by tests after quiescence."""
+        for line, e in self.entries.items():
+            if e.state == DirState.MODIFIED:
+                if e.owner is None:
+                    raise ProtocolError(f"line {line}: MODIFIED, no owner")
+                st = self.mem_units[e.owner].l1.state_of(line)
+                if st != LineState.M and st != LineState.E:
+                    raise ProtocolError(
+                        f"line {line}: dir says owner {e.owner} but L1 is "
+                        f"{st.name}")
+                for u in self.mem_units:
+                    if u.core_id != e.owner and \
+                            u.l1.state_of(line) != LineState.I:
+                        raise ProtocolError(
+                            f"line {line}: core {u.core_id} holds "
+                            f"{u.l1.state_of(line).name} while MODIFIED")
+            elif e.state == DirState.SHARED:
+                for u in self.mem_units:
+                    st = u.l1.state_of(line)
+                    if st == LineState.M or st == LineState.E:
+                        raise ProtocolError(
+                            f"line {line}: core {u.core_id} holds "
+                            f"{st.name} while dir says SHARED")
+                    if st == LineState.S and u.core_id not in e.sharers:
+                        raise ProtocolError(
+                            f"line {line}: core {u.core_id} holds S but is "
+                            "not a recorded sharer")
+            else:
+                for u in self.mem_units:
+                    if u.l1.state_of(line) != LineState.I:
+                        raise ProtocolError(
+                            f"line {line}: core {u.core_id} holds "
+                            f"{u.l1.state_of(line).name} while UNCACHED")

@@ -1,0 +1,52 @@
+"""Shared L2 model.
+
+The L2 is inclusive and logically distributed: the slice holding a line is
+the line's home tile, co-located with its directory entry, so fetching from
+L2 during directory processing costs only the L2 data latency.  Capacity is
+modeled as infinite with a one-time DRAM charge on first touch (cold miss):
+the paper's benchmarks have working sets far smaller than the aggregate L2
+(256 KB x tiles), so L2 capacity misses play no role in its results.
+"""
+
+from __future__ import annotations
+
+from ..config import MachineConfig
+from ..stats import Counters
+
+
+class SharedL2:
+    """Latency/energy model of the shared L2 + memory controller."""
+
+    __slots__ = ("tag_latency", "data_latency", "dram_latency",
+                 "counters", "_seen")
+
+    def __init__(self, config: MachineConfig, counters: Counters) -> None:
+        self.tag_latency = config.l2_tag_latency
+        self.data_latency = config.l2_data_latency
+        self.dram_latency = config.dram_latency
+        self.counters = counters
+        self._seen: set[int] = set()
+
+    def lookup_latency(self) -> int:
+        """Tag check performed on every directory access."""
+        return self.tag_latency
+
+    def fetch_latency(self, line: int) -> int:
+        """Latency to produce the line's data at the home tile."""
+        self.counters.l2_accesses += 1
+        if line in self._seen:
+            return self.data_latency
+        self._seen.add(line)
+        self.counters.dram_accesses += 1
+        return self.data_latency + self.dram_latency
+
+    def mark_warm(self, line: int) -> None:
+        """Mark a line as on-chip without a DRAM charge (used for freshly
+        allocated lines that a warm allocator pool would already hold)."""
+        self._seen.add(line)
+
+    def writeback(self, line: int) -> None:
+        """Account a dirty writeback into the L2 slice."""
+        self.counters.l2_accesses += 1
+        self.counters.writebacks += 1
+        self._seen.add(line)

@@ -1,0 +1,187 @@
+"""Per-core memory unit: L1 access path, probe handling, lease hooks.
+
+This is the component the paper modifies ("we extended the L1 cache
+controller logic (at the cores) to implement memory leases. As such, the
+directory did not have to be modified in any way").  The baseline access
+path is a plain MSI L1 controller; the lease extension intercepts incoming
+probes via the attached :class:`~repro.lease.manager.LeaseManager`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from ..config import MachineConfig
+from ..engine import Simulator
+from ..errors import ProtocolError
+from ..mem import AddressMap
+from ..stats import Counters
+from .cache import L1Cache
+from .directory import Directory, Request
+from .messages import MessageKind
+from .states import LineState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..lease.manager import LeaseManager
+
+
+class Probe:
+    """An invalidate/downgrade probe delivered to a core.
+
+    ``reply(carries_data)`` must be called exactly once, when the core
+    actually services the probe (possibly after a lease delay).
+    """
+
+    __slots__ = ("line", "kind", "requester_is_lease", "reply")
+
+    def __init__(self, line: int, kind: MessageKind,
+                 requester_is_lease: bool,
+                 reply: Callable[[bool], None]) -> None:
+        self.line = line
+        self.kind = kind
+        self.requester_is_lease = requester_is_lease
+        self.reply = reply
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Probe {self.kind.value} line={self.line}>"
+
+
+class _Outstanding:
+    """The core's single in-flight coherence request."""
+
+    __slots__ = ("req", "granted", "deferred_probe", "callback")
+
+    def __init__(self, req: Request, callback: Callable[[], None]) -> None:
+        self.req = req
+        self.granted = False
+        self.deferred_probe: Probe | None = None
+        self.callback = callback
+
+
+class MemUnit:
+    """L1 controller for one core."""
+
+    def __init__(self, core_id: int, config: MachineConfig,
+                 amap: AddressMap, directory: Directory,
+                 sim: Simulator, counters: Counters) -> None:
+        self.core_id = core_id
+        self.config = config
+        self.amap = amap
+        self.directory = directory
+        self.sim = sim
+        self.counters = counters
+        self.l1 = L1Cache(config.l1_num_sets, config.l1_assoc, counters)
+        #: Attached by the Machine after construction.
+        self.lease_mgr: "LeaseManager | None" = None
+        self._outstanding: _Outstanding | None = None
+
+    # -- the access path --------------------------------------------------
+
+    def access(self, need_exclusive: bool, addr: int, *, is_lease: bool,
+               callback: Callable[[], None]) -> None:
+        """Bring the line of ``addr`` into S (read) or M (exclusive) state
+        and invoke ``callback`` when the access may commit.
+
+        The callback fires at least ``l1_latency`` cycles in the future
+        (never synchronously), so callers cannot recurse unboundedly.
+        """
+        if self._outstanding is not None:
+            raise ProtocolError(
+                f"core {self.core_id}: second outstanding access (in-order "
+                "cores have exactly one)")
+        line = self.amap.line_of(addr)
+        st = self.l1.state_of(line)
+        hit = (st == LineState.M or st == LineState.E
+               or (st == LineState.S and not need_exclusive))
+        if hit:
+            if need_exclusive and st == LineState.E:
+                # MESI silent upgrade: first write to an exclusive-clean
+                # line dirties it without any coherence traffic.
+                self.l1.set_state(line, LineState.M)
+                self.counters.mesi_silent_upgrades += 1
+            self.counters.l1_hits += 1
+            self.l1.touch(line)
+            self.sim.after(self.config.l1_latency, callback)
+            return
+        self.counters.l1_misses += 1
+        kind = MessageKind.GETX if need_exclusive else MessageKind.GETS
+        req = Request(kind, line, self.core_id, is_lease, callback)
+        self._outstanding = _Outstanding(req, callback)
+        self.directory.issue(req)
+
+    # -- grant path (called by the directory) --------------------------------
+
+    def fill_granted(self, req: Request, state: LineState) -> None:
+        """Synchronous L1 tag update at directory grant time."""
+        out = self._outstanding
+        if out is None or out.req is not req:
+            raise ProtocolError(
+                f"core {self.core_id}: grant for unknown request {req}")
+        victim = self.l1.fill(req.line, state)
+        if victim is not None:
+            vline, vstate = victim
+            kind = (MessageKind.PUTM if vstate == LineState.M
+                    else MessageKind.PUTS)
+            self.directory.issue_eviction(kind, vline, self.core_id)
+        out.granted = True
+
+    def complete_request(self, req: Request) -> None:
+        """Data message arrived: commit the waiting access, then service any
+        probe that landed between grant and completion."""
+        out = self._outstanding
+        if out is None or out.req is not req:
+            raise ProtocolError(
+                f"core {self.core_id}: completion for unknown request {req}")
+        self._outstanding = None
+        out.callback()
+        if out.deferred_probe is not None:
+            self._route_probe(out.deferred_probe)
+
+    # -- probe path ----------------------------------------------------------
+
+    def handle_probe(self, probe: Probe) -> None:
+        """A probe arrived from the directory."""
+        out = self._outstanding
+        if out is not None and out.req.line == probe.line and out.granted:
+            # Ownership was granted but the waiting access has not committed
+            # yet; a real core completes that access before the probe.
+            if out.deferred_probe is not None:
+                raise ProtocolError(
+                    f"core {self.core_id}: two probes deferred on line "
+                    f"{probe.line}")
+            out.deferred_probe = probe
+            return
+        self._route_probe(probe)
+
+    def _route_probe(self, probe: Probe) -> None:
+        """Consult the lease table, then either queue or apply the probe."""
+        if self.lease_mgr is not None and self.lease_mgr.try_queue_probe(probe):
+            return
+        self.apply_probe(probe)
+
+    def apply_probe(self, probe: Probe) -> None:
+        """Service a probe now: downgrade/invalidate the L1 line, reply."""
+        st = self.l1.state_of(probe.line)
+        if st == LineState.I:
+            self.counters.stale_probes += 1
+            probe.reply(False)
+            return
+        if probe.kind is MessageKind.INV:
+            self.l1.invalidate(probe.line)
+            # Only a dirty line's ack carries data back home.
+            probe.reply(st == LineState.M)
+        elif probe.kind is MessageKind.DOWNGRADE:
+            if st == LineState.M or st == LineState.E:
+                self.l1.set_state(probe.line, LineState.S)
+                probe.reply(st == LineState.M)
+            else:
+                self.counters.stale_probes += 1
+                probe.reply(False)
+        else:  # pragma: no cover - defensive
+            raise ProtocolError(f"unexpected probe kind {probe.kind}")
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        return self._outstanding is not None

@@ -1,0 +1,23 @@
+"""Coherence message kinds (for accounting; delivery is by the network)."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class MessageKind(Enum):
+    """Coherence message types exchanged between cores and the directory."""
+
+    GETS = "GetS"          # core -> dir: read request
+    GETX = "GetX"          # core -> dir: ownership request
+    INV = "Inv"            # dir -> core: invalidate probe
+    DOWNGRADE = "Down"     # dir -> core: downgrade-to-shared probe
+    ACK = "Ack"            # core -> dir: probe acknowledgement
+    DATA = "Data"          # dir -> core: grant with line payload
+    PUTM = "PutM"          # core -> dir: dirty eviction (writeback)
+    PUTS = "PutS"          # core -> dir: clean shared eviction notice
+
+    #: Kinds that carry a cache-line data payload.
+    @property
+    def carries_data(self) -> bool:
+        return self in (MessageKind.DATA, MessageKind.PUTM)

@@ -1,0 +1,66 @@
+"""2-D mesh on-chip network latency model.
+
+Tiles are laid out row-major on the smallest square mesh that holds all
+cores; message latency is ``base + hop_latency * manhattan_distance`` plus a
+serialization term for data-carrying messages.  The network is contention-
+free (Graphite's default analytical model is similarly simple); coherence
+*protocol* queuing -- the effect the paper studies -- is modeled exactly, at
+the directory and at leased cores.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..config import NetworkConfig
+from ..engine import Simulator
+from ..stats import Counters
+from .messages import MessageKind
+
+
+class MeshNetwork:
+    """Computes message latencies, counts traffic, and schedules delivery."""
+
+    def __init__(self, config: NetworkConfig, num_tiles: int,
+                 sim: Simulator, counters: Counters) -> None:
+        self.config = config
+        self.num_tiles = num_tiles
+        self.sim = sim
+        self.counters = counters
+        self.dim = 1
+        while self.dim * self.dim < num_tiles:
+            self.dim += 1
+        # Precomputed hop distance table (num_tiles is small, <= 64ish).
+        self._hops = [
+            [self._manhattan(a, b) for b in range(num_tiles)]
+            for a in range(num_tiles)
+        ]
+
+    def _coords(self, tile: int) -> tuple[int, int]:
+        return tile % self.dim, tile // self.dim
+
+    def _manhattan(self, a: int, b: int) -> int:
+        ax, ay = self._coords(a)
+        bx, by = self._coords(b)
+        return abs(ax - bx) + abs(ay - by)
+
+    def hops(self, src: int, dst: int) -> int:
+        return self._hops[src][dst]
+
+    def latency(self, src: int, dst: int, kind: MessageKind) -> int:
+        c = self.config
+        lat = c.base_latency + c.hop_latency * self._hops[src][dst]
+        if kind.carries_data:
+            lat += c.data_latency
+        return lat
+
+    def send(self, src: int, dst: int, kind: MessageKind,
+             fn: Callable[..., Any], *args: Any) -> None:
+        """Count one ``kind`` message from tile ``src`` to ``dst`` and
+        schedule ``fn(*args)`` at its delivery time."""
+        k = self.counters
+        k.messages += 1
+        k.hops += self._hops[src][dst]
+        if kind.carries_data:
+            k.data_messages += 1
+        self.sim.after(self.latency(src, dst, kind), fn, *args)

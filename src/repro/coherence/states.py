@@ -1,0 +1,30 @@
+"""Coherence state enums (MSI)."""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class LineState(IntEnum):
+    """State of a line in a private L1 cache.
+
+    The E (exclusive-clean) state exists only when the machine runs the
+    MESI protocol (Section 8: "Lease/Release also applies to MESI and
+    MOESI-type protocols, with the same semantics"); under MSI a read miss
+    on an uncached line is granted S.  At the directory E and M are merged
+    (both mean "one owner, nobody else"), so only the L1 side and the
+    dirty/clean accounting differ.
+    """
+
+    I = 0   # invalid / not present
+    S = 1   # shared, read-only
+    E = 2   # exclusive, clean (MESI only)
+    M = 3   # modified (exclusive, dirty)
+
+
+class DirState(IntEnum):
+    """State of a line at the directory."""
+
+    UNCACHED = 0
+    SHARED = 1
+    MODIFIED = 2

@@ -1,0 +1,15 @@
+"""Core model: instruction set, in-order cores, and the Machine façade."""
+
+from .isa import (
+    CAS, Fence, FetchAdd, Instr, Lease, Load, MultiLease, Release,
+    ReleaseAll, Store, Swap, TestAndSet, Work,
+)
+from .thread import Ctx, ThreadHandle
+from .core import Core
+from .machine import Machine
+
+__all__ = [
+    "Instr", "Work", "Load", "Store", "CAS", "FetchAdd", "Swap",
+    "TestAndSet", "Fence", "Lease", "Release", "MultiLease", "ReleaseAll",
+    "Ctx", "ThreadHandle", "Core", "Machine",
+]

@@ -1,0 +1,177 @@
+"""In-order core model.
+
+Each core runs exactly one simulated thread (the paper's experiments use one
+thread per core/tile).  The core pulls instructions from the thread
+generator, executes them against its memory unit / lease manager, and
+resumes the generator with the result.  Every instruction takes at least one
+cycle, and every continuation goes through the event queue, so generator
+resumption never recurses.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from ..errors import SimulationError
+from . import isa
+from .thread import ThreadHandle
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .machine import Machine
+
+
+class Core:
+    """One in-order core: generator driver + memory unit + lease manager."""
+
+    def __init__(self, core_id: int, machine: "Machine") -> None:
+        from ..coherence.memunit import MemUnit
+        from ..lease.manager import LeaseManager
+
+        self.core_id = core_id
+        self.machine = machine
+        self.sim = machine.sim
+        self.counters = machine.counters
+        self.memory = machine.memory
+        self.memunit = MemUnit(core_id, machine.config, machine.amap,
+                               machine.directory, machine.sim,
+                               machine.counters)
+        self.lease_mgr = LeaseManager(core_id, machine.config.lease,
+                                      machine.amap, self.memunit,
+                                      machine.sim, machine.counters)
+        self.memunit.lease_mgr = self.lease_mgr
+        self._gen: Generator | None = None
+        self._handle: ThreadHandle | None = None
+        self._leases_enabled = machine.config.lease.enabled
+
+    @property
+    def idle(self) -> bool:
+        return self._gen is None
+
+    def start_thread(self, gen: Generator, handle: ThreadHandle) -> None:
+        if self._gen is not None:
+            raise SimulationError(
+                f"core {self.core_id} already runs thread "
+                f"{self._handle.tid if self._handle else '?'}")
+        self._gen = gen
+        self._handle = handle
+        self.sim.after(0, self._resume, None)
+
+    # -- generator driving ------------------------------------------------
+
+    def _resume(self, value: Any) -> None:
+        gen = self._gen
+        if gen is None:  # pragma: no cover - defensive
+            raise SimulationError(f"core {self.core_id}: resume with no thread")
+        from ..errors import LeaseError
+
+        send: Any = ("send", value)
+        while True:
+            try:
+                if send[0] == "send":
+                    instr = gen.send(send[1])
+                else:
+                    instr = gen.throw(send[1])
+            except StopIteration as stop:
+                handle = self._handle
+                assert handle is not None
+                handle.done = True
+                handle.result = stop.value
+                self._gen = None
+                self._handle = None
+                self.machine._thread_finished(handle)
+                return
+            try:
+                self._dispatch(instr)
+                return
+            except LeaseError as fault:
+                # Synchronous instruction faults (e.g. mixing single and
+                # multi-location leases) are delivered into the thread, so
+                # workload code can catch them like an exception.
+                send = ("throw", fault)
+
+    # -- instruction execution ------------------------------------------------
+
+    def _dispatch(self, instr: isa.Instr) -> None:
+        t = type(instr)
+        if t is isa.Work:
+            self.sim.after(max(1, instr.cycles), self._resume, None)
+        elif t is isa.Load:
+            self.memunit.access(False, instr.addr, is_lease=False,
+                                callback=lambda: self._do_load(instr.addr))
+        elif t is isa.Store:
+            self.memunit.access(
+                True, instr.addr, is_lease=False,
+                callback=lambda: self._do_store(instr.addr, instr.value))
+        elif t is isa.CAS:
+            self.memunit.access(True, instr.addr, is_lease=False,
+                                callback=lambda: self._do_cas(instr))
+        elif t is isa.FetchAdd:
+            self.memunit.access(
+                True, instr.addr, is_lease=False,
+                callback=lambda: self._do_rmw(
+                    self.memory.fetch_add, instr.addr, instr.delta))
+        elif t is isa.Swap:
+            self.memunit.access(
+                True, instr.addr, is_lease=False,
+                callback=lambda: self._do_rmw(
+                    self.memory.swap, instr.addr, instr.value))
+        elif t is isa.TestAndSet:
+            self.memunit.access(
+                True, instr.addr, is_lease=False,
+                callback=lambda: self._do_rmw(
+                    self.memory.swap, instr.addr, 1))
+        elif t is isa.Fence:
+            self.sim.after(1, self._resume, None)
+        elif t is isa.Lease:
+            if not self._leases_enabled:
+                self.sim.after(0, self._resume, None)
+            else:
+                # The grant callback may fire synchronously (line already
+                # leased / already owned); always resume via the event queue
+                # so consecutive lease instructions cannot recurse.
+                self.lease_mgr.lease(
+                    instr.addr, instr.time,
+                    lambda: self.sim.after(0, self._resume, None),
+                    site=instr.site)
+        elif t is isa.Release:
+            if not self._leases_enabled:
+                self.sim.after(0, self._resume, False)
+            else:
+                voluntary = self.lease_mgr.release(instr.addr)
+                self.sim.after(1, self._resume, voluntary)
+        elif t is isa.MultiLease:
+            if not self._leases_enabled:
+                self.sim.after(0, self._resume, None)
+            else:
+                self.lease_mgr.multilease(
+                    instr.addrs, instr.time,
+                    lambda: self.sim.after(0, self._resume, None))
+        elif t is isa.ReleaseAll:
+            if not self._leases_enabled:
+                self.sim.after(0, self._resume, None)
+            else:
+                self.lease_mgr.release_all()
+                self.sim.after(1, self._resume, None)
+        else:
+            raise SimulationError(
+                f"core {self.core_id}: thread yielded non-instruction "
+                f"{instr!r}")
+
+    # -- memory-op commit points (run at access-completion instants) ---------
+
+    def _do_load(self, addr: int) -> None:
+        self._resume(self.memory.read(addr))
+
+    def _do_store(self, addr: int, value: Any) -> None:
+        self.memory.write(addr, value)
+        self._resume(None)
+
+    def _do_cas(self, instr: isa.CAS) -> None:
+        ok = self.memory.cas(instr.addr, instr.expected, instr.new)
+        self.counters.cas_attempts += 1
+        if not ok:
+            self.counters.cas_failures += 1
+        self._resume(ok)
+
+    def _do_rmw(self, fn, addr: int, operand: Any) -> None:
+        self._resume(fn(addr, operand))

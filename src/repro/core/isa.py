@@ -1,0 +1,159 @@
+"""Instruction set of the simulated cores.
+
+Workload code is written as Python generators that ``yield`` instruction
+objects; the core executes each instruction against the memory hierarchy and
+resumes the generator with the instruction's result:
+
+=============================  =========================================
+Instruction                    Result sent back to the generator
+=============================  =========================================
+``Work(cycles)``               None (pure compute delay)
+``Load(addr)``                 the loaded value
+``Store(addr, value)``         None
+``CAS(addr, expected, new)``   bool -- True iff the swap happened
+``FetchAdd(addr, delta)``      the previous value
+``Swap(addr, value)``          the previous value
+``TestAndSet(addr)``           the previous value (word set to 1)
+``Fence()``                    None (1-cycle ordering point)
+``Lease(addr, time)``          None (retires when ownership is held)
+``Release(addr)``              bool -- True iff voluntarily released
+``MultiLease(addrs, time)``    None (retires when the group is held)
+``ReleaseAll()``               None
+=============================  =========================================
+
+With leases disabled in the machine config, the four lease instructions are
+zero-cost no-ops, so the *same* workload code serves as the baseline
+("classic") implementation -- exactly how the paper runs its comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class Instr:
+    """Base class for all instructions."""
+
+    __slots__ = ()
+
+
+class Work(Instr):
+    """Local computation for ``cycles`` core cycles (no memory traffic)."""
+
+    __slots__ = ("cycles",)
+
+    def __init__(self, cycles: int) -> None:
+        self.cycles = cycles
+
+
+class Load(Instr):
+    """Read the word at ``addr``; resumes with the loaded value."""
+
+    __slots__ = ("addr",)
+
+    def __init__(self, addr: int) -> None:
+        self.addr = addr
+
+
+class Store(Instr):
+    """Write ``value`` to the word at ``addr``."""
+
+    __slots__ = ("addr", "value")
+
+    def __init__(self, addr: int, value: Any) -> None:
+        self.addr = addr
+        self.value = value
+
+
+class CAS(Instr):
+    """Compare-and-swap: atomically install ``new`` iff ``*addr == expected``."""
+
+    __slots__ = ("addr", "expected", "new")
+
+    def __init__(self, addr: int, expected: Any, new: Any) -> None:
+        self.addr = addr
+        self.expected = expected
+        self.new = new
+
+
+class FetchAdd(Instr):
+    """Atomic fetch-and-add; resumes with the previous value."""
+
+    __slots__ = ("addr", "delta")
+
+    def __init__(self, addr: int, delta: Any = 1) -> None:
+        self.addr = addr
+        self.delta = delta
+
+
+class Swap(Instr):
+    """Atomic exchange."""
+
+    __slots__ = ("addr", "value")
+
+    def __init__(self, addr: int, value: Any) -> None:
+        self.addr = addr
+        self.value = value
+
+
+class TestAndSet(Instr):
+    """Atomic test-and-set: writes 1, returns the previous value."""
+
+    __slots__ = ("addr",)
+    #: Keep pytest from collecting this class as a test ("Test" prefix).
+    __test__ = False
+
+    def __init__(self, addr: int) -> None:
+        self.addr = addr
+
+
+class Fence(Instr):
+    """Memory fence.  The simulated machine is strongly ordered, so this is
+    a 1-cycle ordering point only (the paper gives Release fence semantics;
+    see Section 5 "Out of Order Execution")."""
+
+    __slots__ = ()
+
+
+class Lease(Instr):
+    """``Lease(addr, time)`` -- Algorithm 1.
+
+    ``site`` identifies the static program location of the lease (the
+    paper's speculative mechanism tracks the lease's program counter); it
+    feeds the optional involuntary-release predictor of Section 5 and is
+    ignored when the predictor is disabled.
+    """
+
+    __slots__ = ("addr", "time", "site")
+
+    def __init__(self, addr: int, time: int = 1 << 62,
+                 site: str | None = None) -> None:
+        self.addr = addr
+        self.time = time
+        self.site = site
+
+
+class Release(Instr):
+    """``Release(addr)`` -- Algorithm 1.  Result: voluntary flag."""
+
+    __slots__ = ("addr",)
+
+    def __init__(self, addr: int) -> None:
+        self.addr = addr
+
+
+class MultiLease(Instr):
+    """``MultiLease(num, time, addr1, addr2, ...)`` -- Algorithm 2."""
+
+    __slots__ = ("addrs", "time")
+
+    def __init__(self, addrs: tuple[int, ...] | list[int],
+                 time: int = 1 << 62) -> None:
+        self.addrs = tuple(addrs)
+        self.time = time
+
+
+class ReleaseAll(Instr):
+    """``ReleaseAll()`` -- Algorithm 2."""
+
+    __slots__ = ()

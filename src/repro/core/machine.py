@@ -1,0 +1,149 @@
+"""The Machine: top-level façade assembling the whole simulated multicore.
+
+Typical use::
+
+    from repro import Machine, MachineConfig
+
+    m = Machine(MachineConfig(num_cores=16))
+    stack = TreiberStack(m, use_lease=True)
+    for _ in range(16):
+        m.add_thread(stack_worker, stack, ops=100)
+    m.run()
+    print(m.result("stack").throughput_ops_per_sec)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from ..config import MachineConfig, WORD_SIZE
+from ..coherence.directory import Directory
+from ..coherence.l2 import SharedL2
+from ..coherence.network import MeshNetwork
+from ..engine import Simulator
+from ..errors import SimulationError
+from ..mem import AddressMap, Allocator, Memory
+from ..stats import Counters, EnergyModel, RunResult
+from .core import Core
+from .thread import Ctx, ThreadHandle
+
+
+class Machine:
+    """A simulated tiled multicore with Lease/Release support."""
+
+    def __init__(self, config: MachineConfig | None = None) -> None:
+        self.config = config or MachineConfig()
+        cfg = self.config
+        self.sim = Simulator(seed=cfg.seed, max_cycles=cfg.max_cycles,
+                             max_events=cfg.max_events)
+        self.counters = Counters()
+        self.amap = AddressMap(cfg.line_size, cfg.num_cores)
+        self.memory = Memory()
+        self.alloc = Allocator(self.amap)
+        self.network = MeshNetwork(cfg.network, cfg.num_cores, self.sim,
+                                   self.counters)
+        self.l2 = SharedL2(cfg, self.counters)
+        self.directory = Directory(self.amap, self.network, self.l2,
+                                   self.sim, self.counters,
+                                   mesi=cfg.protocol == "mesi")
+        self.cores = [Core(i, self) for i in range(cfg.num_cores)]
+        self.directory.mem_units = [c.memunit for c in self.cores]
+        self.energy_model = EnergyModel(cfg.energy, cfg.num_cores)
+        self.threads: list[ThreadHandle] = []
+        self._live_threads = 0
+        self.sim.quiescent = lambda: self._live_threads == 0
+        self._ran = False
+
+    # -- memory helpers ----------------------------------------------------
+
+    def alloc_var(self, init: Any = 0) -> int:
+        """Allocate one shared variable on its own cache line (the paper's
+        false-sharing-free layout) and initialize it without traffic."""
+        addr = self.alloc.alloc_line()
+        self.memory.write(addr, init)
+        return addr
+
+    def alloc_struct(self, fields: list[Any]) -> int:
+        """Allocate consecutive words (one line-aligned block) initialized
+        to ``fields``; returns the base address."""
+        base = self.alloc.alloc_words(len(fields))
+        for i, v in enumerate(fields):
+            self.memory.write(base + i * WORD_SIZE, v)
+        return base
+
+    def write_init(self, addr: int, value: Any) -> None:
+        """Initialize memory directly (no simulated traffic).  Only valid
+        before the address has entered coherence circulation."""
+        self.memory.write(addr, value)
+
+    def peek(self, addr: int) -> Any:
+        """Read the backing store without simulating an access."""
+        return self.memory.read(addr)
+
+    # -- threads ------------------------------------------------------------
+
+    def add_thread(self, body: Callable[..., Generator], *args: Any,
+                   name: str | None = None, core: int | None = None,
+                   **kwargs: Any) -> ThreadHandle:
+        """Create a thread running ``body(ctx, *args, **kwargs)`` on the
+        next free core (or ``core``).  One thread per core."""
+        if core is None:
+            core = next((c.core_id for c in self.cores if c.idle), None)
+            if core is None:
+                raise SimulationError(
+                    f"all {self.config.num_cores} cores busy; the model "
+                    "runs one thread per core (add cores or fewer threads)")
+        elif not self.cores[core].idle:
+            raise SimulationError(f"core {core} already has a thread")
+        tid = len(self.threads)
+        handle = ThreadHandle(tid, core, name or body.__name__)
+        ctx = Ctx(self, tid, core)
+        gen = body(ctx, *args, **kwargs)
+        if not isinstance(gen, Generator):
+            raise SimulationError(
+                f"thread body {body.__name__} must be a generator function")
+        self.threads.append(handle)
+        self._live_threads += 1
+        self.cores[core].start_thread(gen, handle)
+        return handle
+
+    def _thread_finished(self, handle: ThreadHandle) -> None:
+        self._live_threads -= 1
+
+    # -- running -----------------------------------------------------------
+
+    def run(self, until: int | None = None) -> int:
+        """Run until all threads finish (or ``until`` cycles).  Returns the
+        final simulation time in cycles."""
+        self._ran = True
+        return self.sim.run(until=until)
+
+    @property
+    def now(self) -> int:
+        return self.sim.now
+
+    # -- results ------------------------------------------------------------
+
+    def result(self, name: str = "run", *,
+               extra: dict[str, Any] | None = None) -> RunResult:
+        """Summarize the whole run into a :class:`RunResult`."""
+        k = self.counters
+        cycles = max(1, self.sim.now)
+        ops = k.ops_completed
+        throughput = ops * self.config.clock_hz / cycles
+        return RunResult(
+            name=name,
+            num_threads=len(self.threads),
+            cycles=self.sim.now,
+            ops=ops,
+            throughput_ops_per_sec=throughput,
+            energy_nj_per_op=self.energy_model.nj_per_op(k, cycles),
+            messages_per_op=k.messages / max(1, ops),
+            l1_misses_per_op=k.l1_misses / max(1, ops),
+            cas_failure_rate=k.cas_failures / max(1, k.cas_attempts),
+            extra=extra or {},
+        )
+
+    def check_coherence_invariants(self) -> None:
+        """Verify directory/L1 agreement (tests call this at quiescence)."""
+        self.directory.check_invariants()

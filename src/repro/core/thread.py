@@ -1,0 +1,91 @@
+"""Thread context and handle.
+
+A simulated thread is a Python generator produced by calling a *thread body*
+function with a :class:`Ctx` (plus user arguments).  The body yields
+instruction objects (see :mod:`repro.core.isa`) and receives each
+instruction's result; helper subroutines compose with ``yield from``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Any, Iterable
+
+from ..config import WORD_SIZE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .machine import Machine
+
+
+class Ctx:
+    """Per-thread context handed to every thread body.
+
+    Provides the thread id / core id, a deterministic per-thread RNG, and
+    zero-traffic initialization helpers that model a thread-local allocator
+    pool (fresh, uncached lines are initialized without coherence traffic;
+    the first *shared* access to them is still a cold miss).
+    """
+
+    __slots__ = ("machine", "tid", "core_id", "rng")
+
+    def __init__(self, machine: "Machine", tid: int, core_id: int) -> None:
+        self.machine = machine
+        self.tid = tid
+        self.core_id = core_id
+        self.rng = random.Random((machine.config.seed << 20) ^ (tid + 1))
+
+    # -- allocation ------------------------------------------------------
+
+    def alloc_words(self, nwords: int, init: Iterable[Any] | None = None,
+                    *, line_aligned: bool = True) -> int:
+        """Allocate ``nwords`` words, optionally writing initial values
+        directly to the backing store (no simulated traffic)."""
+        base = self.machine.alloc.alloc_words(nwords,
+                                              line_aligned=line_aligned)
+        if init is not None:
+            for i, v in enumerate(init):
+                self.machine.memory.write(base + i * WORD_SIZE, v)
+        return base
+
+    def alloc_line(self) -> int:
+        return self.machine.alloc.alloc_line()
+
+    def alloc_cached(self, nwords: int, init: Iterable[Any] | None = None
+                     ) -> int:
+        """Like :meth:`alloc_words`, but additionally installs the fresh
+        line(s) into this core's L1 in exclusive state, as a warm per-core
+        allocator pool would.  The object's first *remote* access still
+        costs a full coherence transfer."""
+        base = self.alloc_words(nwords, init)
+        amap = self.machine.amap
+        first = amap.line_of(base)
+        last = amap.line_of(base + (nwords - 1) * WORD_SIZE)
+        directory = self.machine.directory
+        for line in range(first, last + 1):
+            directory.preinstall_owned(line, self.core_id)
+        return base
+
+    # -- direct (non-simulated) memory peeks for assertions/debugging ------
+
+    def peek(self, addr: int) -> Any:
+        """Read the backing store without simulating an access.  For test
+        assertions only -- workload logic must use ``yield Load(addr)``."""
+        return self.machine.memory.read(addr)
+
+
+class ThreadHandle:
+    """Handle to one simulated thread."""
+
+    __slots__ = ("tid", "core_id", "name", "done", "result")
+
+    def __init__(self, tid: int, core_id: int, name: str) -> None:
+        self.tid = tid
+        self.core_id = core_id
+        self.name = name
+        self.done = False
+        #: Value returned by the thread body (via ``return``), if any.
+        self.result: Any = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.done else "running"
+        return f"<Thread {self.tid} ({self.name}) on core {self.core_id}: {state}>"

@@ -1,0 +1,6 @@
+"""Deterministic discrete-event simulation kernel."""
+
+from .event_queue import Event, EventQueue
+from .simulator import Simulator
+
+__all__ = ["Event", "EventQueue", "Simulator"]

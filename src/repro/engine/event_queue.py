@@ -1,0 +1,89 @@
+"""A cancellable, deterministic event queue.
+
+Events are ordered by ``(time, seq)`` where ``seq`` is a monotonically
+increasing insertion counter, so simultaneous events fire in the order they
+were scheduled.  This gives bit-for-bit reproducible simulations for a fixed
+seed, which the test suite relies on.
+
+Cancellation is lazy: cancelled events stay in the heap and are skipped on
+pop (the standard idiom for heap-backed schedulers; O(1) cancel).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from ..errors import SimulationError
+
+
+class Event:
+    """A scheduled callback.  Returned by :meth:`EventQueue.schedule` so the
+    caller can later :meth:`EventQueue.cancel` it."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int,
+                 fn: Callable[..., Any], args: tuple) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = " cancelled" if self.cancelled else ""
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<Event t={self.time} #{self.seq} {name}{state}>"
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` ordered by ``(time, seq)``."""
+
+    __slots__ = ("_heap", "_seq", "_live")
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of live (non-cancelled) events."""
+        return self._live
+
+    def schedule(self, time: int, fn: Callable[..., Any],
+                 *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute ``time``."""
+        if time < 0:
+            raise SimulationError(f"cannot schedule event at t={time}")
+        ev = Event(time, self._seq, fn, args)
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def cancel(self, ev: Event) -> None:
+        """Cancel a pending event.  Cancelling twice is a no-op."""
+        if not ev.cancelled:
+            ev.cancelled = True
+            self._live -= 1
+
+    def pop(self) -> Event | None:
+        """Pop and return the earliest live event, or None if empty."""
+        heap = self._heap
+        while heap:
+            ev = heapq.heappop(heap)
+            if not ev.cancelled:
+                self._live -= 1
+                return ev
+        return None
+
+    def peek_time(self) -> int | None:
+        """Time of the earliest live event without popping it."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time if heap else None

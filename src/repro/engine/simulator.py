@@ -1,0 +1,94 @@
+"""Simulation clock and run loop."""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable
+
+from ..errors import SimulationError, SimulationTimeout
+from .event_queue import Event, EventQueue
+
+
+class Simulator:
+    """Drives an :class:`EventQueue` forward in virtual time.
+
+    The simulator knows nothing about cores or caches; it only provides
+    ``now``, scheduling, a seeded RNG and a run loop with cycle/event
+    budgets.  Higher layers register a *quiescence check* so that
+    :meth:`run` can stop when all threads have finished even though idle
+    events (e.g. never-fired lease expiries) may remain queued.
+    """
+
+    def __init__(self, *, seed: int = 1,
+                 max_cycles: int = 2_000_000_000,
+                 max_events: int = 200_000_000) -> None:
+        self.queue = EventQueue()
+        self.now: int = 0
+        self.rng = random.Random(seed)
+        self.max_cycles = max_cycles
+        self.max_events = max_events
+        self.events_processed: int = 0
+        #: Callable returning True when the simulation may stop early.
+        self.quiescent: Callable[[], bool] = lambda: False
+        self._running = False
+
+    # -- scheduling ---------------------------------------------------------
+
+    def at(self, time: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute cycle ``time`` (>= now)."""
+        if time < self.now:
+            raise SimulationError(
+                f"scheduling into the past: t={time} < now={self.now}")
+        return self.queue.schedule(time, fn, *args)
+
+    def after(self, delay: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.queue.schedule(self.now + delay, fn, *args)
+
+    def cancel(self, ev: Event) -> None:
+        self.queue.cancel(ev)
+
+    # -- run loop -----------------------------------------------------------
+
+    def run(self, until: int | None = None) -> int:
+        """Process events until quiescence, the optional ``until`` cycle, or
+        a budget is exhausted.  Returns the final simulation time."""
+        if self._running:
+            raise SimulationError("Simulator.run is not reentrant")
+        self._running = True
+        try:
+            queue = self.queue
+            while True:
+                if self.quiescent():
+                    break
+                if until is not None:
+                    # Peek first so a deferred event keeps its place in the
+                    # (time, seq) order when the run resumes later.
+                    t = queue.peek_time()
+                    if t is None:
+                        break
+                    if t > until:
+                        self.now = until
+                        break
+                ev = queue.pop()
+                if ev is None:
+                    break
+                if ev.time > self.max_cycles:
+                    raise SimulationTimeout(
+                        f"simulation exceeded max_cycles={self.max_cycles}",
+                        cycle=ev.time, events=self.events_processed)
+                self.now = ev.time
+                self.events_processed += 1
+                if self.events_processed > self.max_events:
+                    raise SimulationTimeout(
+                        f"simulation exceeded max_events={self.max_events}"
+                        " (livelocked workload?)",
+                        cycle=self.now, events=self.events_processed)
+                ev.fn(*ev.args)
+            if until is not None and self.now < until and self.quiescent():
+                pass  # stopped early at quiescence; clock stays put
+            return self.now
+        finally:
+            self._running = False

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the repro simulator.
+
+Every error raised by the package derives from :class:`ReproError` so that
+callers can catch simulator failures without masking unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """An invalid machine / lease / network configuration was supplied."""
+
+
+class SimulationError(ReproError):
+    """The simulation reached an inconsistent state (protocol invariant
+    violation, double-resume of a thread, etc.).  These always indicate a
+    bug in the simulator or in a workload, never a transient condition."""
+
+
+class SimulationTimeout(ReproError):
+    """The simulation exceeded its cycle or event budget.
+
+    Carries diagnostic context so that a hung workload (e.g. a livelocked
+    spin loop) can be debugged from the exception alone.
+    """
+
+    def __init__(self, message: str, *, cycle: int | None = None,
+                 events: int | None = None,
+                 running_threads: int | None = None) -> None:
+        super().__init__(message)
+        self.cycle = cycle
+        self.events = events
+        self.running_threads = running_threads
+
+
+class ProtocolError(SimulationError):
+    """A cache-coherence protocol invariant was violated."""
+
+
+class LeaseError(ReproError):
+    """Invalid use of the Lease/Release API (e.g. mixing single and
+    multi-location leases, which the paper forbids in Section 4)."""
+
+
+class AllocationError(ReproError):
+    """The simulated memory allocator ran out of address space or was
+    asked for an impossible allocation."""

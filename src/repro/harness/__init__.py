@@ -1,0 +1,7 @@
+"""Experiment harness: one registered experiment per paper figure/table."""
+
+from .experiments import EXPERIMENTS, Experiment, run_experiment
+from .runner import run_all, sweep
+
+__all__ = ["EXPERIMENTS", "Experiment", "run_experiment", "sweep",
+           "run_all"]

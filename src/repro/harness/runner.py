@@ -1,0 +1,66 @@
+"""Sweep runner: executes a benchmark driver across thread counts and
+variants, producing the rows/series the paper's figures plot."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+from ..stats import RunResult
+from ..stats.report import format_table
+
+#: The paper's x-axis: "We tested for 2, 4, 8, 16, 32, 64 threads/cores."
+PAPER_THREAD_COUNTS = (2, 4, 8, 16, 32, 64)
+
+
+def sweep(bench: Callable[..., RunResult],
+          variants: dict[str, dict[str, Any]],
+          thread_counts: Sequence[int] = PAPER_THREAD_COUNTS,
+          **common: Any) -> dict[str, list[RunResult]]:
+    """Run ``bench(threads, **variant_kwargs, **common)`` for every variant
+    and thread count.  Returns ``{variant_name: [RunResult, ...]}`` in
+    thread-count order."""
+    out: dict[str, list[RunResult]] = {}
+    for name, kw in variants.items():
+        series = []
+        for n in thread_counts:
+            series.append(bench(n, **kw, **common))
+        out[name] = series
+    return out
+
+
+def series_table(results: dict[str, list[RunResult]],
+                 metric: str = "mops_per_sec") -> str:
+    """Format sweep results as one row per variant, one column per thread
+    count -- the textual equivalent of a paper figure."""
+    rows = []
+    for name, series in results.items():
+        row: dict[str, Any] = {"variant": name}
+        for r in series:
+            if metric == "mops_per_sec":
+                val = round(r.mops_per_sec, 3)
+            elif metric == "nj_per_op":
+                val = round(r.energy_nj_per_op, 1)
+            else:
+                val = round(getattr(r, metric), 3)
+            row[f"t={r.num_threads}"] = val
+        rows.append(row)
+    return format_table(rows)
+
+
+def run_all(thread_counts: Sequence[int] = (2, 8, 32),
+            names: Iterable[str] | None = None,
+            verbose: bool = True) -> dict[str, dict]:
+    """Run every registered experiment (optionally a subset) at reduced
+    thread counts; used by the examples and for quick validation."""
+    from .experiments import EXPERIMENTS, run_experiment
+
+    out = {}
+    for name in (names or EXPERIMENTS):
+        result = run_experiment(name, thread_counts=thread_counts)
+        out[name] = result
+        if verbose:
+            print(f"== {name}: {EXPERIMENTS[name].title} ==")
+            if isinstance(result, dict):
+                print(series_table(result))
+            print()
+    return out

@@ -1,0 +1,21 @@
+"""The Lease/Release mechanism (Sections 3-5 of the paper).
+
+A per-core :class:`LeaseManager` implements Algorithm 1 (single-location
+Lease/Release) and Algorithm 2 (MultiLease/ReleaseAll), including:
+
+* the bounded lease table (``MAX_NUM_LEASES`` entries, FIFO replacement,
+  no extension of already-held leases);
+* probe queuing at the core while a lease is valid, with at most one queued
+  probe per line (Proposition 1);
+* involuntary release on timer expiry (``MAX_LEASE_TIME`` bound), which is
+  what makes the mechanism deadlock-free (Proposition 2 / Corollary 1);
+* hardware MultiLease: globally sorted acquisition with jointly started
+  counters (Proposition 3);
+* software MultiLease emulation with staggered timeouts;
+* the Section 5 prioritization optimization (regular requests break leases).
+"""
+
+from .table import LeaseEntry, LeaseGroup, LeaseTable
+from .manager import LeaseManager
+
+__all__ = ["LeaseEntry", "LeaseGroup", "LeaseTable", "LeaseManager"]

@@ -1,0 +1,361 @@
+"""Per-core lease controller implementing Algorithms 1 and 2.
+
+The manager sits between the core's :class:`~repro.coherence.memunit.MemUnit`
+and the directory:
+
+* the core executes ``Lease``/``Release``/``MultiLease``/``ReleaseAll``
+  instructions by calling into the manager;
+* the memory unit consults :meth:`try_queue_probe` for every incoming
+  coherence probe, which is where leased lines delay (or, under the
+  Section 5 prioritization rule, break on) remote requests.
+
+All acquisition paths are continuation-passing: ``done()`` fires when the
+instruction retires (ownership granted / timers started).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from ..config import LeaseConfig
+from ..engine import Simulator
+from ..errors import LeaseError
+from ..stats import Counters
+from .table import LeaseEntry, LeaseGroup, LeaseTable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..coherence.memunit import MemUnit, Probe
+    from ..mem import AddressMap
+
+
+class LeaseManager:
+    """Lease/Release state machine for one core."""
+
+    def __init__(self, core_id: int, config: LeaseConfig,
+                 amap: "AddressMap", memunit: "MemUnit",
+                 sim: Simulator, counters: Counters) -> None:
+        self.core_id = core_id
+        self.config = config
+        self.amap = amap
+        self.memunit = memunit
+        self.sim = sim
+        self.counters = counters
+        self.table = LeaseTable(config.max_num_leases)
+        #: Currently active MultiLease group, if any (at most one; the paper
+        #: forbids concurrent single- and multi-location leases).
+        self.active_group: LeaseGroup | None = None
+        #: Section 5 predictor state: site -> [leases_started,
+        #: involuntary_ends].  Only populated when the predictor is on and
+        #: the Lease instruction carries a site.
+        self.site_stats: dict[str, list[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Single-location leases (Algorithm 1)
+    # ------------------------------------------------------------------
+
+    def lease(self, addr: int, time: int,
+              done: Callable[[], None], site: str | None = None) -> None:
+        """``Lease(addr, time)``: lease the line of ``addr`` for at most
+        ``min(time, MAX_LEASE_TIME)`` cycles.  ``done()`` fires once the
+        line is held in exclusive state (possibly synchronously)."""
+        if self.active_group is not None and not self.active_group.dead:
+            raise LeaseError(
+                "concurrent single- and multi-location leases are not "
+                "allowed (Section 4)")
+        line = self.amap.line_of(addr)
+        self.counters.leases_requested += 1
+        if self._predictor_rejects(site):
+            # Section 5 speculative mechanism: this site's leases keep
+            # ending involuntarily, so stop honouring them (lease usage is
+            # advisory; skipping is always correct).
+            self.counters.leases_ignored_by_predictor += 1
+            done()
+            return
+        if line in self.table:
+            # No extension of an already-leased address (footnote 1: this
+            # could break the MAX_LEASE_TIME bound).
+            self.counters.leases_noop_already_held += 1
+            done()
+            return
+        duration = min(time, self.config.max_lease_time)
+        if self.table.full:
+            oldest = self.table.oldest()
+            assert oldest is not None
+            self.counters.releases_fifo_eviction += 1
+            self._release_entry(oldest, voluntary=True)
+        entry = LeaseEntry(line, duration, site=site)
+        self.table.add(entry)
+        self._acquire(entry, done)
+
+    # -- Section 5 involuntary-release predictor ---------------------------
+
+    def _predictor_rejects(self, site: str | None) -> bool:
+        if site is None or not self.config.predictor_enabled:
+            return False
+        stats = self.site_stats.get(site)
+        if stats is None or stats[0] < self.config.predictor_min_samples:
+            return False
+        return stats[1] / stats[0] > self.config.predictor_threshold
+
+    def _predictor_note(self, entry: LeaseEntry, *,
+                        involuntary: bool) -> None:
+        if entry.site is None or not self.config.predictor_enabled:
+            return
+        stats = self.site_stats.setdefault(entry.site, [0, 0])
+        stats[0] += 1
+        if involuntary:
+            stats[1] += 1
+
+    def _acquire(self, entry: LeaseEntry,
+                 done: Callable[[], None]) -> None:
+        """Request the line in exclusive state, then start the countdown."""
+        from ..coherence.states import LineState
+
+        if self.memunit.l1.state_of(entry.line) in (LineState.M,
+                                                    LineState.E):
+            # Already owned exclusively: the lease is effective immediately.
+            self._granted(entry)
+            if not entry.dead and entry.group is None:
+                self._start_timer(entry)
+            done()
+            return
+
+        def on_grant() -> None:
+            self._granted(entry)
+            if not entry.dead and entry.group is None:
+                self._start_timer(entry)
+            done()
+
+        self.memunit.access(True, self.amap.base_of_line(entry.line),
+                            is_lease=True, callback=on_grant)
+
+    def _granted(self, entry: LeaseEntry) -> None:
+        entry.granted = True
+        if entry.dead:
+            # Released while in flight: never start; drop immediately.
+            self.table.remove(entry.line)
+            self._drain_probe(entry)
+        else:
+            self.memunit.l1.pin(entry.line)
+
+    def _start_timer(self, entry: LeaseEntry) -> None:
+        assert entry.granted and not entry.started
+        entry.started = True
+        self.counters.leases_granted += 1
+        entry.expiry_event = self.sim.after(entry.duration,
+                                            self._expire, entry)
+
+    def release(self, addr: int) -> bool:
+        """``Release(addr)``: returns True iff the release was voluntary
+        (the lease was still held).  Releasing a line not in the table does
+        nothing and returns False.  Releasing a member of a MultiLease
+        group releases the whole group (Section 4 MultiRelease)."""
+        line = self.amap.line_of(addr)
+        entry = self.table.get(line)
+        if entry is None:
+            return False
+        if entry.group is not None:
+            self._release_group(entry.group, voluntary=True)
+        else:
+            self.counters.releases_voluntary += 1
+            self._release_entry(entry, voluntary=True)
+        return True
+
+    def release_all(self) -> None:
+        """``ReleaseAll()``: voluntarily release every held lease.  Entries
+        are deleted first, then outstanding probes serviced (Algorithm 2)."""
+        entries = self.table.entries()
+        for entry in entries:
+            self.table.remove(entry.line)
+            entry.dead = True
+            if entry.expiry_event is not None:
+                self.sim.cancel(entry.expiry_event)
+                entry.expiry_event = None
+            if entry.started:
+                self.counters.releases_voluntary += 1
+                self._predictor_note(entry, involuntary=False)
+            self.memunit.l1.unpin(entry.line)
+        for entry in entries:
+            self._drain_probe(entry)
+        if self.active_group is not None:
+            self.active_group.dead = True
+            self.active_group = None
+
+    def _release_entry(self, entry: LeaseEntry, *, voluntary: bool) -> None:
+        """Remove one entry and service its queued probe."""
+        self.table.remove(entry.line)
+        entry.dead = True
+        if entry.expiry_event is not None:
+            self.sim.cancel(entry.expiry_event)
+            entry.expiry_event = None
+        if entry.started:
+            self._predictor_note(entry, involuntary=not voluntary)
+        self.memunit.l1.unpin(entry.line)
+        self._drain_probe(entry)
+
+    def _drain_probe(self, entry: LeaseEntry) -> None:
+        probe = entry.queued_probe
+        if probe is not None:
+            entry.queued_probe = None
+            self.memunit.apply_probe(probe)
+
+    def _expire(self, entry: LeaseEntry) -> None:
+        """ZERO-COUNTER event: involuntary release."""
+        if entry.dead or entry.line not in self.table:
+            return
+        if entry.group is not None:
+            self.counters.releases_involuntary += 1
+            self._release_group(entry.group, voluntary=False,
+                                count_involuntary=False)
+        else:
+            self.counters.releases_involuntary += 1
+            self._release_entry(entry, voluntary=False)
+
+    # ------------------------------------------------------------------
+    # Probe interception
+    # ------------------------------------------------------------------
+
+    def try_queue_probe(self, probe: "Probe") -> bool:
+        """Called by the memory unit for every incoming probe.  Returns True
+        if the probe was queued behind a lease (the manager now owns its
+        reply); False if it should be serviced normally."""
+        entry = self.table.get(probe.line)
+        if entry is None or not entry.holds_line:
+            return False
+        if (not probe.requester_is_lease
+                and self.config.prioritize_regular_requests):
+            # Section 5 prioritization: a regular request breaks the lease.
+            self.counters.releases_broken_by_priority += 1
+            if entry.group is not None:
+                self._release_group(entry.group, voluntary=False,
+                                    count_involuntary=False)
+            else:
+                self._release_entry(entry, voluntary=False)
+            return False  # memunit applies the probe immediately
+        if entry.queued_probe is not None:
+            # Proposition 1 guarantees at most one serviced request per line;
+            # a second probe here means the directory protocol is broken.
+            raise LeaseError(
+                f"core {self.core_id}: second probe queued on leased line "
+                f"{probe.line}")
+        entry.queued_probe = probe
+        self.counters.probes_queued_at_core += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Multi-location leases (Algorithm 2)
+    # ------------------------------------------------------------------
+
+    def multilease(self, addrs: tuple[int, ...], time: int,
+                   done: Callable[[], None]) -> None:
+        """``MultiLease(num, time, addr1, ...)``: jointly lease the lines of
+        ``addrs``.  Releases all held leases first; ignored if the group
+        would exceed MAX_NUM_LEASES."""
+        self.counters.multilease_calls += 1
+        self.release_all()
+        lines = sorted({self.amap.line_of(a) for a in addrs})
+        if len(lines) > self.config.max_num_leases:
+            self.counters.multilease_ignored += 1
+            done()
+            return
+        duration = min(time, self.config.max_lease_time)
+        if self.config.multilease_mode == "software":
+            self._software_multilease(lines, duration, done)
+        else:
+            self._hardware_multilease(lines, duration, done)
+
+    def _hardware_multilease(self, lines: list[int], duration: int,
+                             done: Callable[[], None]) -> None:
+        """Acquire exclusive ownership of every line in global (address)
+        sort order, waiting for each grant before requesting the next; the
+        countdown timers start jointly once the whole group is held."""
+        group = LeaseGroup(tuple(lines))
+        self.active_group = group
+        entries = [LeaseEntry(line, duration, group) for line in lines]
+        for e in entries:
+            self.table.add(e)
+
+        def acquire(i: int) -> None:
+            if group.dead:
+                done()
+                return
+            if i == len(entries):
+                # Whole group granted: start all counters together.
+                for e in entries:
+                    if not e.dead:
+                        self._start_timer(e)
+                done()
+                return
+            self._acquire(entries[i], lambda: acquire(i + 1))
+
+        acquire(0)
+
+    def _software_multilease(self, lines: list[int], duration: int,
+                             done: Callable[[], None]) -> None:
+        """Emulate MultiLease with single-location leases: acquire in sorted
+        order with staggered timeouts -- the j-th (outer) lease runs for
+        ``time + (n-1-j) * X`` so that, heuristically, all leases overlap for
+        ``time`` cycles.  Joint holding is *not* guaranteed."""
+        stagger = self.config.software_stagger_cycles
+        n = len(lines)
+        entries = [
+            LeaseEntry(line, min(duration + (n - 1 - j) * stagger,
+                                 self.config.max_lease_time))
+            for j, line in enumerate(lines)
+        ]
+        for e in entries:
+            self.table.add(e)
+
+        overhead = self.config.software_multilease_overhead_cycles
+
+        def acquire(i: int) -> None:
+            if i == n:
+                done()
+                return
+            entry = entries[i]
+            if entry.dead:
+                acquire(i + 1)
+                return
+            # The emulation runs as ordinary instructions: charge the
+            # per-address software bookkeeping before each acquisition.
+            self.sim.after(overhead, self._acquire, entry,
+                           lambda: acquire(i + 1))
+
+        acquire(0)
+
+    def _release_group(self, group: LeaseGroup, *, voluntary: bool,
+                       count_involuntary: bool = False) -> None:
+        """Release every member of a MultiLease group at once."""
+        group.dead = True
+        if self.active_group is group:
+            self.active_group = None
+        released = []
+        for line in group.lines:
+            entry = self.table.get(line)
+            if entry is not None and entry.group is group:
+                self.table.remove(line)
+                entry.dead = True
+                if entry.expiry_event is not None:
+                    self.sim.cancel(entry.expiry_event)
+                    entry.expiry_event = None
+                if entry.started:
+                    if voluntary:
+                        self.counters.releases_voluntary += 1
+                    elif count_involuntary:
+                        self.counters.releases_involuntary += 1
+                self.memunit.l1.unpin(entry.line)
+                released.append(entry)
+        for entry in released:
+            self._drain_probe(entry)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def held_lines(self) -> list[int]:
+        """Lines currently held under a started lease (tests/debugging)."""
+        return [e.line for e in self.table.entries() if e.started]
+
+    def is_leased(self, addr: int) -> bool:
+        entry = self.table.get(self.amap.line_of(addr))
+        return entry is not None and entry.holds_line

@@ -1,0 +1,97 @@
+"""The per-core lease table (Section 3 / Section 5 "Core Modifications").
+
+The hardware proposal mirrors the load buffer with a small table of
+countdown timers.  In the event-driven model each entry instead stores a
+scheduled expiry event; FIFO order (for replacement) is the insertion order
+of the underlying ordered dict.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..coherence.memunit import Probe
+    from ..engine.event_queue import Event
+
+
+class LeaseGroup:
+    """A MultiLease group: a set of lines leased (and released) jointly."""
+
+    __slots__ = ("lines", "dead")
+
+    def __init__(self, lines: tuple[int, ...]) -> None:
+        self.lines = lines
+        self.dead = False
+
+
+class LeaseEntry:
+    """One leased (or being-leased) cache line."""
+
+    __slots__ = ("line", "duration", "granted", "started", "dead",
+                 "expiry_event", "queued_probe", "group", "site")
+
+    def __init__(self, line: int, duration: int,
+                 group: LeaseGroup | None = None,
+                 site: str | None = None) -> None:
+        self.line = line
+        self.duration = duration
+        #: Static program location of the lease (predictor key).
+        self.site = site
+        #: Exclusive ownership has been granted (the "lease"/"transition to
+        #: lease" load-buffer states of Section 5).
+        self.granted = False
+        #: The countdown has begun (its expiry event is scheduled).
+        self.started = False
+        #: Released while the ownership request was still in flight.
+        self.dead = False
+        self.expiry_event: Optional["Event"] = None
+        self.queued_probe: Optional["Probe"] = None
+        self.group = group
+
+    @property
+    def holds_line(self) -> bool:
+        """True while the core owns the line under this lease (probes on the
+        line must be queued)."""
+        return self.granted and not self.dead
+
+
+class LeaseTable:
+    """Bounded FIFO key-value table of :class:`LeaseEntry` by line."""
+
+    __slots__ = ("max_entries", "_entries")
+
+    def __init__(self, max_entries: int) -> None:
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[int, LeaseEntry]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, line: int) -> bool:
+        return line in self._entries
+
+    def get(self, line: int) -> LeaseEntry | None:
+        return self._entries.get(line)
+
+    def add(self, entry: LeaseEntry) -> None:
+        assert entry.line not in self._entries
+        self._entries[entry.line] = entry
+
+    def remove(self, line: int) -> LeaseEntry | None:
+        return self._entries.pop(line, None)
+
+    def oldest(self) -> LeaseEntry | None:
+        """Oldest entry in FIFO (insertion) order."""
+        if not self._entries:
+            return None
+        return next(iter(self._entries.values()))
+
+    def entries(self) -> list[LeaseEntry]:
+        """Snapshot of entries in FIFO order."""
+        return list(self._entries.values())
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.max_entries

@@ -1,0 +1,7 @@
+"""Simulated memory substrate: address arithmetic, allocator, backing store."""
+
+from .address import AddressMap
+from .allocator import Allocator
+from .memory import Memory
+
+__all__ = ["AddressMap", "Allocator", "Memory"]

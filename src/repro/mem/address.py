@@ -1,0 +1,51 @@
+"""Address / cache-line arithmetic.
+
+Simulated addresses are plain non-negative integers (byte addresses).  All
+simulated values occupy one 8-byte word; the coherence machinery operates at
+cache-line granularity.
+"""
+
+from __future__ import annotations
+
+from ..config import WORD_SIZE
+from ..errors import ConfigError
+
+
+class AddressMap:
+    """Maps byte addresses to cache lines and lines to home tiles."""
+
+    __slots__ = ("line_size", "_line_shift", "num_tiles")
+
+    def __init__(self, line_size: int, num_tiles: int) -> None:
+        if line_size <= 0 or line_size & (line_size - 1):
+            raise ConfigError("line_size must be a positive power of two")
+        if num_tiles <= 0:
+            raise ConfigError("num_tiles must be positive")
+        self.line_size = line_size
+        self._line_shift = line_size.bit_length() - 1
+        self.num_tiles = num_tiles
+
+    def line_of(self, addr: int) -> int:
+        """Cache-line index containing byte address ``addr``."""
+        return addr >> self._line_shift
+
+    def base_of_line(self, line: int) -> int:
+        """First byte address of cache line ``line``."""
+        return line << self._line_shift
+
+    def offset_in_line(self, addr: int) -> int:
+        return addr & (self.line_size - 1)
+
+    def same_line(self, a: int, b: int) -> bool:
+        return (a >> self._line_shift) == (b >> self._line_shift)
+
+    def home_tile(self, line: int) -> int:
+        """Home tile (directory slice / L2 slice) of a line.
+
+        Lines are interleaved across tiles, the standard static mapping in
+        tiled multicores (and Graphite's default).
+        """
+        return line % self.num_tiles
+
+    def words_per_line(self) -> int:
+        return self.line_size // WORD_SIZE

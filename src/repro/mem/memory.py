@@ -1,0 +1,68 @@
+"""Word-granularity backing store for simulated memory.
+
+Values are arbitrary Python objects (workloads mostly store integers and
+addresses).  The store is the single source of truth for data: caches track
+only *presence and coherence state* for timing and statistics, while reads
+and writes are applied to this store at the simulated instant the access
+completes.  Because the discrete-event engine serializes all events and the
+directory serializes ownership per line, this yields exact per-line
+sequential consistency and exact atomicity for read-modify-write
+instructions -- the properties the workloads rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from ..config import WORD_SIZE
+from ..errors import SimulationError
+
+
+class Memory:
+    """Sparse word-addressable memory: ``addr`` (byte address, 8-aligned)
+    -> value.  Unwritten words read as 0."""
+
+    __slots__ = ("_words",)
+
+    def __init__(self) -> None:
+        self._words: dict[int, Any] = {}
+
+    @staticmethod
+    def _check(addr: int) -> None:
+        if addr < 0 or addr % WORD_SIZE:
+            raise SimulationError(f"misaligned or negative address {addr:#x}")
+
+    def read(self, addr: int) -> Any:
+        self._check(addr)
+        return self._words.get(addr, 0)
+
+    def write(self, addr: int, value: Any) -> None:
+        self._check(addr)
+        self._words[addr] = value
+
+    def cas(self, addr: int, expected: Any, new: Any) -> bool:
+        """Atomic compare-and-swap, applied instantaneously."""
+        self._check(addr)
+        if self._words.get(addr, 0) == expected:
+            self._words[addr] = new
+            return True
+        return False
+
+    def fetch_add(self, addr: int, delta: Any) -> Any:
+        self._check(addr)
+        old = self._words.get(addr, 0)
+        self._words[addr] = old + delta
+        return old
+
+    def swap(self, addr: int, value: Any) -> Any:
+        self._check(addr)
+        old = self._words.get(addr, 0)
+        self._words[addr] = value
+        return old
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    def touched(self) -> Iterator[int]:
+        """Addresses that have been written at least once."""
+        return iter(self._words)

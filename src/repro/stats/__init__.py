@@ -1,0 +1,7 @@
+"""Statistics: event counters, energy model, run reports."""
+
+from .counters import Counters
+from .energy import EnergyModel
+from .report import RunResult
+
+__all__ = ["Counters", "EnergyModel", "RunResult"]

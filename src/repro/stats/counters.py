@@ -1,0 +1,87 @@
+"""Global event counters.
+
+One :class:`Counters` instance per machine.  Hot-path code increments plain
+integer attributes (cheapest possible bookkeeping); aggregation happens only
+in reports.  ``snapshot()``/``delta()`` support measurement windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class Counters:
+    # -- caches --------------------------------------------------------
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l1_evictions: int = 0
+    l1_eviction_overflows: int = 0   # all ways pinned; set over-filled
+    l2_accesses: int = 0
+    dram_accesses: int = 0
+
+    # -- coherence traffic ----------------------------------------------
+    messages: int = 0                # all coherence messages
+    data_messages: int = 0           # messages carrying a line payload
+    hops: int = 0                    # total mesh hops traversed
+    gets_requests: int = 0
+    getx_requests: int = 0
+    invalidations_sent: int = 0
+    downgrades_sent: int = 0
+    stale_probes: int = 0            # probe reached a core that evicted
+    writebacks: int = 0
+    mesi_silent_upgrades: int = 0    # E -> M on first write (MESI only)
+    dir_queued_requests: int = 0     # arrived while line transaction busy
+    dir_max_queue_depth: int = 0
+
+    # -- leases ----------------------------------------------------------
+    leases_requested: int = 0
+    leases_granted: int = 0
+    leases_noop_already_held: int = 0
+    releases_voluntary: int = 0
+    releases_involuntary: int = 0    # timer expiry
+    releases_broken_by_priority: int = 0  # regular request broke the lease
+    releases_fifo_eviction: int = 0  # lease table full, oldest evicted
+    probes_queued_at_core: int = 0
+    multilease_calls: int = 0
+    multilease_ignored: int = 0      # would exceed MAX_NUM_LEASES
+    leases_ignored_by_predictor: int = 0   # Section 5 speculative skip
+
+    # -- synchronization / workload -----------------------------------------
+    cas_attempts: int = 0
+    cas_failures: int = 0
+    lock_acquire_attempts: int = 0
+    lock_acquire_failures: int = 0
+    stm_commits: int = 0
+    stm_aborts: int = 0
+    ops_completed: int = 0           # data-structure operations (driver)
+
+    per_core_ops: dict[int, int] = field(default_factory=dict)
+
+    # -----------------------------------------------------------------------
+
+    def note_op(self, core_id: int) -> None:
+        """Record one completed data-structure operation by ``core_id``."""
+        self.ops_completed += 1
+        self.per_core_ops[core_id] = self.per_core_ops.get(core_id, 0) + 1
+
+    def snapshot(self) -> dict[str, int]:
+        """Copy of all scalar counters (for measurement windows)."""
+        out = {}
+        for f in fields(self):
+            v = getattr(self, f.name)
+            if isinstance(v, int):
+                out[f.name] = v
+        return out
+
+    def delta(self, since: dict[str, int]) -> dict[str, int]:
+        """Scalar counter increments since ``since`` (a snapshot)."""
+        now = self.snapshot()
+        return {k: now[k] - since.get(k, 0) for k in now}
+
+    def reset(self) -> None:
+        for f in fields(self):
+            v = getattr(self, f.name)
+            if isinstance(v, int):
+                setattr(self, f.name, 0)
+        self.per_core_ops.clear()

@@ -1,0 +1,65 @@
+"""Run result objects: the unit of output of every benchmark."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class RunResult:
+    """Summary of one simulated benchmark run.
+
+    All "per_op" figures are normalized by completed data-structure
+    operations; throughput is in operations per (simulated) second.
+    """
+
+    name: str
+    num_threads: int
+    cycles: int
+    ops: int
+    throughput_ops_per_sec: float
+    energy_nj_per_op: float
+    messages_per_op: float
+    l1_misses_per_op: float
+    cas_failure_rate: float
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def mops_per_sec(self) -> float:
+        return self.throughput_ops_per_sec / 1e6
+
+    def row(self) -> dict[str, Any]:
+        """Flat dict for tabular output."""
+        return {
+            "name": self.name,
+            "threads": self.num_threads,
+            "cycles": self.cycles,
+            "ops": self.ops,
+            "mops_per_sec": round(self.mops_per_sec, 4),
+            "nj_per_op": round(self.energy_nj_per_op, 2),
+            "msgs_per_op": round(self.messages_per_op, 2),
+            "l1_misses_per_op": round(self.l1_misses_per_op, 2),
+            "cas_fail_rate": round(self.cas_failure_rate, 4),
+            **self.extra,
+        }
+
+    def __str__(self) -> str:
+        r = self.row()
+        return " ".join(f"{k}={v}" for k, v in r.items())
+
+
+def format_table(rows: list[dict[str, Any]]) -> str:
+    """Render rows (same keys) as a fixed-width ASCII table."""
+    if not rows:
+        return "(no rows)"
+    keys = list(rows[0].keys())
+    widths = {k: max(len(str(k)), *(len(str(r.get(k, ""))) for r in rows))
+              for k in keys}
+    header = " | ".join(str(k).ljust(widths[k]) for k in keys)
+    sep = "-+-".join("-" * widths[k] for k in keys)
+    lines = [header, sep]
+    for r in rows:
+        lines.append(" | ".join(str(r.get(k, "")).ljust(widths[k])
+                                for k in keys))
+    return "\n".join(lines)

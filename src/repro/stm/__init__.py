@@ -1,0 +1,5 @@
+"""Transactional workloads: a TL2-style two-object STM benchmark."""
+
+from .tl2 import TL2Objects, TransactionStats
+
+__all__ = ["TL2Objects", "TransactionStats"]

@@ -1,0 +1,159 @@
+"""TL2-style transactional benchmark (Figure 4 right / Figure 5 left).
+
+Following Section 7: "transactions attempt to modify the values of two
+randomly chosen transactional objects out of a fixed set of ten, by
+acquiring locks on both.  If an acquisition fails, the transaction aborts
+and is retried."
+
+Each transactional object is one cache line holding ``[lock, version,
+value]`` -- the TL2 versioned-lock layout [11].  Lease variants:
+
+* ``lease='none'``   -- the base algorithm;
+* ``lease='single'`` -- lease only the first object's line (the paper's
+  "leasing just the lock associated to the first object" data point);
+* ``lease='multi'``  -- ``MultiLease`` both objects' lines before acquiring
+  (Algorithm 2 usage; hardware vs software emulation is selected by the
+  machine's ``lease.multilease_mode``).
+
+Lock acquisition is in draw order (not sorted), as in TL2 -- which is
+exactly why concurrent transactions abort; the MultiLease's own sorted
+acquisition is what removes the collisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+from ..config import WORD_SIZE
+from ..core.isa import (Lease, Load, MultiLease, Release, ReleaseAll, Store,
+                        TestAndSet, Work)
+from ..core.machine import Machine
+from ..core.thread import Ctx
+from ..sync.locks import SPIN_PAUSE
+
+LOCK_OFF = 0
+VERSION_OFF = WORD_SIZE
+VALUE_OFF = 2 * WORD_SIZE
+
+
+@dataclass
+class TransactionStats:
+    commits: int = 0
+    aborts: int = 0
+
+    @property
+    def abort_rate(self) -> float:
+        total = self.commits + self.aborts
+        return self.aborts / total if total else 0.0
+
+
+class TL2Objects:
+    """A fixed set of versioned-lock transactional objects."""
+
+    def __init__(self, machine: Machine, *, num_objects: int = 10,
+                 lease: str = "multi", txn_work: int = 60,
+                 single_lease_time: int = 400,
+                 multilease_time: int = 1 << 62) -> None:
+        if lease not in ("none", "single", "multi"):
+            raise ValueError(f"unknown lease variant {lease!r}")
+        self.machine = machine
+        self.lease = lease
+        self.txn_work = txn_work
+        #: The *single* lease is sized to the transaction length rather
+        #: than MAX_LEASE_TIME: the second object's lock acquisition is a
+        #: non-leasing access, so two transactions can transiently wait on
+        #: each other's leased first object; a short lease bounds that
+        #: stall.  (This is exactly why Lease takes a ``time`` argument.)
+        self.single_lease_time = single_lease_time
+        #: The MultiLease covers every line the transaction touches, so no
+        #: cross-waiting is possible (sorted acquisition) and the full
+        #: MAX_LEASE_TIME cap is the right choice.
+        self.multilease_time = multilease_time
+        self.num_objects = num_objects
+        self.objects = [machine.alloc.alloc_line()
+                        for _ in range(num_objects)]
+        for obj in self.objects:
+            machine.write_init(obj + LOCK_OFF, 0)
+            machine.write_init(obj + VERSION_OFF, 0)
+            machine.write_init(obj + VALUE_OFF, 0)
+
+    # -- one update transaction over two random objects --------------------
+
+    def _try_lock(self, ctx: Ctx, obj: int) -> Generator[Any, Any, bool]:
+        old = yield TestAndSet(obj + LOCK_OFF)
+        return old == 0
+
+    def _unlock(self, ctx: Ctx, obj: int) -> Generator:
+        yield Store(obj + LOCK_OFF, 0)
+
+    def run_transaction(self, ctx: Ctx) -> Generator[Any, Any, bool]:
+        """One attempt: returns True on commit, False on abort."""
+        counters = ctx.machine.counters
+        a, b = ctx.rng.sample(range(self.num_objects), 2)
+        obj_a, obj_b = self.objects[a], self.objects[b]
+        if self.lease == "multi":
+            yield MultiLease((obj_a, obj_b), self.multilease_time)
+        elif self.lease == "single":
+            yield Lease(obj_a, self.single_lease_time)
+        ok_a = yield from self._try_lock(ctx, obj_a)
+        if not ok_a:
+            counters.stm_aborts += 1
+            yield from self._drop_leases(obj_a, obj_b)
+            return False
+        ok_b = yield from self._try_lock(ctx, obj_b)
+        if not ok_b:
+            yield from self._unlock(ctx, obj_a)
+            counters.stm_aborts += 1
+            yield from self._drop_leases(obj_a, obj_b)
+            return False
+        # Both locks held: read, compute, write, bump versions (TL2 commit).
+        va = yield Load(obj_a + VALUE_OFF)
+        vb = yield Load(obj_b + VALUE_OFF)
+        if self.txn_work:
+            yield Work(self.txn_work)
+        yield Store(obj_a + VALUE_OFF, va + 1)
+        yield Store(obj_b + VALUE_OFF, vb + 1)
+        ver_a = yield Load(obj_a + VERSION_OFF)
+        ver_b = yield Load(obj_b + VERSION_OFF)
+        yield Store(obj_a + VERSION_OFF, ver_a + 1)
+        yield Store(obj_b + VERSION_OFF, ver_b + 1)
+        yield from self._unlock(ctx, obj_b)
+        yield from self._unlock(ctx, obj_a)
+        yield from self._drop_leases(obj_a, obj_b)
+        counters.stm_commits += 1
+        return True
+
+    def _drop_leases(self, obj_a: int, obj_b: int) -> Generator:
+        if self.lease == "multi":
+            yield ReleaseAll()
+        elif self.lease == "single":
+            yield Release(obj_a)
+
+    # -- invariants (tests) --------------------------------------------------
+
+    def total_value_direct(self) -> int:
+        """Sum of object values (== 2 * committed transactions)."""
+        return sum(self.machine.peek(obj + VALUE_OFF)
+                   for obj in self.objects)
+
+    def versions_direct(self) -> list[int]:
+        return [self.machine.peek(obj + VERSION_OFF)
+                for obj in self.objects]
+
+    # -- benchmark worker -------------------------------------------------
+
+    def txn_worker(self, ctx: Ctx, transactions: int,
+                   local_work: int = 20) -> Generator:
+        """Commit ``transactions`` transactions (retrying on abort)."""
+        for _ in range(transactions):
+            attempt = 0
+            while True:
+                ok = yield from self.run_transaction(ctx)
+                if ok:
+                    break
+                attempt += 1
+                yield Work(SPIN_PAUSE * min(attempt, 8))
+            if local_work:
+                yield Work(local_work)
+            ctx.machine.counters.note_op(ctx.core_id)

@@ -1,0 +1,26 @@
+"""The paper's workload data structures, written against the simulated ISA.
+
+Every operation is a generator subroutine (``yield from`` composition); the
+same code runs as the baseline when leases are disabled in the machine
+config, because the lease instructions become zero-cost no-ops -- mirroring
+how the paper adds leases to classic designs by "modifying just a few lines
+of code in the base implementation".
+"""
+
+from .counter import LockedCounter, AtomicCounter
+from .treiber import TreiberStack
+from .msqueue import MichaelScottQueue
+from .harris_list import HarrisList
+from .skiplist import LockFreeSkipList
+from .hashtable import LockedHashTable
+from .bst import LockedExternalBST
+from .priorityqueue import (GlobalLockPQ, LotanShavitPQ, PughLockPQ,
+                            SequentialSkipListPQ)
+from .multiqueue import MultiQueue
+
+__all__ = [
+    "LockedCounter", "AtomicCounter", "TreiberStack", "MichaelScottQueue",
+    "HarrisList", "LockFreeSkipList", "LockedHashTable", "LockedExternalBST",
+    "GlobalLockPQ", "PughLockPQ", "LotanShavitPQ", "SequentialSkipListPQ",
+    "MultiQueue",
+]

@@ -1,0 +1,108 @@
+"""Treiber's lock-free stack [41] with the Figure 1 lease placement.
+
+Node layout (one cache line each): ``[value, next]``.
+
+The lease is taken on the head pointer's line before the read and released
+right after the CAS, covering the read-CAS window so that the validation
+"is always successful, unless the lease on the corresponding line expires"
+(Section 1).  With leases disabled the identical code is the classic
+Treiber stack; an optional backoff policy turns it into the software
+contention-mitigation baseline of Section 7.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..config import WORD_SIZE
+from ..core.isa import CAS, Lease, Load, Release, Store, Work
+from ..core.machine import Machine
+from ..core.thread import Ctx
+
+VALUE_OFF = 0
+NEXT_OFF = WORD_SIZE
+
+#: "NULL" in simulated memory.
+NIL = 0
+
+
+class TreiberStack:
+    """Lock-free LIFO stack with a single head pointer."""
+
+    def __init__(self, machine: Machine, *, backoff=None,
+                 lease_time: int = 1 << 62) -> None:
+        self.machine = machine
+        self.head = machine.alloc_var(NIL)
+        self.backoff = backoff
+        self.lease_time = lease_time
+
+    # -- setup ------------------------------------------------------------
+
+    def prefill(self, values) -> None:
+        """Push ``values`` directly (no simulated traffic); call before run."""
+        for v in values:
+            node = self.machine.alloc.alloc_words(2)
+            self.machine.write_init(node + VALUE_OFF, v)
+            self.machine.write_init(node + NEXT_OFF,
+                                    self.machine.peek(self.head))
+            self.machine.write_init(self.head, node)
+
+    # -- operations (Figure 1) ---------------------------------------------
+
+    def push(self, ctx: Ctx, value: Any) -> Generator:
+        node = ctx.alloc_cached(2, [value, NIL])
+        attempt = 0
+        while True:
+            yield Lease(self.head, self.lease_time)
+            h = yield Load(self.head)
+            yield Store(node + NEXT_OFF, h)
+            ok = yield CAS(self.head, h, node)
+            yield Release(self.head)
+            if ok:
+                return
+            attempt += 1
+            if self.backoff is not None:
+                yield from self.backoff.wait(ctx, attempt)
+
+    def pop(self, ctx: Ctx) -> Generator[Any, Any, Any]:
+        """Pop and return the top value, or None if the stack is empty."""
+        attempt = 0
+        while True:
+            yield Lease(self.head, self.lease_time)
+            h = yield Load(self.head)
+            if h == NIL:
+                yield Release(self.head)
+                return None
+            nxt = yield Load(h + NEXT_OFF)
+            ok = yield CAS(self.head, h, nxt)
+            yield Release(self.head)
+            if ok:
+                return (yield Load(h + VALUE_OFF))
+            attempt += 1
+            if self.backoff is not None:
+                yield from self.backoff.wait(ctx, attempt)
+
+    # -- inspection (direct memory, for tests) -------------------------------
+
+    def drain_direct(self) -> list[Any]:
+        """Walk the stack in the backing store (no traffic); test helper."""
+        out = []
+        node = self.machine.peek(self.head)
+        while node != NIL:
+            out.append(self.machine.peek(node + VALUE_OFF))
+            node = self.machine.peek(node + NEXT_OFF)
+        return out
+
+    # -- benchmark worker -------------------------------------------------
+
+    def update_worker(self, ctx: Ctx, ops: int,
+                      local_work: int = 30) -> Generator:
+        """100%-update benchmark body: alternating push/pop pairs."""
+        for i in range(ops):
+            if i % 2 == 0:
+                yield from self.push(ctx, (ctx.tid << 32) | i)
+            else:
+                yield from self.pop(ctx)
+            if local_work:
+                yield Work(local_work)
+            ctx.machine.counters.note_op(ctx.core_id)

@@ -1,0 +1,11 @@
+"""Synchronization primitives: locks (with lease-aware usage) and backoff."""
+
+from .backoff import ExponentialBackoff, LinearBackoff, NoBackoff
+from .locks import (CLHLock, HTicketLock, TASLock, TTSLock, TicketLock,
+                    lease_lock_acquire, lease_lock_release)
+
+__all__ = [
+    "NoBackoff", "LinearBackoff", "ExponentialBackoff",
+    "TASLock", "TTSLock", "TicketLock", "CLHLock", "HTicketLock",
+    "lease_lock_acquire", "lease_lock_release",
+]

@@ -1,0 +1,237 @@
+"""Lock implementations on the simulated machine.
+
+All lock methods are generator subroutines invoked with ``yield from``
+inside thread bodies.  ``acquire`` returns an opaque token that must be
+passed back to ``release`` (the ticket and CLH locks need it; TAS/TTS
+ignore it).
+
+Lease usage for locks follows Section 6 ("Leases for TryLocks"): lease the
+lock's line *before* attempting acquisition, hold the lease for the whole
+critical section, and release the lease right after the unlock.  If the
+acquisition attempt fails, drop the lease immediately -- holding it would
+delay the lock owner (the Section 7 "improper use" pitfall).
+``lease_lock_acquire``/``lease_lock_release`` encode that pattern; with
+leases disabled in the machine config they degenerate to the plain
+spin-on-try-lock loop, which is exactly the baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..core.isa import (FetchAdd, Lease, Load, Release, Store, TestAndSet,
+                        Work, Swap)
+from ..core.thread import Ctx
+from ..core.machine import Machine
+
+#: Compute cycles modeling one spin-loop iteration's instruction overhead
+#: (keeps simulated spin loops from degenerating into per-cycle polling).
+SPIN_PAUSE = 8
+
+
+class TASLock:
+    """Test-and-set spin lock: one word, 0 = free, 1 = held."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.addr = machine.alloc_var(0)
+
+    def try_acquire(self, ctx: Ctx) -> Generator[Any, Any, bool]:
+        ctx.machine.counters.lock_acquire_attempts += 1
+        old = yield TestAndSet(self.addr)
+        if old == 0:
+            return True
+        ctx.machine.counters.lock_acquire_failures += 1
+        return False
+
+    def acquire(self, ctx: Ctx) -> Generator[Any, Any, Any]:
+        while True:
+            ok = yield from self.try_acquire(ctx)
+            if ok:
+                return None
+            yield Work(SPIN_PAUSE)
+
+    def release(self, ctx: Ctx, token: Any = None) -> Generator:
+        yield Store(self.addr, 0)
+
+
+class TTSLock:
+    """Test-and-test-and-set lock: spin reading, TAS only when free."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.addr = machine.alloc_var(0)
+
+    def try_acquire(self, ctx: Ctx) -> Generator[Any, Any, bool]:
+        ctx.machine.counters.lock_acquire_attempts += 1
+        v = yield Load(self.addr)
+        if v == 0:
+            old = yield TestAndSet(self.addr)
+            if old == 0:
+                return True
+        ctx.machine.counters.lock_acquire_failures += 1
+        return False
+
+    def acquire(self, ctx: Ctx) -> Generator[Any, Any, Any]:
+        while True:
+            v = yield Load(self.addr)
+            if v == 0:
+                ctx.machine.counters.lock_acquire_attempts += 1
+                old = yield TestAndSet(self.addr)
+                if old == 0:
+                    return None
+                ctx.machine.counters.lock_acquire_failures += 1
+            yield Work(SPIN_PAUSE)
+
+    def release(self, ctx: Ctx, token: Any = None) -> Generator:
+        yield Store(self.addr, 0)
+
+
+class TicketLock:
+    """Ticket lock with proportional (linear) backoff, the optimized
+    software lock baseline in Figure 3.
+
+    The ticket counter and the now-serving word live on distinct lines.
+    """
+
+    def __init__(self, machine: Machine, *, backoff_step: int = 48) -> None:
+        self.next_ticket = machine.alloc_var(0)
+        self.now_serving = machine.alloc_var(0)
+        self.backoff_step = backoff_step
+
+    def acquire(self, ctx: Ctx) -> Generator[Any, Any, int]:
+        ctx.machine.counters.lock_acquire_attempts += 1
+        my = yield FetchAdd(self.next_ticket, 1)
+        while True:
+            s = yield Load(self.now_serving)
+            if s == my:
+                return my
+            # Proportional backoff: wait longer the farther our turn is.
+            yield Work(max(SPIN_PAUSE, (my - s) * self.backoff_step))
+
+    def release(self, ctx: Ctx, token: int) -> Generator:
+        yield Store(self.now_serving, token + 1)
+
+
+class CLHLock:
+    """CLH queue lock [Craig; Magnusson-Landin-Hagersten]: spin on the
+    predecessor's queue node, O(1) coherence traffic per handoff.
+
+    Each acquisition swaps a fresh queue node into the tail and spins
+    locally on the predecessor's node (which migrates into the spinner's
+    cache once, then is invalidated exactly once on release).
+    """
+
+    def __init__(self, machine: Machine) -> None:
+        # Tail points at the most recent waiter's node; seed with a
+        # released ("unlocked") dummy node.
+        dummy = machine.alloc_var(0)      # node word: 1 = held, 0 = released
+        self.tail = machine.alloc_var(dummy)
+
+    def acquire(self, ctx: Ctx) -> Generator[Any, Any, int]:
+        ctx.machine.counters.lock_acquire_attempts += 1
+        my_node = ctx.alloc_cached(1, [1])
+        pred = yield Swap(self.tail, my_node)
+        while True:
+            v = yield Load(pred)
+            if v == 0:
+                return my_node
+            yield Work(SPIN_PAUSE)
+
+    def release(self, ctx: Ctx, token: int) -> Generator:
+        yield Store(token, 0)
+
+
+class HTicketLock:
+    """Hierarchical (cohort) ticket lock, after the hierarchical ticket
+    locks of ASCYLIB [8] / lock cohorting [10]: a per-cluster ticket lock
+    plus one global ticket lock.  The holder hands the global lock to a
+    same-cluster waiter when one exists (bounded by ``max_handoffs`` to
+    preserve long-term fairness), keeping the lock's cache lines within a
+    cluster and cutting cross-cluster transfers.
+
+    Clusters default to mesh rows (``cluster_size = mesh dimension``).
+    """
+
+    def __init__(self, machine: Machine, *, cluster_size: int | None = None,
+                 max_handoffs: int = 16, backoff_step: int = 48) -> None:
+        self.machine = machine
+        self.cluster_size = cluster_size or max(1, machine.config.mesh_dim)
+        n_clusters = (machine.config.num_cores + self.cluster_size - 1) \
+            // self.cluster_size
+        self.n_clusters = n_clusters
+        self.backoff_step = backoff_step
+        self.max_handoffs = max_handoffs
+        # Global ticket lock.
+        self.g_ticket = machine.alloc_var(0)
+        self.g_serving = machine.alloc_var(0)
+        # Per-cluster ticket locks + handoff state (padded arrays).
+        self.l_ticket = machine.alloc.alloc_array(n_clusters,
+                                                  one_per_line=True)
+        self.l_serving = machine.alloc.alloc_array(n_clusters,
+                                                   one_per_line=True)
+        #: handoff[c] = (passes_so_far + 1) while the global lock is being
+        #: handed within cluster c, else 0.
+        self.handoff = machine.alloc.alloc_array(n_clusters,
+                                                 one_per_line=True)
+        for addr in (*self.l_ticket, *self.l_serving, *self.handoff):
+            machine.write_init(addr, 0)
+
+    def _cluster(self, ctx: Ctx) -> int:
+        return ctx.core_id // self.cluster_size
+
+    def acquire(self, ctx: Ctx) -> Generator[Any, Any, tuple[int, int]]:
+        ctx.machine.counters.lock_acquire_attempts += 1
+        c = self._cluster(ctx)
+        my = yield FetchAdd(self.l_ticket[c], 1)
+        while True:                          # local ticket queue
+            s = yield Load(self.l_serving[c])
+            if s == my:
+                break
+            yield Work(max(SPIN_PAUSE, (my - s) * self.backoff_step))
+        passes = yield Load(self.handoff[c])
+        if passes > 0:
+            # The global lock was handed to us by a cluster predecessor.
+            return (c, my)
+        g = yield FetchAdd(self.g_ticket, 1)
+        while True:                          # global ticket queue
+            s = yield Load(self.g_serving)
+            if s == g:
+                return (c, my)
+            yield Work(max(SPIN_PAUSE, (g - s) * self.backoff_step))
+
+    def release(self, ctx: Ctx, token: tuple[int, int]) -> Generator:
+        c, my = token
+        waiters = yield Load(self.l_ticket[c])
+        passes = yield Load(self.handoff[c])
+        if waiters > my + 1 and passes < self.max_handoffs:
+            # Hand both locks to the next same-cluster waiter.
+            yield Store(self.handoff[c], passes + 1)
+            yield Store(self.l_serving[c], my + 1)
+            return
+        # Release globally, then locally.
+        yield Store(self.handoff[c], 0)
+        g = yield Load(self.g_serving)
+        yield Store(self.g_serving, g + 1)
+        yield Store(self.l_serving[c], my + 1)
+
+
+def lease_lock_acquire(ctx: Ctx, lock, *,
+                       lease_time: int = 1 << 62) -> Generator[Any, Any, Any]:
+    """Acquire ``lock`` (which must expose try_acquire) while leasing its
+    line; the lease is left held for the critical section.  With leases
+    disabled this is the plain try-lock spin loop (the baseline)."""
+    attempt = 0
+    while True:
+        yield Lease(lock.addr, lease_time)
+        ok = yield from lock.try_acquire(ctx)
+        if ok:
+            return None
+        # Drop the lease at once: holding it would delay the owner's unlock.
+        yield Release(lock.addr)
+        attempt += 1
+        yield Work(SPIN_PAUSE)
+
+
+def lease_lock_release(ctx: Ctx, lock, token: Any = None) -> Generator:
+    """Unlock and then release the lease taken by lease_lock_acquire."""
+    yield from lock.release(ctx, token)
+    yield Release(lock.addr)

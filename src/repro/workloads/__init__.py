@@ -1,0 +1,12 @@
+"""Benchmark workload drivers: one entry point per paper benchmark."""
+
+from .driver import (bench_counter, bench_hashtable, bench_harris_list,
+                     bench_bst, bench_skiplist, bench_multiqueue,
+                     bench_pagerank, bench_pq, bench_queue, bench_snapshot,
+                     bench_stack, bench_tl2)
+
+__all__ = [
+    "bench_stack", "bench_queue", "bench_counter", "bench_pq",
+    "bench_multiqueue", "bench_tl2", "bench_pagerank", "bench_snapshot",
+    "bench_harris_list", "bench_skiplist", "bench_hashtable", "bench_bst",
+]

@@ -1,0 +1,288 @@
+"""One driver function per benchmark in the paper's evaluation.
+
+Every driver builds a fresh :class:`~repro.core.machine.Machine` from a
+(possibly customized) config, constructs the structure under test, spawns
+one worker thread per core, runs to completion, and returns a
+:class:`~repro.stats.report.RunResult`.  All drivers are deterministic for
+a fixed seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any
+
+from ..config import MachineConfig
+from ..core.machine import Machine
+from ..stats import RunResult
+from ..structures import (GlobalLockPQ, HarrisList, LockFreeSkipList,
+                          LockedCounter, LockedExternalBST, LockedHashTable,
+                          LotanShavitPQ, MichaelScottQueue, MultiQueue,
+                          PughLockPQ, TreiberStack)
+from ..stm import TL2Objects
+from ..apps import PagerankApp, SnapshotRegion
+from ..sync.backoff import ExponentialBackoff
+
+
+def _config(num_threads: int, use_lease: bool,
+            base: MachineConfig | None = None, **lease_kw: Any
+            ) -> MachineConfig:
+    cfg = base or MachineConfig()
+    cfg = replace(cfg, num_cores=num_threads)
+    lease = replace(cfg.lease, enabled=use_lease, **lease_kw)
+    return replace(cfg, lease=lease)
+
+
+def _finish(m: Machine, name: str, **extra: Any) -> RunResult:
+    m.run()
+    k = m.counters
+    return m.result(name, extra={
+        "invol_releases": k.releases_involuntary,
+        "vol_releases": k.releases_voluntary,
+        **extra,
+    })
+
+
+# ---------------------------------------------------------------------------
+# Figure 2: Treiber stack, 100% updates
+# ---------------------------------------------------------------------------
+
+def bench_stack(num_threads: int, *, ops_per_thread: int = 60,
+                variant: str = "base", prefill: int = 128,
+                config: MachineConfig | None = None,
+                max_lease_time: int | None = None) -> RunResult:
+    """``variant``: 'base', 'lease', or 'backoff' (the software-optimized
+    comparison point of Section 7)."""
+    kw = {}
+    if max_lease_time is not None:
+        kw["max_lease_time"] = max_lease_time
+    cfg = _config(num_threads, variant == "lease", config, **kw)
+    m = Machine(cfg)
+    backoff = ExponentialBackoff() if variant == "backoff" else None
+    stack = TreiberStack(m, backoff=backoff)
+    stack.prefill(range(prefill))
+    for _ in range(num_threads):
+        m.add_thread(stack.update_worker, ops_per_thread)
+    return _finish(m, f"stack/{variant}")
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: Michael-Scott queue, 100% updates
+# ---------------------------------------------------------------------------
+
+def bench_queue(num_threads: int, *, ops_per_thread: int = 60,
+                variant: str = "base", prefill: int = 128,
+                config: MachineConfig | None = None) -> RunResult:
+    """``variant``: 'base', 'lease' (Algorithm 3), 'multilease' (tail +
+    next jointly), or 'backoff'."""
+    use_lease = variant in ("lease", "multilease")
+    cfg = _config(num_threads, use_lease, config)
+    m = Machine(cfg)
+    backoff = ExponentialBackoff() if variant == "backoff" else None
+    q = MichaelScottQueue(
+        m, variant="multi" if variant == "multilease" else "single",
+        backoff=backoff)
+    q.prefill(range(prefill))
+    for _ in range(num_threads):
+        m.add_thread(q.update_worker, ops_per_thread)
+    return _finish(m, f"queue/{variant}")
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: lock-based counter
+# ---------------------------------------------------------------------------
+
+def bench_counter(num_threads: int, *, ops_per_thread: int = 60,
+                  variant: str = "tts", use_lease: bool = False,
+                  misuse: bool = False,
+                  config: MachineConfig | None = None,
+                  max_lease_time: int | None = None) -> RunResult:
+    """``variant``: lock kind ('tts', 'ticket', 'clh'); ``use_lease``
+    applies the Section 6 lease pattern (only meaningful for 'tts')."""
+    kw = {}
+    if max_lease_time is not None:
+        kw["max_lease_time"] = max_lease_time
+    cfg = _config(num_threads, use_lease, config, **kw)
+    m = Machine(cfg)
+    counter = LockedCounter(m, lock=variant, misuse=misuse)
+    for _ in range(num_threads):
+        m.add_thread(counter.update_worker, ops_per_thread)
+    res = _finish(m, f"counter/{variant}{'+lease' if use_lease else ''}")
+    expected = num_threads * ops_per_thread
+    actual = m.peek(counter.value_addr)
+    if actual != expected:
+        raise AssertionError(
+            f"counter lost updates: {actual} != {expected}")
+    return res
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: skiplist-based priority queue
+# ---------------------------------------------------------------------------
+
+def bench_pq(num_threads: int, *, ops_per_thread: int = 40,
+             variant: str = "pugh", prefill: int = 1024,
+             config: MachineConfig | None = None) -> RunResult:
+    """``variant``: 'pugh' (fine-grained-lock baseline), 'lotan' (the
+    literal Lotan-Shavit logical-deletion algorithm), 'globallock' (global
+    lock, no leases), or 'lease' (global lock + leases)."""
+    cfg = _config(num_threads, variant == "lease", config)
+    m = Machine(cfg)
+    if variant == "pugh":
+        pq = PughLockPQ(m)
+    elif variant == "lotan":
+        pq = LotanShavitPQ(m)
+    else:
+        pq = GlobalLockPQ(m)
+    pq.prefill(range(0, 2 * prefill, 2))
+    for _ in range(num_threads):
+        m.add_thread(pq.update_worker, ops_per_thread)
+    return _finish(m, f"pq/{variant}")
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: MultiQueues
+# ---------------------------------------------------------------------------
+
+def bench_multiqueue(num_threads: int, *, ops_per_thread: int = 40,
+                     num_queues: int = 8, use_lease: bool = False,
+                     prefill: int = 1024,
+                     config: MachineConfig | None = None) -> RunResult:
+    """MultiQueues (Figure 4a): alternating insert/deleteMin over
+    ``num_queues`` heaps, with the Algorithm 4 lease placement."""
+    cfg = _config(num_threads, use_lease, config)
+    m = Machine(cfg)
+    mq = MultiQueue(m, num_queues=num_queues)
+    mq.prefill(range(0, 2 * prefill, 2))
+    for _ in range(num_threads):
+        m.add_thread(mq.update_worker, ops_per_thread)
+    return _finish(m, f"multiqueue/{'lease' if use_lease else 'base'}")
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 / 5: TL2 transactions
+# ---------------------------------------------------------------------------
+
+def bench_tl2(num_threads: int, *, txns_per_thread: int = 30,
+              variant: str = "none", num_objects: int = 10,
+              multilease_mode: str = "hardware",
+              config: MachineConfig | None = None) -> RunResult:
+    """``variant``: 'none', 'single' (first object only), 'multi'."""
+    cfg = _config(num_threads, variant != "none", config,
+                  multilease_mode=multilease_mode)
+    m = Machine(cfg)
+    tl2 = TL2Objects(m, num_objects=num_objects, lease=variant)
+    for _ in range(num_threads):
+        m.add_thread(tl2.txn_worker, txns_per_thread)
+    res = _finish(m, f"tl2/{variant}/{multilease_mode}")
+    k = m.counters
+    res.extra["abort_rate"] = round(
+        k.stm_aborts / max(1, k.stm_aborts + k.stm_commits), 4)
+    expected = 2 * num_threads * txns_per_thread
+    if tl2.total_value_direct() != expected:
+        raise AssertionError("TL2 lost committed updates")
+    return res
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: lock-based Pagerank
+# ---------------------------------------------------------------------------
+
+def bench_pagerank(num_threads: int, *, num_pages: int = 128,
+                   iterations: int = 2, use_lease: bool = False,
+                   config: MachineConfig | None = None) -> RunResult:
+    """Lock-based Pagerank (Figure 5 right): the contended dangling-mass
+    lock is leased when ``use_lease`` is set."""
+    cfg = _config(num_threads, use_lease, config)
+    m = Machine(cfg)
+    app = PagerankApp(m, num_pages=num_pages, num_threads=num_threads,
+                      iterations=iterations)
+    for tid in range(num_threads):
+        m.add_thread(app.worker, tid)
+    return _finish(m, f"pagerank/{'lease' if use_lease else 'base'}")
+
+
+# ---------------------------------------------------------------------------
+# Section 5: cheap snapshots
+# ---------------------------------------------------------------------------
+
+def bench_snapshot(num_threads: int, *, ops_per_thread: int = 15,
+                   num_words: int = 6, writer_work: int = 150,
+                   use_lease: bool = False,
+                   config: MachineConfig | None = None) -> RunResult:
+    """Half the threads write, half snapshot (lease-based vs
+    double-collect).  Leases stay enabled in the machine either way; the
+    flag selects the snapshot algorithm.  Prioritization must be off for
+    this pattern: with it, every writer store would break the snapshot's
+    leases and force a retry."""
+    cfg = _config(num_threads, True, config,
+                  prioritize_regular_requests=False)
+    m = Machine(cfg)
+    sr = SnapshotRegion(m, num_words)
+    # One snapshotter vs an open-loop write load: cycles then measure the
+    # time to complete ``ops_per_thread`` snapshots under interference.
+    for _ in range(num_threads - 1):
+        m.add_thread(sr.writer_worker, None, writer_work)
+    m.add_thread(sr.snapshot_worker, ops_per_thread, use_lease=use_lease,
+                 local_work=10, stop_when_done=True)
+    res = _finish(m, f"snapshot/{'lease' if use_lease else 'collect'}")
+    res.extra["snapshot_retries"] = sr.retries
+    return res
+
+
+# ---------------------------------------------------------------------------
+# Section 7 low-contention structures (20% updates, 80% searches)
+# ---------------------------------------------------------------------------
+
+def _bench_search_structure(cls, name: str, num_threads: int,
+                            ops_per_thread: int, key_range: int,
+                            update_pct: int, use_lease: bool,
+                            config: MachineConfig | None,
+                            **cls_kw: Any) -> RunResult:
+    cfg = _config(num_threads, use_lease, config)
+    m = Machine(cfg)
+    s = cls(m, **cls_kw)
+    s.prefill(range(0, key_range, 2))
+    for _ in range(num_threads):
+        m.add_thread(s.mixed_worker, ops_per_thread, key_range, update_pct)
+    return _finish(m, f"{name}/{'lease' if use_lease else 'base'}")
+
+
+def bench_harris_list(num_threads: int, *, ops_per_thread: int = 40,
+                      key_range: int = 128, update_pct: int = 20,
+                      use_lease: bool = False,
+                      config: MachineConfig | None = None) -> RunResult:
+    """Harris lock-free list at 20% updates (Section 7 low contention)."""
+    return _bench_search_structure(HarrisList, "list", num_threads,
+                                   ops_per_thread, key_range, update_pct,
+                                   use_lease, config)
+
+
+def bench_skiplist(num_threads: int, *, ops_per_thread: int = 40,
+                   key_range: int = 512, update_pct: int = 20,
+                   use_lease: bool = False,
+                   config: MachineConfig | None = None) -> RunResult:
+    """Lock-free skiplist at 20% updates (Section 7 low contention)."""
+    return _bench_search_structure(LockFreeSkipList, "skiplist", num_threads,
+                                   ops_per_thread, key_range, update_pct,
+                                   use_lease, config)
+
+
+def bench_hashtable(num_threads: int, *, ops_per_thread: int = 40,
+                    key_range: int = 512, update_pct: int = 20,
+                    use_lease: bool = False,
+                    config: MachineConfig | None = None) -> RunResult:
+    """Lock-striped hash table at 20% updates (Section 7 low contention)."""
+    return _bench_search_structure(LockedHashTable, "hashtable", num_threads,
+                                   ops_per_thread, key_range, update_pct,
+                                   use_lease, config)
+
+
+def bench_bst(num_threads: int, *, ops_per_thread: int = 40,
+              key_range: int = 512, update_pct: int = 20,
+              use_lease: bool = False,
+              config: MachineConfig | None = None) -> RunResult:
+    """External BST at 20% updates (Section 7 low contention)."""
+    return _bench_search_structure(LockedExternalBST, "bst", num_threads,
+                                   ops_per_thread, key_range, update_pct,
+                                   use_lease, config)

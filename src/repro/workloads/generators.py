@@ -1,0 +1,67 @@
+"""Key-distribution generators for workload drivers.
+
+The paper's low-contention experiments use *uniform random keys*; a bounded
+Zipf option is provided to explore skew (skewed keys concentrate traffic on
+a few nodes and re-introduce contention, which is a useful knob when
+studying where leases start to matter in search structures).
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from typing import Iterator
+
+
+class UniformKeys:
+    """Uniform keys over ``range(key_range)``."""
+
+    def __init__(self, key_range: int) -> None:
+        if key_range <= 0:
+            raise ValueError("key_range must be positive")
+        self.key_range = key_range
+
+    def sample(self, rng: random.Random) -> int:
+        return rng.randrange(self.key_range)
+
+
+class ZipfKeys:
+    """Bounded Zipf(s) keys over ``range(key_range)`` via inverse-CDF.
+
+    ``s=0`` degenerates to uniform; larger ``s`` concentrates probability
+    on small keys.  The CDF is precomputed once, so sampling is
+    O(log key_range).
+    """
+
+    def __init__(self, key_range: int, s: float = 1.0) -> None:
+        if key_range <= 0:
+            raise ValueError("key_range must be positive")
+        if s < 0:
+            raise ValueError("zipf exponent must be >= 0")
+        self.key_range = key_range
+        self.s = s
+        weights = [1.0 / (k + 1) ** s for k in range(key_range)]
+        total = sum(weights)
+        self._cdf = list(itertools.accumulate(w / total for w in weights))
+        self._cdf[-1] = 1.0   # guard against float drift
+
+    def sample(self, rng: random.Random) -> int:
+        return bisect.bisect_left(self._cdf, rng.random())
+
+
+def op_mix(rng: random.Random, update_pct: int) -> str:
+    """Draw one operation from the paper's mix: ``update_pct``/2 inserts,
+    ``update_pct``/2 deletes, the rest searches."""
+    roll = rng.randrange(100)
+    if roll < update_pct // 2:
+        return "insert"
+    if roll < update_pct:
+        return "delete"
+    return "contains"
+
+
+def key_stream(dist, rng: random.Random) -> Iterator[int]:
+    """Infinite stream of keys from a distribution."""
+    while True:
+        yield dist.sample(rng)

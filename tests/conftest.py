@@ -1,0 +1,30 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Machine, MachineConfig, LeaseConfig
+
+
+def make_machine(num_cores: int = 4, *, leases: bool = True,
+                 seed: int = 1, **lease_kw) -> Machine:
+    """A small machine with sane test defaults."""
+    cfg = MachineConfig(
+        num_cores=num_cores,
+        lease=LeaseConfig(enabled=leases, **lease_kw),
+        seed=seed,
+        max_events=20_000_000,
+        max_cycles=200_000_000,
+    )
+    return Machine(cfg)
+
+
+@pytest.fixture
+def machine() -> Machine:
+    return make_machine()
+
+
+@pytest.fixture
+def machine1() -> Machine:
+    return make_machine(1)

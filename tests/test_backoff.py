@@ -1,0 +1,57 @@
+"""Backoff policies."""
+
+from conftest import make_machine
+
+from repro.sync import ExponentialBackoff, LinearBackoff, NoBackoff
+
+
+def run_waits(m, policy, attempts):
+    """Execute policy.wait for each attempt; returns elapsed cycles."""
+    marks = []
+
+    def body(ctx):
+        for attempt in attempts:
+            start = ctx.machine.now
+            yield from policy.wait(ctx, attempt)
+            marks.append(ctx.machine.now - start)
+
+    m.add_thread(body)
+    m.run()
+    return marks
+
+
+def test_no_backoff_zero_delay():
+    m = make_machine(1)
+    assert run_waits(m, NoBackoff(), [1, 5, 10]) == [0, 0, 0]
+
+
+def test_linear_backoff_proportional():
+    m = make_machine(1)
+    waits = run_waits(m, LinearBackoff(step=10, cap=1000), [1, 2, 5])
+    assert waits == [10, 20, 50]
+
+
+def test_linear_backoff_caps():
+    m = make_machine(1)
+    waits = run_waits(m, LinearBackoff(step=10, cap=35), [100])
+    assert waits == [35]
+
+
+def test_linear_backoff_zero_attempt_no_yield():
+    m = make_machine(1)
+    assert run_waits(m, LinearBackoff(step=10), [0]) == [0]
+
+
+def test_exponential_backoff_grows_and_caps():
+    m = make_machine(1)
+    policy = ExponentialBackoff(min_delay=16, max_delay=256)
+    waits = run_waits(m, policy, list(range(12)))
+    assert all(16 <= w <= 256 for w in waits)
+
+
+def test_exponential_backoff_deterministic_per_thread_rng():
+    def collect():
+        m = make_machine(1, seed=5)
+        return run_waits(m, ExponentialBackoff(), [1, 2, 3, 4])
+
+    assert collect() == collect()

@@ -1,0 +1,125 @@
+"""L1 cache model: LRU, state transitions, pinning, over-fill."""
+
+import pytest
+
+from repro.coherence import L1Cache
+from repro.coherence.states import LineState
+from repro.errors import ProtocolError
+from repro.stats import Counters
+
+
+def make_cache(num_sets=2, assoc=2):
+    return L1Cache(num_sets, assoc, Counters())
+
+
+def test_initially_invalid():
+    c = make_cache()
+    assert c.state_of(0) == LineState.I
+
+
+def test_fill_and_state():
+    c = make_cache()
+    assert c.fill(0, LineState.S) is None
+    assert c.state_of(0) == LineState.S
+
+
+def test_fill_upgrade_in_place():
+    c = make_cache()
+    c.fill(0, LineState.S)
+    assert c.fill(0, LineState.M) is None
+    assert c.state_of(0) == LineState.M
+
+
+def test_lru_eviction_order():
+    c = make_cache(num_sets=1, assoc=2)
+    c.fill(0, LineState.S)
+    c.fill(1, LineState.S)
+    c.touch(0)                      # 1 becomes LRU
+    victim = c.fill(2, LineState.S)
+    assert victim == (1, LineState.S)
+    assert c.state_of(1) == LineState.I
+
+
+def test_eviction_reports_dirty_state():
+    c = make_cache(num_sets=1, assoc=1)
+    c.fill(0, LineState.M)
+    victim = c.fill(1, LineState.S)
+    assert victim == (0, LineState.M)
+
+
+def test_lines_map_to_sets():
+    c = make_cache(num_sets=2, assoc=1)
+    c.fill(0, LineState.S)          # set 0
+    c.fill(1, LineState.S)          # set 1 -- no eviction
+    assert c.state_of(0) == LineState.S
+    assert c.state_of(1) == LineState.S
+
+
+def test_pinned_lines_survive_eviction():
+    c = make_cache(num_sets=1, assoc=2)
+    c.fill(0, LineState.M)
+    c.pin(0)
+    c.fill(2, LineState.S)
+    victim = c.fill(4, LineState.S)   # must evict 2, not pinned 0
+    assert victim == (2, LineState.S)
+    assert c.state_of(0) == LineState.M
+
+
+def test_all_pinned_overfills():
+    k = Counters()
+    c = L1Cache(1, 2, k)
+    c.fill(0, LineState.M)
+    c.fill(2, LineState.M)
+    c.pin(0)
+    c.pin(2)
+    victim = c.fill(4, LineState.S)
+    assert victim is None
+    assert k.l1_eviction_overflows == 1
+    assert c.state_of(0) == LineState.M
+    assert c.state_of(2) == LineState.M
+    assert c.state_of(4) == LineState.S
+
+
+def test_invalidate_clears_pin():
+    c = make_cache()
+    c.fill(0, LineState.M)
+    c.pin(0)
+    c.invalidate(0)
+    assert not c.is_pinned(0)
+    assert c.state_of(0) == LineState.I
+
+
+def test_set_state_downgrade():
+    c = make_cache()
+    c.fill(0, LineState.M)
+    c.set_state(0, LineState.S)
+    assert c.state_of(0) == LineState.S
+
+
+def test_set_state_on_absent_line_rejected():
+    c = make_cache()
+    with pytest.raises(ProtocolError):
+        c.set_state(0, LineState.S)
+
+
+def test_set_state_to_invalid_rejected():
+    c = make_cache()
+    c.fill(0, LineState.S)
+    with pytest.raises(ProtocolError):
+        c.set_state(0, LineState.I)
+
+
+def test_eviction_counter():
+    k = Counters()
+    c = L1Cache(1, 1, k)
+    c.fill(0, LineState.S)
+    c.fill(1, LineState.S)
+    c.fill(2, LineState.S)
+    assert k.l1_evictions == 2
+
+
+def test_resident_lines():
+    c = make_cache()
+    c.fill(0, LineState.S)
+    c.fill(1, LineState.M)
+    assert set(c.resident_lines()) == {0, 1}

@@ -1,0 +1,49 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig2_stack" in out
+    assert "fig5_pagerank" in out
+    assert "paper:" in out
+
+
+def test_config_command(capsys):
+    assert main(["config"]) == 0
+    out = capsys.readouterr().out
+    assert "32 KB" in out
+    assert "MSI" in out
+    assert "20000 cycles" in out
+
+
+def test_run_command_small(capsys):
+    rc = main(["run", "fig2_stack", "--threads", "2",
+               "--metric", "mops_per_sec"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "base" in out and "lease" in out
+    assert "t=2" in out
+
+
+def test_run_unknown_experiment(capsys):
+    assert main(["run", "not_an_experiment"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_run_energy_metric_only(capsys):
+    rc = main(["run", "fig2_stack", "--threads", "2",
+               "--metric", "nj_per_op"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "energy" in out
+    assert "Mops/s" not in out      # throughput table suppressed

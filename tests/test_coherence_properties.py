@@ -1,0 +1,121 @@
+"""Property-based stress tests: random workloads must always terminate,
+preserve per-line sequential consistency for atomics, and leave the
+directory and L1 tags in agreement."""
+
+from hypothesis import given, settings, strategies as st
+
+from conftest import make_machine
+
+from repro import CAS, FetchAdd, Lease, Load, MultiLease, Release, \
+    ReleaseAll, Store, Work
+
+
+op_strategy = st.sampled_from(["load", "store", "cas", "faa", "lease",
+                               "release", "work"])
+
+
+@given(
+    num_threads=st.integers(2, 6),
+    num_vars=st.integers(1, 4),
+    script=st.lists(st.tuples(op_strategy, st.integers(0, 3),
+                              st.integers(1, 50)),
+                    min_size=1, max_size=40),
+    leases=st.booleans(),
+    prio=st.booleans(),
+    seed=st.integers(0, 5),
+)
+@settings(max_examples=40, deadline=None)
+def test_random_workloads_terminate_consistently(num_threads, num_vars,
+                                                 script, leases, prio, seed):
+    m = make_machine(num_threads, leases=leases, seed=seed,
+                     prioritize_regular_requests=prio, max_lease_time=500)
+    addrs = [m.alloc_var(0) for _ in range(num_vars)]
+
+    def body(ctx):
+        for op, var, arg in script:
+            a = addrs[var % num_vars]
+            if op == "load":
+                yield Load(a)
+            elif op == "store":
+                yield Store(a, arg)
+            elif op == "cas":
+                v = yield Load(a)
+                yield CAS(a, v, arg)
+            elif op == "faa":
+                yield FetchAdd(a, 1)
+            elif op == "lease":
+                yield Lease(a, arg * 10)
+            elif op == "release":
+                yield Release(a)
+            else:
+                yield Work(arg)
+        yield ReleaseAll()
+
+    for _ in range(num_threads):
+        m.add_thread(body)
+    m.run()
+    m.check_coherence_invariants()
+    # FetchAdds are atomic: total increments must be exact.
+    faa_count = sum(1 for op, _, _ in script if op == "faa")
+    if all(op not in ("store", "cas") for op, _, _ in script):
+        total = sum(m.peek(a) for a in addrs)
+        assert total == faa_count * num_threads
+
+
+@given(
+    num_threads=st.integers(2, 5),
+    groups=st.lists(st.tuples(st.integers(0, 4), st.integers(0, 4)),
+                    min_size=1, max_size=10),
+    mode=st.sampled_from(["hardware", "software"]),
+    seed=st.integers(0, 3),
+)
+@settings(max_examples=25, deadline=None)
+def test_random_multilease_patterns_never_deadlock(num_threads, groups,
+                                                   mode, seed):
+    """Proposition 3 under random group shapes: the run always completes
+    and jointly-leased increments are never lost."""
+    m = make_machine(num_threads, leases=True, seed=seed,
+                     multilease_mode=mode,
+                     prioritize_regular_requests=False)
+    addrs = [m.alloc_var(0) for _ in range(5)]
+
+    def body(ctx):
+        for x, y in groups:
+            pair = (addrs[x], addrs[y])
+            yield MultiLease(pair, 20_000)
+            vx = yield Load(addrs[x])
+            yield Store(addrs[x], vx + 1)
+            yield ReleaseAll()
+
+    for _ in range(num_threads):
+        m.add_thread(body)
+    m.run()
+    m.check_coherence_invariants()
+    assert sum(m.peek(a) for a in addrs) == num_threads * len(groups)
+
+
+@given(seed=st.integers(0, 20))
+@settings(max_examples=20, deadline=None)
+def test_lease_never_changes_results_only_timing(seed):
+    """For a deterministic workload, leases must not change computed
+    values -- only cycle counts and traffic."""
+    outcomes = []
+    for leases in (False, True):
+        m = make_machine(4, leases=leases, seed=seed)
+        addr = m.alloc_var(0)
+
+        def body(ctx):
+            for _ in range(15):
+                while True:
+                    yield Lease(addr, 20_000)
+                    v = yield Load(addr)
+                    ok = yield CAS(addr, v, v + 1)
+                    yield Release(addr)
+                    if ok:
+                        break
+
+        for _ in range(4):
+            m.add_thread(body)
+        m.run()
+        outcomes.append(m.peek(addr))
+    assert outcomes[0] == outcomes[1] == 60

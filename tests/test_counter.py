@@ -1,0 +1,94 @@
+"""Lock-based counter workload: no lost updates under every lock kind,
+lease pattern, and the deliberate-misuse ablation."""
+
+import pytest
+
+from conftest import make_machine
+
+from repro.structures import AtomicCounter, LockedCounter
+
+
+@pytest.mark.parametrize("lock", ["tts", "ticket", "clh"])
+@pytest.mark.parametrize("leases", [False, True])
+def test_no_lost_updates(lock, leases):
+    m = make_machine(4, leases=leases)
+    c = LockedCounter(m, lock=lock)
+    for _ in range(4):
+        m.add_thread(c.update_worker, 15)
+    m.run()
+    m.check_coherence_invariants()
+    assert m.peek(c.value_addr) == 60
+    assert m.counters.ops_completed == 60
+
+
+def test_unknown_lock_rejected():
+    with pytest.raises(ValueError):
+        LockedCounter(make_machine(1), lock="quantum")
+
+
+def test_increment_returns_previous_value():
+    m = make_machine(1)
+    c = LockedCounter(m)
+    out = []
+
+    def body(ctx):
+        out.append((yield from c.increment(ctx)))
+        out.append((yield from c.increment(ctx)))
+        out.append((yield from c.read(ctx)))
+
+    m.add_thread(body)
+    m.run()
+    assert out == [0, 1, 2]
+
+
+def test_atomic_counter():
+    m = make_machine(4)
+    c = AtomicCounter(m)
+    for _ in range(4):
+        m.add_thread(c.update_worker, 20)
+    m.run()
+    assert m.peek(c.value_addr) == 80
+
+
+class TestMisuse:
+    """Section 7 'Observations and Limitations': keeping the lease on a
+    lock owned by another thread delays the owner's unlock."""
+
+    def test_misuse_is_correct_but_slow_without_prioritization(self):
+        def run(misuse):
+            m = make_machine(4, leases=True,
+                             prioritize_regular_requests=False,
+                             max_lease_time=2_000)
+            c = LockedCounter(m, misuse=misuse)
+            for _ in range(4):
+                m.add_thread(c.update_worker, 8)
+            cycles = m.run()
+            assert m.peek(c.value_addr) == 32
+            return cycles
+
+        proper = run(False)
+        misused = run(True)
+        assert misused > proper * 2    # clear slowdown
+
+    def test_prioritization_mitigates_misuse(self):
+        def run(prio):
+            m = make_machine(4, leases=True,
+                             prioritize_regular_requests=prio,
+                             max_lease_time=2_000)
+            c = LockedCounter(m, misuse=True)
+            for _ in range(4):
+                m.add_thread(c.update_worker, 8)
+            cycles = m.run()
+            assert m.peek(c.value_addr) == 32
+            return cycles
+
+        assert run(True) < run(False)
+
+    def test_misuse_still_linearizable(self):
+        m = make_machine(8, leases=True)
+        c = LockedCounter(m, misuse=True)
+        for _ in range(8):
+            m.add_thread(c.update_worker, 6)
+        m.run()
+        m.check_coherence_invariants()
+        assert m.peek(c.value_addr) == 48

@@ -1,0 +1,186 @@
+"""Edge cases across the workload layer: empty structures, sentinel
+boundaries, degenerate configurations."""
+
+import pytest
+
+from conftest import make_machine
+
+from repro import Load, Work
+from repro.structures import (HarrisList, LockFreeSkipList,
+                              LockedExternalBST, LockedHashTable,
+                              MichaelScottQueue, MultiQueue, TreiberStack)
+from repro.structures.multiqueue import SequentialBinaryHeap
+
+
+def run_one(m, body):
+    out = []
+
+    def wrapper(ctx):
+        out.append((yield from body(ctx)))
+
+    m.add_thread(wrapper)
+    m.run()
+    return out[0]
+
+
+class TestEmptyStructures:
+    def test_empty_stack_pops_none_repeatedly(self, machine1):
+        s = TreiberStack(machine1)
+
+        def body(ctx):
+            a = yield from s.pop(ctx)
+            b = yield from s.pop(ctx)
+            return (a, b)
+
+        assert run_one(machine1, body) == (None, None)
+
+    def test_empty_queue(self, machine1):
+        q = MichaelScottQueue(machine1)
+
+        def body(ctx):
+            return (yield from q.dequeue(ctx))
+
+        assert run_one(machine1, body) is None
+        assert q.drain_direct() == []
+
+    def test_empty_multiqueue_delete_min(self):
+        m = make_machine(2)
+        mq = MultiQueue(m, num_queues=2)
+
+        def body(ctx):
+            return (yield from mq.delete_min(ctx))
+
+        assert run_one(m, body) is None
+
+    def test_empty_search_structures(self, machine1):
+        for cls in (HarrisList, LockFreeSkipList, LockedHashTable,
+                    LockedExternalBST):
+            m = make_machine(1)
+            s = cls(m)
+
+            def body(ctx, s=s):
+                a = yield from s.contains(ctx, 5)
+                b = yield from s.delete(ctx, 5)
+                return (a, b)
+
+            assert run_one(m, body) == (False, False)
+            assert s.keys_direct() == []
+
+
+class TestBoundaries:
+    def test_list_extreme_keys(self, machine1):
+        """Keys at the ends never collide with the +/-inf sentinels."""
+        s = HarrisList(machine1)
+
+        def body(ctx):
+            yield from s.insert(ctx, -10**9)
+            yield from s.insert(ctx, 10**9)
+            a = yield from s.contains(ctx, -10**9)
+            b = yield from s.contains(ctx, 10**9)
+            return (a, b)
+
+        assert run_one(machine1, body) == (True, True)
+        assert s.keys_direct() == [-10**9, 10**9]
+
+    def test_skiplist_single_element_churn(self, machine1):
+        s = LockFreeSkipList(machine1)
+
+        def body(ctx):
+            for _ in range(5):
+                assert (yield from s.insert(ctx, 1))
+                assert (yield from s.delete(ctx, 1))
+            return True
+
+        assert run_one(machine1, body)
+        assert s.keys_direct() == []
+
+    def test_bst_reinsert_after_delete(self, machine1):
+        s = LockedExternalBST(machine1)
+
+        def body(ctx):
+            yield from s.insert(ctx, 5)
+            yield from s.insert(ctx, 3)
+            yield from s.delete(ctx, 5)
+            ok = yield from s.insert(ctx, 5)
+            return ok
+
+        assert run_one(machine1, body)
+        assert s.keys_direct() == [3, 5]
+
+    def test_heap_duplicate_keys(self, machine1):
+        h = SequentialBinaryHeap(machine1, capacity=16)
+
+        def body(ctx):
+            for k in (2, 2, 1, 2, 1):
+                yield from h.insert(ctx, k)
+            out = []
+            for _ in range(5):
+                out.append((yield from h.delete_min(ctx)))
+            return out
+
+        assert run_one(machine1, body) == [1, 1, 2, 2, 2]
+
+
+class TestDegenerateConfigs:
+    def test_single_core_machine_runs_everything(self):
+        m = make_machine(1)
+        s = TreiberStack(m)
+        m.add_thread(s.update_worker, 10)
+        m.run()
+        assert m.counters.ops_completed == 10
+
+    def test_max_num_leases_one(self):
+        """MAX_NUM_LEASES=1: every new lease evicts the previous one."""
+        m = make_machine(1, max_num_leases=1)
+        a, b = m.alloc_var(0), m.alloc_var(0)
+        from repro import Lease, Release
+
+        def body(ctx):
+            yield Lease(a, 10_000)
+            yield Lease(b, 10_000)
+            va = yield Release(a)      # already auto-released
+            vb = yield Release(b)
+            return (va, vb)
+
+        out = []
+
+        def wrapper(ctx):
+            out.append((yield from body(ctx)))
+
+        m.add_thread(wrapper)
+        m.run()
+        assert out[0] == (False, True)
+        assert m.counters.releases_fifo_eviction == 1
+
+    def test_two_core_mesh(self):
+        """Smallest multi-tile machine: home tiles alternate."""
+        m = make_machine(2)
+        lines = [m.amap.home_tile(i) for i in range(4)]
+        assert lines == [0, 1, 0, 1]
+
+    def test_queue_with_zero_prefill_concurrent(self):
+        m = make_machine(4, prioritize_regular_requests=False)
+        q = MichaelScottQueue(m)
+        got = []
+
+        def producer(ctx):
+            for i in range(5):
+                yield from q.enqueue(ctx, i)
+                yield Work(30)
+
+        def consumer(ctx):
+            n = 0
+            while n < 5:
+                v = yield from q.dequeue(ctx)
+                if v is not None:
+                    got.append(v)
+                    n += 1
+                yield Work(10)
+
+        m.add_thread(producer)
+        m.add_thread(producer)
+        m.add_thread(consumer)
+        m.add_thread(consumer)
+        m.run()
+        m.check_coherence_invariants()
+        assert sorted(got) == sorted([0, 1, 2, 3, 4] * 2)

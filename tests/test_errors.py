@@ -1,0 +1,44 @@
+"""Error types and their diagnostic payloads."""
+
+import pytest
+
+from repro import (AllocationError, ConfigError, LeaseError, ProtocolError,
+                   ReproError, SimulationError, SimulationTimeout)
+from repro.errors import ReproError as BaseError
+from repro.mem import AddressMap
+
+
+def test_hierarchy():
+    for exc in (ConfigError, SimulationError, SimulationTimeout,
+                LeaseError, AllocationError):
+        assert issubclass(exc, ReproError)
+    assert issubclass(ProtocolError, SimulationError)
+    assert BaseError is ReproError
+
+
+def test_timeout_carries_diagnostics():
+    e = SimulationTimeout("boom", cycle=123, events=456,
+                          running_threads=7)
+    assert e.cycle == 123
+    assert e.events == 456
+    assert e.running_threads == 7
+    assert "boom" in str(e)
+
+
+def test_timeout_defaults_none():
+    e = SimulationTimeout("x")
+    assert e.cycle is None and e.events is None
+
+
+def test_address_map_validation():
+    with pytest.raises(ConfigError):
+        AddressMap(48, 4)       # not a power of two
+    with pytest.raises(ConfigError):
+        AddressMap(64, 0)       # no tiles
+
+
+def test_errors_catchable_as_repro_error():
+    try:
+        raise LeaseError("nested")
+    except ReproError as e:
+        assert "nested" in str(e)

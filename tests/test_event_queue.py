@@ -1,0 +1,107 @@
+"""EventQueue: ordering, cancellation, determinism."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine import EventQueue
+from repro.errors import SimulationError
+
+
+def test_pops_in_time_order():
+    q = EventQueue()
+    fired = []
+    for t in (5, 1, 3, 2, 4):
+        q.schedule(t, fired.append, t)
+    while (ev := q.pop()) is not None:
+        ev.fn(*ev.args)
+    assert fired == [1, 2, 3, 4, 5]
+
+
+def test_fifo_within_same_time():
+    q = EventQueue()
+    order = []
+    for i in range(10):
+        q.schedule(7, order.append, i)
+    while (ev := q.pop()) is not None:
+        ev.fn(*ev.args)
+    assert order == list(range(10))
+
+
+def test_cancel_skips_event():
+    q = EventQueue()
+    fired = []
+    ev = q.schedule(1, fired.append, "a")
+    q.schedule(2, fired.append, "b")
+    q.cancel(ev)
+    while (e := q.pop()) is not None:
+        e.fn(*e.args)
+    assert fired == ["b"]
+
+
+def test_cancel_twice_is_noop():
+    q = EventQueue()
+    ev = q.schedule(1, lambda: None)
+    q.cancel(ev)
+    q.cancel(ev)
+    assert len(q) == 0
+
+
+def test_len_counts_live_events():
+    q = EventQueue()
+    evs = [q.schedule(i, lambda: None) for i in range(5)]
+    assert len(q) == 5
+    q.cancel(evs[2])
+    assert len(q) == 4
+    q.pop()
+    assert len(q) == 3
+
+
+def test_peek_time_skips_cancelled():
+    q = EventQueue()
+    ev1 = q.schedule(1, lambda: None)
+    q.schedule(9, lambda: None)
+    q.cancel(ev1)
+    assert q.peek_time() == 9
+
+
+def test_peek_time_empty():
+    assert EventQueue().peek_time() is None
+
+
+def test_pop_empty_returns_none():
+    assert EventQueue().pop() is None
+
+
+def test_negative_time_rejected():
+    with pytest.raises(SimulationError):
+        EventQueue().schedule(-1, lambda: None)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1000), max_size=200))
+def test_property_pop_order_is_stable_sort(times):
+    """Events come out sorted by time, ties broken by insertion order."""
+    q = EventQueue()
+    for i, t in enumerate(times):
+        q.schedule(t, lambda: None)
+    out = []
+    while (ev := q.pop()) is not None:
+        out.append((ev.time, ev.seq))
+    expected = sorted((t, i) for i, t in enumerate(times))
+    assert out == expected
+
+
+@given(st.lists(st.tuples(st.integers(0, 100), st.booleans()), max_size=100))
+def test_property_cancellation_filters(entries):
+    """Cancelled events never fire; the rest fire in stable order."""
+    q = EventQueue()
+    evs = []
+    for t, keep in entries:
+        evs.append((q.schedule(t, lambda: None), keep))
+    for ev, keep in evs:
+        if not keep:
+            q.cancel(ev)
+    out = []
+    while (e := q.pop()) is not None:
+        out.append((e.time, e.seq))
+    expected = sorted((ev.time, ev.seq) for ev, keep in evs if keep)
+    assert out == expected

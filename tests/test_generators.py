@@ -1,0 +1,83 @@
+"""Workload key-distribution generators."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.workloads.generators import (UniformKeys, ZipfKeys, key_stream,
+                                        op_mix)
+
+
+class TestUniform:
+    def test_in_range(self):
+        dist = UniformKeys(10)
+        rng = random.Random(1)
+        assert all(0 <= dist.sample(rng) < 10 for _ in range(200))
+
+    def test_covers_range(self):
+        dist = UniformKeys(8)
+        rng = random.Random(2)
+        seen = {dist.sample(rng) for _ in range(500)}
+        assert seen == set(range(8))
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ValueError):
+            UniformKeys(0)
+
+
+class TestZipf:
+    def test_in_range(self):
+        dist = ZipfKeys(100, 1.2)
+        rng = random.Random(3)
+        assert all(0 <= dist.sample(rng) < 100 for _ in range(500))
+
+    def test_skew_prefers_small_keys(self):
+        dist = ZipfKeys(1000, 1.2)
+        rng = random.Random(4)
+        counts = Counter(dist.sample(rng) for _ in range(5000))
+        low = sum(v for k, v in counts.items() if k < 10)
+        high = sum(v for k, v in counts.items() if k >= 500)
+        assert low > high * 3
+
+    def test_s_zero_is_roughly_uniform(self):
+        dist = ZipfKeys(10, 0.0)
+        rng = random.Random(5)
+        counts = Counter(dist.sample(rng) for _ in range(10_000))
+        assert min(counts.values()) > 600    # ~1000 each
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfKeys(10, -1)
+
+    @given(st.integers(1, 50), st.floats(0, 3), st.integers(0, 100))
+    def test_property_always_in_range(self, n, s, seed):
+        dist = ZipfKeys(n, s)
+        rng = random.Random(seed)
+        for _ in range(20):
+            assert 0 <= dist.sample(rng) < n
+
+
+class TestOpMix:
+    def test_zero_updates_all_searches(self):
+        rng = random.Random(6)
+        assert all(op_mix(rng, 0) == "contains" for _ in range(100))
+
+    def test_twenty_percent_updates(self):
+        rng = random.Random(7)
+        ops = Counter(op_mix(rng, 20) for _ in range(10_000))
+        assert 0.15 < (ops["insert"] + ops["delete"]) / 10_000 < 0.25
+        assert abs(ops["insert"] - ops["delete"]) < 500
+
+    def test_hundred_percent_updates(self):
+        rng = random.Random(8)
+        ops = Counter(op_mix(rng, 100) for _ in range(1000))
+        assert ops["contains"] == 0
+
+
+def test_key_stream():
+    rng = random.Random(9)
+    stream = key_stream(UniformKeys(5), rng)
+    vals = [next(stream) for _ in range(50)]
+    assert all(0 <= v < 5 for v in vals)

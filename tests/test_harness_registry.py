@@ -1,0 +1,60 @@
+"""Harness registry internals: Experiment dataclass, overrides, and the
+CLI paths not already covered."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.harness import EXPERIMENTS, Experiment, run_experiment
+from repro.workloads import bench_stack
+
+
+def test_experiment_is_frozen():
+    exp = EXPERIMENTS["fig2_stack"]
+    with pytest.raises(Exception):
+        exp.title = "changed"
+
+
+def test_register_custom_experiment_roundtrip():
+    from repro.harness.experiments import _register
+    exp = Experiment(
+        id="custom_test_exp",
+        title="custom",
+        bench=bench_stack,
+        variants={"base": {"variant": "base"}},
+        common={"ops_per_thread": 5},
+        paper_claim="n/a",
+    )
+    _register(exp)
+    try:
+        res = run_experiment("custom_test_exp", thread_counts=(2,))
+        assert res["base"][0].ops == 10
+    finally:
+        del EXPERIMENTS["custom_test_exp"]
+
+
+def test_run_experiment_overrides_common():
+    res = run_experiment("fig2_stack", thread_counts=(2,),
+                         ops_per_thread=4)
+    assert res["base"][0].ops == 8
+
+
+def test_all_experiment_benches_are_callables():
+    for exp in EXPERIMENTS.values():
+        assert callable(exp.bench)
+        for kw in exp.variants.values():
+            assert isinstance(kw, dict)
+
+
+def test_cli_list_covers_all_experiments(capsys):
+    main(["list"])
+    out = capsys.readouterr().out
+    for exp_id in EXPERIMENTS:
+        assert exp_id in out
+
+
+def test_cli_run_ablation_experiment(capsys):
+    rc = main(["run", "a2_lease_time", "--threads", "2",
+               "--metric", "mops_per_sec"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "lease_20k" in out and "lease_1k" in out

@@ -1,0 +1,139 @@
+"""Hierarchical (cohort) ticket lock."""
+
+import pytest
+
+from conftest import make_machine
+
+from repro import Load, Store, Work
+from repro.structures import LockedCounter
+from repro.sync import HTicketLock
+
+
+def test_mutual_exclusion():
+    m = make_machine(8, leases=False)
+    lock = HTicketLock(m, cluster_size=2)
+    shared = m.alloc_var(0)
+    in_cs = {"n": 0, "max": 0}
+
+    def worker(ctx):
+        for _ in range(10):
+            token = yield from lock.acquire(ctx)
+            in_cs["n"] += 1
+            in_cs["max"] = max(in_cs["max"], in_cs["n"])
+            v = yield Load(shared)
+            yield Work(25)
+            yield Store(shared, v + 1)
+            in_cs["n"] -= 1
+            yield from lock.release(ctx, token)
+
+    for _ in range(8):
+        m.add_thread(worker)
+    m.run()
+    m.check_coherence_invariants()
+    assert in_cs["max"] == 1
+    assert m.peek(shared) == 80
+
+
+def test_single_thread_fast_path():
+    m = make_machine(1, leases=False)
+    lock = HTicketLock(m)
+    order = []
+
+    def worker(ctx):
+        for i in range(3):
+            token = yield from lock.acquire(ctx)
+            order.append(i)
+            yield from lock.release(ctx, token)
+
+    m.add_thread(worker)
+    m.run()
+    assert order == [0, 1, 2]
+
+
+def test_cohort_handoff_occurs():
+    """Two same-cluster threads hammering the lock should hand it off
+    locally (handoff counter becomes positive) instead of re-taking the
+    global lock each time."""
+    m = make_machine(2, leases=False)
+    lock = HTicketLock(m, cluster_size=2)
+    observed = []
+
+    def worker(ctx):
+        for _ in range(12):
+            token = yield from lock.acquire(ctx)
+            passes = yield Load(lock.handoff[0])
+            observed.append(passes)
+            yield Work(40)
+            yield from lock.release(ctx, token)
+
+    m.add_thread(worker)
+    m.add_thread(worker)
+    m.run()
+    assert max(observed) > 0
+
+
+def test_handoff_budget_bounds_passing():
+    m = make_machine(2, leases=False)
+    lock = HTicketLock(m, cluster_size=2, max_handoffs=3)
+    observed = []
+
+    def worker(ctx):
+        for _ in range(20):
+            token = yield from lock.acquire(ctx)
+            passes = yield Load(lock.handoff[0])
+            observed.append(passes)
+            yield Work(40)
+            yield from lock.release(ctx, token)
+
+    m.add_thread(worker)
+    m.add_thread(worker)
+    m.run()
+    assert max(observed) <= 3
+
+
+def test_cross_cluster_fairness():
+    """Threads in different clusters all make progress."""
+    m = make_machine(4, leases=False)
+    lock = HTicketLock(m, cluster_size=2, max_handoffs=2)
+    done = []
+
+    def worker(ctx, tag):
+        for _ in range(8):
+            token = yield from lock.acquire(ctx)
+            yield Work(30)
+            yield from lock.release(ctx, token)
+        done.append(tag)
+
+    for tag in range(4):
+        m.add_thread(worker, tag)
+    m.run()
+    assert sorted(done) == [0, 1, 2, 3]
+
+
+def test_counter_with_hticket_lock():
+    m = make_machine(8, leases=False)
+    c = LockedCounter(m, lock="hticket")
+    for _ in range(8):
+        m.add_thread(c.update_worker, 10)
+    m.run()
+    m.check_coherence_invariants()
+    assert m.peek(c.value_addr) == 80
+
+
+@pytest.mark.parametrize("clusters", [1, 2, 4])
+def test_various_cluster_sizes(clusters):
+    m = make_machine(8, leases=False)
+    lock = HTicketLock(m, cluster_size=8 // clusters)
+    shared = m.alloc_var(0)
+
+    def worker(ctx):
+        for _ in range(5):
+            token = yield from lock.acquire(ctx)
+            v = yield Load(shared)
+            yield Store(shared, v + 1)
+            yield from lock.release(ctx, token)
+
+    for _ in range(8):
+        m.add_thread(worker)
+    m.run()
+    assert m.peek(shared) == 40

@@ -1,0 +1,140 @@
+"""Every instruction of the simulated ISA, end to end on a tiny machine."""
+
+import pytest
+
+from conftest import make_machine
+
+from repro import (CAS, Fence, FetchAdd, Lease, Load, MultiLease, Release,
+                   ReleaseAll, Store, Swap, TestAndSet, Work)
+from repro.core import isa
+
+
+def run_body(m, body):
+    out = []
+
+    def wrapper(ctx):
+        result = yield from body(ctx)
+        out.append(result)
+
+    m.add_thread(wrapper)
+    m.run()
+    return out[0]
+
+
+class TestInstructionResults:
+    def test_load_returns_value(self, machine1):
+        addr = machine1.alloc_var("payload")
+
+        def body(ctx):
+            return (yield Load(addr))
+
+        assert run_body(machine1, body) == "payload"
+
+    def test_store_returns_none(self, machine1):
+        addr = machine1.alloc_var(0)
+
+        def body(ctx):
+            return (yield Store(addr, 3))
+
+        assert run_body(machine1, body) is None
+        assert machine1.peek(addr) == 3
+
+    def test_cas_returns_bool(self, machine1):
+        addr = machine1.alloc_var(1)
+
+        def body(ctx):
+            a = yield CAS(addr, 1, 2)
+            b = yield CAS(addr, 1, 3)
+            return (a, b)
+
+        assert run_body(machine1, body) == (True, False)
+        assert machine1.peek(addr) == 2
+
+    def test_fetch_add_returns_old(self, machine1):
+        addr = machine1.alloc_var(10)
+
+        def body(ctx):
+            return (yield FetchAdd(addr, 5))
+
+        assert run_body(machine1, body) == 10
+        assert machine1.peek(addr) == 15
+
+    def test_fetch_add_default_delta(self):
+        assert FetchAdd(8).delta == 1
+
+    def test_swap_returns_old(self, machine1):
+        addr = machine1.alloc_var("old")
+
+        def body(ctx):
+            return (yield Swap(addr, "new"))
+
+        assert run_body(machine1, body) == "old"
+        assert machine1.peek(addr) == "new"
+
+    def test_test_and_set(self, machine1):
+        addr = machine1.alloc_var(0)
+
+        def body(ctx):
+            a = yield TestAndSet(addr)
+            b = yield TestAndSet(addr)
+            return (a, b)
+
+        assert run_body(machine1, body) == (0, 1)
+        assert machine1.peek(addr) == 1
+
+    def test_fence_is_ordering_noop(self, machine1):
+        def body(ctx):
+            yield Fence()
+            return "done"
+
+        assert run_body(machine1, body) == "done"
+
+    def test_work_advances_clock(self, machine1):
+        def body(ctx):
+            yield Work(123)
+            return ctx.machine.now
+
+        assert run_body(machine1, body) == 123
+
+    def test_work_minimum_one_cycle(self, machine1):
+        def body(ctx):
+            yield Work(0)
+            return ctx.machine.now
+
+        assert run_body(machine1, body) == 1
+
+    def test_release_all_with_nothing_held(self, machine1):
+        def body(ctx):
+            yield ReleaseAll()
+            return "ok"
+
+        assert run_body(machine1, body) == "ok"
+
+    def test_multilease_dedups_same_line_addrs(self, machine1):
+        """Two addresses on one line form a single-entry group."""
+        base = machine1.alloc.alloc_line()
+
+        def body(ctx):
+            yield MultiLease((base, base + 8), 10_000)
+            n = len(machine1.cores[0].lease_mgr.table)
+            yield ReleaseAll()
+            return n
+
+        assert run_body(machine1, body) == 1
+
+
+class TestInstructionObjects:
+    def test_default_lease_time_is_huge(self):
+        assert Lease(0).time >= 1 << 60
+
+    def test_multilease_normalizes_to_tuple(self):
+        ml = MultiLease([8, 16])
+        assert ml.addrs == (8, 16)
+
+    def test_slots_no_dict(self):
+        for cls, args in [(Load, (8,)), (Store, (8, 1)), (CAS, (8, 0, 1)),
+                          (Work, (5,)), (Lease, (8,)), (Release, (8,)),
+                          (TestAndSet, (8,)), (Swap, (8, 1)),
+                          (FetchAdd, (8,))]:
+            with pytest.raises(AttributeError):
+                cls(*args).__dict__

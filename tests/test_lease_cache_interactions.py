@@ -1,0 +1,144 @@
+"""Interactions between leases and the cache hierarchy: pinning under
+capacity pressure, leases surviving evictions, lease traffic accounting."""
+
+from conftest import make_machine
+
+from repro import CAS, Lease, Load, Release, Store, Work
+from repro.coherence.states import LineState
+
+
+def same_set_addrs(m, count):
+    """Addresses that all map to the same L1 set."""
+    stride = m.config.l1_num_sets * m.config.line_size
+    return [m.alloc.alloc(8, align=stride) for _ in range(count)]
+
+
+def test_leased_line_survives_capacity_pressure():
+    """Filling the leased line's set must evict other lines, never the
+    leased one (the hardware pins it in the load buffer)."""
+    m = make_machine(1)
+    addrs = same_set_addrs(m, m.config.l1_assoc + 3)
+    leased = addrs[0]
+    out = {}
+
+    def body(ctx):
+        yield Lease(leased, 1 << 40)
+        yield Store(leased, "precious")
+        for a in addrs[1:]:
+            yield Store(a, 1)
+        l1 = m.cores[0].memunit.l1
+        out["state"] = l1.state_of(m.amap.line_of(leased))
+        vol = yield Release(leased)
+        out["vol"] = vol
+
+    m.add_thread(body)
+    m.run()
+    m.check_coherence_invariants()
+    assert out["state"] == LineState.M
+    assert out["vol"] is True
+    assert m.counters.l1_evictions >= 2
+
+
+def test_all_ways_leased_overfills_set():
+    """Leasing every way of one set forces the over-fill path (the load
+    buffer holds the extras) without dropping any lease."""
+    m = make_machine(1, max_num_leases=8)
+    addrs = same_set_addrs(m, m.config.l1_assoc + 1)
+    out = {}
+
+    def body(ctx):
+        for a in addrs[:m.config.l1_assoc]:
+            yield Lease(a, 1 << 40)
+        yield Store(addrs[-1], 1)          # set is full of pinned lines
+        vols = []
+        for a in addrs[:m.config.l1_assoc]:
+            vols.append((yield Release(a)))
+        out["vols"] = vols
+
+    m.add_thread(body)
+    m.run()
+    assert out["vols"] == [True] * m.config.l1_assoc
+    assert m.counters.l1_eviction_overflows >= 1
+
+
+def test_release_unpins_line():
+    m = make_machine(1)
+    addr = m.alloc_var(0)
+
+    def body(ctx):
+        yield Lease(addr, 10_000)
+        yield Release(addr)
+        yield Work(1)
+
+    m.add_thread(body)
+    m.run()
+    assert not m.cores[0].memunit.l1.is_pinned(m.amap.line_of(addr))
+
+
+def test_expiry_unpins_line():
+    m = make_machine(1)
+    addr = m.alloc_var(0)
+
+    def body(ctx):
+        yield Lease(addr, 50)
+        yield Work(500)
+
+    m.add_thread(body)
+    m.run()
+    assert not m.cores[0].memunit.l1.is_pinned(m.amap.line_of(addr))
+
+
+def test_lease_on_owned_line_generates_no_traffic():
+    m = make_machine(2)
+    addr = m.alloc_var(0)
+    out = {}
+
+    def body(ctx):
+        yield Store(addr, 1)               # line now M
+        before = m.counters.messages
+        yield Lease(addr, 10_000)
+        out["delta"] = m.counters.messages - before
+        yield Release(addr)
+
+    m.add_thread(body)
+    m.run()
+    assert out["delta"] == 0
+
+
+def test_lease_miss_counts_one_transaction():
+    m = make_machine(2)
+    addr = m.alloc_var(0)
+
+    def body(ctx):
+        yield Lease(addr, 10_000)
+        v = yield Load(addr)               # hit under the lease
+        ok = yield CAS(addr, v, v + 1)     # hit under the lease
+        yield Release(addr)
+
+    m.add_thread(body)
+    m.run()
+    assert m.counters.l1_misses == 1       # only the lease's GetX
+    assert m.counters.l1_hits == 2
+    assert m.counters.getx_requests == 1
+
+
+def test_contended_line_stays_cached_between_lease_ops():
+    """The Figure 1 measurement: misses per op stay constant because the
+    hot line is acquired exactly once per operation."""
+    m = make_machine(8)
+    addr = m.alloc_var(0)
+
+    def body(ctx):
+        for _ in range(10):
+            yield Lease(addr, 10_000)
+            v = yield Load(addr)
+            yield CAS(addr, v, v + 1)
+            yield Release(addr)
+            yield Work(20)
+
+    for _ in range(8):
+        m.add_thread(body)
+    m.run()
+    assert m.peek(addr) == 80
+    # Exactly one coherence acquisition per op (+/- the first cold ones).
+    assert m.counters.l1_misses <= 80 + 8

@@ -1,0 +1,366 @@
+"""Algorithm 1 (single-location Lease/Release) semantics, end to end.
+
+Each test drives real threads on a small machine and checks the behaviour
+the paper specifies: probe queuing, bounded delay, voluntary/involuntary
+release, FIFO replacement, no lease extension, the prioritization rule.
+"""
+
+import pytest
+
+from conftest import make_machine
+
+from repro import (CAS, Lease, LeaseError, Load, Release, Store, Work)
+from repro.coherence.states import LineState
+
+
+class TestBasicLease:
+    def test_lease_brings_line_exclusive(self):
+        m = make_machine(2)
+        addr = m.alloc_var(0)
+        states = {}
+
+        def t0(ctx):
+            yield Lease(addr, 1000)
+            states["during"] = \
+                m.cores[0].memunit.l1.state_of(m.amap.line_of(addr))
+            yield Release(addr)
+
+        m.add_thread(t0)
+        m.run()
+        assert states["during"] == LineState.M
+
+    def test_release_returns_voluntary_true(self):
+        m = make_machine(1)
+        addr = m.alloc_var(0)
+        out = {}
+
+        def t0(ctx):
+            yield Lease(addr, 1000)
+            out["vol"] = yield Release(addr)
+
+        m.add_thread(t0)
+        m.run()
+        assert out["vol"] is True
+        assert m.counters.releases_voluntary == 1
+
+    def test_release_after_expiry_returns_false(self):
+        m = make_machine(1)
+        addr = m.alloc_var(0)
+        out = {}
+
+        def t0(ctx):
+            yield Lease(addr, 50)
+            yield Work(500)            # lease expires meanwhile
+            out["vol"] = yield Release(addr)
+
+        m.add_thread(t0)
+        m.run()
+        assert out["vol"] is False
+        assert m.counters.releases_involuntary == 1
+
+    def test_release_unleased_line_is_noop(self):
+        m = make_machine(1)
+        addr = m.alloc_var(0)
+        out = {}
+
+        def t0(ctx):
+            out["vol"] = yield Release(addr)
+
+        m.add_thread(t0)
+        m.run()
+        assert out["vol"] is False
+
+    def test_no_extension_of_held_lease(self):
+        """Re-leasing a held line must NOT reset its counter (footnote 1)."""
+        m = make_machine(1)
+        addr = m.alloc_var(0)
+        out = {}
+
+        def t0(ctx):
+            yield Lease(addr, 100)
+            yield Work(60)
+            yield Lease(addr, 100)     # would extend to t=160 if buggy
+            yield Work(60)             # original expires at ~t<=120+grant
+            out["vol"] = yield Release(addr)
+
+        m.add_thread(t0)
+        m.run()
+        assert out["vol"] is False
+        assert m.counters.leases_noop_already_held == 1
+
+    def test_time_capped_at_max_lease_time(self):
+        m = make_machine(1, max_lease_time=100)
+        addr = m.alloc_var(0)
+        out = {}
+
+        def t0(ctx):
+            yield Lease(addr, 10_000_000)
+            yield Work(200)
+            out["vol"] = yield Release(addr)
+
+        m.add_thread(t0)
+        m.run()
+        assert out["vol"] is False     # expired at the 100-cycle cap
+
+    def test_leases_disabled_are_noops(self):
+        m = make_machine(1, leases=False)
+        addr = m.alloc_var(0)
+        cycles = {}
+
+        def t0(ctx):
+            yield Lease(addr, 1000)
+            yield Store(addr, 1)
+            yield Release(addr)
+
+        m.add_thread(t0)
+        m.run()
+        assert m.counters.leases_requested == 0
+        assert m.counters.leases_granted == 0
+
+
+class TestFifoReplacement:
+    def test_table_overflow_releases_oldest(self):
+        m = make_machine(1, max_num_leases=2)
+        a, b, c = m.alloc_var(0), m.alloc_var(0), m.alloc_var(0)
+        out = {}
+
+        def t0(ctx):
+            yield Lease(a, 10_000)
+            yield Lease(b, 10_000)
+            yield Lease(c, 10_000)     # evicts a
+            out["a"] = yield Release(a)
+            out["b"] = yield Release(b)
+            out["c"] = yield Release(c)
+
+        m.add_thread(t0)
+        m.run()
+        assert out["a"] is False       # already auto-released
+        assert out["b"] is True
+        assert out["c"] is True
+        assert m.counters.releases_fifo_eviction == 1
+
+
+class TestProbeQueuing:
+    def test_probe_waits_for_voluntary_release(self):
+        """A writer's request on a leased line is served only after the
+        holder releases -- and the holder's CAS wins meanwhile.
+        (Prioritization off: we are testing the queuing path itself.)"""
+        m = make_machine(2, prioritize_regular_requests=False)
+        addr = m.alloc_var(0)
+        t_store_done = {}
+
+        def holder(ctx):
+            yield Lease(addr, 10_000)
+            v = yield Load(addr)
+            yield Work(300)
+            ok = yield CAS(addr, v, "holder")
+            assert ok                   # lease guarantees no interference
+            yield Release(addr)
+
+        def rival(ctx):
+            yield Work(60)              # let the lease be taken first
+            yield Store(addr, "rival")
+            t_store_done["t"] = ctx.machine.now
+
+        m.add_thread(holder)
+        m.add_thread(rival)
+        m.run()
+        m.check_coherence_invariants()
+        # The rival's store committed after the holder's CAS (queued).
+        assert m.peek(addr) == "rival"
+        assert t_store_done["t"] > 300
+        assert m.counters.probes_queued_at_core == 1
+
+    def test_probe_released_by_expiry(self):
+        """An involuntary release unblocks the queued probe (bounded
+        delay: Proposition 2).  Prioritization off to exercise queuing."""
+        m = make_machine(2, prioritize_regular_requests=False)
+        addr = m.alloc_var(0)
+        times = {}
+
+        def holder(ctx):
+            yield Lease(addr, 200)
+            yield Work(100_000)         # never releases explicitly
+            times["holder_done"] = ctx.machine.now
+
+        def rival(ctx):
+            yield Work(50)
+            yield Store(addr, 1)
+            times["store"] = ctx.machine.now
+
+        m.add_thread(holder)
+        m.add_thread(rival)
+        m.run()
+        assert m.counters.releases_involuntary == 1
+        # The store waited for the expiry but not much longer.
+        assert times["store"] < 200 + 200
+        assert m.peek(addr) == 1
+
+    def test_delay_bounded_by_max_lease_time(self):
+        """Proposition 2: no request waits more than MAX_LEASE_TIME beyond
+        normal processing, even against an abusive holder."""
+        m = make_machine(2, max_lease_time=500,
+                         prioritize_regular_requests=False)
+        addr = m.alloc_var(0)
+        times = {}
+
+        def abusive(ctx):
+            while True:
+                yield Lease(addr, 1 << 60)
+                yield Work(400)
+                vol = yield Release(addr)
+                if ctx.machine.now > 3000:
+                    return
+
+        def victim(ctx):
+            yield Work(20)
+            start = ctx.machine.now
+            yield Store(addr, 1)
+            times["wait"] = ctx.machine.now - start
+
+        m.add_thread(abusive)
+        m.add_thread(victim)
+        m.run()
+        assert times["wait"] <= 500 + 200   # lease bound + protocol slack
+
+
+class TestPrioritization:
+    def test_regular_store_breaks_lease_when_enabled(self):
+        m = make_machine(2, prioritize_regular_requests=True)
+        addr = m.alloc_var(0)
+        times = {}
+
+        def holder(ctx):
+            yield Lease(addr, 10_000)
+            yield Work(5_000)
+            yield Release(addr)
+
+        def rival(ctx):
+            yield Work(50)
+            yield Store(addr, 1)
+            times["store"] = ctx.machine.now
+
+        m.add_thread(holder)
+        m.add_thread(rival)
+        m.run()
+        assert m.counters.releases_broken_by_priority == 1
+        assert times["store"] < 500        # did not wait for the lease
+
+    def test_lease_request_still_queues_when_enabled(self):
+        m = make_machine(2, prioritize_regular_requests=True)
+        addr = m.alloc_var(0)
+        times = {}
+
+        def holder(ctx):
+            yield Lease(addr, 10_000)
+            yield Work(600)
+            yield Release(addr)
+
+        def rival(ctx):
+            yield Work(50)
+            yield Lease(addr, 10_000)   # lease-priority: must queue
+            times["granted"] = ctx.machine.now
+            yield Release(addr)
+
+        m.add_thread(holder)
+        m.add_thread(rival)
+        m.run()
+        assert m.counters.releases_broken_by_priority == 0
+        assert times["granted"] > 600
+        assert m.counters.probes_queued_at_core == 1
+
+    def test_store_queues_when_disabled(self):
+        m = make_machine(2, prioritize_regular_requests=False)
+        addr = m.alloc_var(0)
+        times = {}
+
+        def holder(ctx):
+            yield Lease(addr, 10_000)
+            yield Work(600)
+            yield Release(addr)
+
+        def rival(ctx):
+            yield Work(50)
+            yield Store(addr, 1)
+            times["store"] = ctx.machine.now
+
+        m.add_thread(holder)
+        m.add_thread(rival)
+        m.run()
+        assert times["store"] > 600
+        assert m.counters.releases_broken_by_priority == 0
+
+
+class TestLeaseStacking:
+    def test_two_cores_lease_same_line_sequentialize(self):
+        """The second lease is granted only after the first is released;
+        both critical windows execute without interference."""
+        m = make_machine(2)
+        addr = m.alloc_var(0)
+        log = []
+
+        def worker(ctx, tag):
+            yield Work(tag)            # skew start
+            yield Lease(addr, 10_000)
+            log.append((tag, "in", ctx.machine.now))
+            v = yield Load(addr)
+            yield Work(200)
+            yield Store(addr, v + 1)
+            log.append((tag, "out", ctx.machine.now))
+            yield Release(addr)
+
+        m.add_thread(worker, 1)
+        m.add_thread(worker, 2)
+        m.run()
+        assert m.peek(addr) == 2
+        # Windows must not overlap.
+        w1 = [t for tag, _, t in log if tag == 1]
+        w2 = [t for tag, _, t in log if tag == 2]
+        assert max(w1) <= min(w2) or max(w2) <= min(w1)
+
+    def test_stale_release_after_line_stolen(self):
+        """If a lease expires and the line moves away, the late Release
+        must not disturb the new owner."""
+        m = make_machine(2)
+        addr = m.alloc_var(0)
+
+        def sleepy(ctx):
+            yield Lease(addr, 100)
+            yield Work(2000)
+            vol = yield Release(addr)
+            assert vol is False
+
+        def thief(ctx):
+            yield Work(300)
+            yield Lease(addr, 10_000)
+            yield Store(addr, "thief")
+            yield Work(2500)
+            yield Release(addr)
+
+        m.add_thread(sleepy)
+        m.add_thread(thief)
+        m.run()
+        m.check_coherence_invariants()
+        assert m.peek(addr) == "thief"
+
+
+class TestCASUnderLease:
+    def test_read_cas_window_always_succeeds(self):
+        """The Figure 1 claim: with the read-CAS window under a lease, the
+        CAS never fails (absent expiry)."""
+        m = make_machine(4)
+        addr = m.alloc_var(0)
+
+        def worker(ctx):
+            for _ in range(20):
+                yield Lease(addr, 10_000)
+                v = yield Load(addr)
+                ok = yield CAS(addr, v, v + 1)
+                yield Release(addr)
+                assert ok
+
+        for _ in range(4):
+            m.add_thread(worker)
+        m.run()
+        assert m.peek(addr) == 80
+        assert m.counters.cas_failures == 0

@@ -1,0 +1,84 @@
+"""LeaseTable: bounded FIFO key-value semantics (Section 3)."""
+
+from hypothesis import given, strategies as st
+
+from repro.lease import LeaseEntry, LeaseGroup, LeaseTable
+
+
+def test_add_and_get():
+    t = LeaseTable(4)
+    e = LeaseEntry(7, 100)
+    t.add(e)
+    assert t.get(7) is e
+    assert 7 in t
+    assert len(t) == 1
+
+
+def test_get_missing_is_none():
+    assert LeaseTable(4).get(1) is None
+
+
+def test_oldest_is_fifo():
+    t = LeaseTable(4)
+    for line in (3, 1, 2):
+        t.add(LeaseEntry(line, 10))
+    assert t.oldest().line == 3
+    t.remove(3)
+    assert t.oldest().line == 1
+
+
+def test_oldest_empty_is_none():
+    assert LeaseTable(4).oldest() is None
+
+
+def test_full_flag():
+    t = LeaseTable(2)
+    t.add(LeaseEntry(1, 10))
+    assert not t.full
+    t.add(LeaseEntry(2, 10))
+    assert t.full
+
+
+def test_remove_returns_entry():
+    t = LeaseTable(2)
+    e = LeaseEntry(1, 10)
+    t.add(e)
+    assert t.remove(1) is e
+    assert t.remove(1) is None
+
+
+def test_entries_snapshot_in_fifo_order():
+    t = LeaseTable(8)
+    for line in (5, 3, 9):
+        t.add(LeaseEntry(line, 10))
+    assert [e.line for e in t.entries()] == [5, 3, 9]
+
+
+def test_entry_holds_line_lifecycle():
+    e = LeaseEntry(1, 10)
+    assert not e.holds_line          # not yet granted
+    e.granted = True
+    assert e.holds_line
+    e.dead = True
+    assert not e.holds_line
+
+
+def test_group_membership():
+    g = LeaseGroup((1, 2, 3))
+    e = LeaseEntry(2, 10, g)
+    assert e.group is g
+    assert not g.dead
+
+
+@given(st.lists(st.integers(0, 30), unique=True, max_size=20),
+       st.integers(1, 8))
+def test_property_fifo_eviction_order(lines, cap):
+    """Inserting beyond capacity (evicting oldest first, as the manager
+    does) always leaves the most recent `cap` lines."""
+    t = LeaseTable(cap)
+    for line in lines:
+        if t.full:
+            t.remove(t.oldest().line)
+        t.add(LeaseEntry(line, 10))
+    expected = lines[-cap:] if len(lines) > cap else lines
+    assert [e.line for e in t.entries()] == expected

@@ -1,0 +1,179 @@
+"""Machine façade: thread management, results, determinism, budgets."""
+
+import pytest
+
+from conftest import make_machine
+
+from repro import (Load, Machine, MachineConfig, SimulationError,
+                   SimulationTimeout, Store, Work)
+
+
+class TestThreads:
+    def test_one_thread_per_core(self):
+        m = make_machine(2)
+
+        def body(ctx):
+            yield Work(1)
+
+        m.add_thread(body)
+        m.add_thread(body)
+        with pytest.raises(SimulationError):
+            m.add_thread(body)
+
+    def test_explicit_core_placement(self):
+        m = make_machine(3)
+        seen = []
+
+        def body(ctx):
+            seen.append(ctx.core_id)
+            yield Work(1)
+
+        m.add_thread(body, core=2)
+        m.run()
+        assert seen == [2]
+
+    def test_core_conflict_rejected(self):
+        m = make_machine(2)
+
+        def body(ctx):
+            yield Work(1)
+
+        m.add_thread(body, core=0)
+        with pytest.raises(SimulationError):
+            m.add_thread(body, core=0)
+
+    def test_non_generator_body_rejected(self):
+        m = make_machine(1)
+
+        def not_a_gen(ctx):
+            return 42
+
+        with pytest.raises(SimulationError):
+            m.add_thread(not_a_gen)
+
+    def test_thread_return_value_captured(self):
+        m = make_machine(1)
+
+        def body(ctx):
+            yield Work(1)
+            return "finished"
+
+        h = m.add_thread(body)
+        m.run()
+        assert h.done
+        assert h.result == "finished"
+
+    def test_yielding_garbage_raises(self):
+        m = make_machine(1)
+
+        def body(ctx):
+            yield "not an instruction"
+
+        m.add_thread(body)
+        with pytest.raises(SimulationError):
+            m.run()
+
+
+class TestResults:
+    def test_result_fields(self):
+        m = make_machine(2)
+        addr = m.alloc_var(0)
+
+        def body(ctx):
+            for _ in range(5):
+                yield Store(addr, 1)
+            ctx.machine.counters.note_op(ctx.core_id)
+
+        m.add_thread(body)
+        m.add_thread(body)
+        m.run()
+        r = m.result("demo", extra={"tag": 1})
+        assert r.num_threads == 2
+        assert r.ops == 2
+        assert r.cycles == m.now
+        assert r.throughput_ops_per_sec > 0
+        assert r.energy_nj_per_op > 0
+        assert r.extra["tag"] == 1
+        row = r.row()
+        assert row["name"] == "demo"
+        assert "mops_per_sec" in row
+
+    def test_per_core_ops(self):
+        m = make_machine(2)
+
+        def body(ctx):
+            yield Work(1)
+            ctx.machine.counters.note_op(ctx.core_id)
+
+        m.add_thread(body)
+        m.add_thread(body)
+        m.run()
+        assert m.counters.per_core_ops == {0: 1, 1: 1}
+
+
+class TestDeterminism:
+    def _run(self, seed):
+        m = make_machine(4, seed=seed)
+        addr = m.alloc_var(0)
+
+        def body(ctx):
+            import repro
+            for i in range(20):
+                v = yield Load(addr)
+                yield Store(addr, v + ctx.rng.randrange(10))
+                yield Work(ctx.rng.randrange(1, 20))
+
+        for _ in range(4):
+            m.add_thread(body)
+        cycles = m.run()
+        return cycles, m.peek(addr), m.counters.messages
+
+    def test_same_seed_same_everything(self):
+        assert self._run(7) == self._run(7)
+
+    def test_different_seed_differs(self):
+        assert self._run(7) != self._run(8)
+
+
+class TestBudgets:
+    def test_livelock_hits_event_budget(self):
+        cfg = MachineConfig(num_cores=1, max_events=5_000)
+        m = Machine(cfg)
+
+        def spinner(ctx):
+            while True:
+                yield Work(1)
+
+        m.add_thread(spinner)
+        with pytest.raises(SimulationTimeout):
+            m.run()
+
+    def test_run_until_pauses(self):
+        m = make_machine(1)
+
+        def body(ctx):
+            for _ in range(100):
+                yield Work(10)
+
+        m.add_thread(body)
+        m.run(until=200)
+        assert m.now == 200
+        m.run()
+        assert m.now >= 1000
+
+
+class TestSnapshotDelta:
+    def test_counter_window(self):
+        m = make_machine(1)
+        addr = m.alloc_var(0)
+
+        def body(ctx):
+            for _ in range(10):
+                yield Store(addr, 1)
+
+        m.add_thread(body)
+        before = m.counters.snapshot()
+        m.run()
+        delta = m.counters.delta(before)
+        assert delta["l1_hits"] == 9
+        assert delta["l1_misses"] == 1

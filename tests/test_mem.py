@@ -1,0 +1,148 @@
+"""Memory substrate: address math, allocator, backing store."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import AllocationError, SimulationError, WORD_SIZE
+from repro.mem import AddressMap, Allocator, Memory
+
+
+class TestAddressMap:
+    def setup_method(self):
+        self.amap = AddressMap(64, 8)
+
+    def test_line_of(self):
+        assert self.amap.line_of(0) == 0
+        assert self.amap.line_of(63) == 0
+        assert self.amap.line_of(64) == 1
+        assert self.amap.line_of(1000) == 15
+
+    def test_base_of_line_roundtrip(self):
+        for line in (0, 1, 17, 12345):
+            base = self.amap.base_of_line(line)
+            assert self.amap.line_of(base) == line
+            assert self.amap.offset_in_line(base) == 0
+
+    def test_same_line(self):
+        assert self.amap.same_line(0, 63)
+        assert not self.amap.same_line(63, 64)
+
+    def test_home_tile_interleaves(self):
+        tiles = [self.amap.home_tile(line) for line in range(16)]
+        assert tiles == [0, 1, 2, 3, 4, 5, 6, 7] * 2
+
+    def test_words_per_line(self):
+        assert self.amap.words_per_line() == 8
+
+    @given(st.integers(min_value=0, max_value=1 << 40))
+    def test_property_offset_plus_base(self, addr):
+        base = self.amap.base_of_line(self.amap.line_of(addr))
+        assert base + self.amap.offset_in_line(addr) == addr
+
+
+class TestAllocator:
+    def setup_method(self):
+        self.amap = AddressMap(64, 4)
+        self.alloc = Allocator(self.amap)
+
+    def test_never_returns_null(self):
+        assert self.alloc.alloc(8) != 0
+
+    def test_line_aligned_words(self):
+        a = self.alloc.alloc_words(3)
+        assert a % 64 == 0
+
+    def test_alloc_line_distinct_lines(self):
+        lines = {self.amap.line_of(self.alloc.alloc_line())
+                 for _ in range(50)}
+        assert len(lines) == 50
+
+    def test_padded_array(self):
+        addrs = self.alloc.alloc_array(10, one_per_line=True)
+        assert len({self.amap.line_of(a) for a in addrs}) == 10
+
+    def test_packed_array_is_contiguous(self):
+        addrs = self.alloc.alloc_array(10)
+        assert [a - addrs[0] for a in addrs] == \
+            [i * WORD_SIZE for i in range(10)]
+
+    def test_zero_alloc_rejected(self):
+        with pytest.raises(AllocationError):
+            self.alloc.alloc(0)
+
+    def test_bad_alignment_rejected(self):
+        with pytest.raises(AllocationError):
+            self.alloc.alloc(8, align=48)
+
+    def test_exhaustion(self):
+        small = Allocator(self.amap, base=0x1000, limit=0x2000)
+        with pytest.raises(AllocationError):
+            small.alloc(0x2000)
+
+    @given(st.lists(st.integers(min_value=1, max_value=512), max_size=50))
+    def test_property_allocations_never_overlap(self, sizes):
+        alloc = Allocator(self.amap)
+        spans = []
+        for nbytes in sizes:
+            base = alloc.alloc(nbytes)
+            spans.append((base, base + nbytes))
+        spans.sort()
+        for (a0, a1), (b0, _) in zip(spans, spans[1:]):
+            assert a1 <= b0
+
+
+class TestMemory:
+    def setup_method(self):
+        self.mem = Memory()
+
+    def test_unwritten_reads_zero(self):
+        assert self.mem.read(0x1000) == 0
+
+    def test_write_read(self):
+        self.mem.write(0x1000, "hello")
+        assert self.mem.read(0x1000) == "hello"
+
+    def test_cas_success(self):
+        self.mem.write(8, 5)
+        assert self.mem.cas(8, 5, 9)
+        assert self.mem.read(8) == 9
+
+    def test_cas_failure_leaves_value(self):
+        self.mem.write(8, 5)
+        assert not self.mem.cas(8, 4, 9)
+        assert self.mem.read(8) == 5
+
+    def test_cas_on_unwritten_expects_zero(self):
+        assert self.mem.cas(16, 0, 1)
+
+    def test_fetch_add(self):
+        assert self.mem.fetch_add(8, 3) == 0
+        assert self.mem.fetch_add(8, 4) == 3
+        assert self.mem.read(8) == 7
+
+    def test_swap(self):
+        assert self.mem.swap(8, "x") == 0
+        assert self.mem.swap(8, "y") == "x"
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(SimulationError):
+            self.mem.read(3)
+        with pytest.raises(SimulationError):
+            self.mem.write(-8, 1)
+
+    def test_len_and_touched(self):
+        self.mem.write(8, 1)
+        self.mem.write(16, 2)
+        assert len(self.mem) == 2
+        assert set(self.mem.touched()) == {8, 16}
+
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers(-5, 5))))
+    def test_property_matches_dict_model(self, ops):
+        """Memory behaves exactly like a defaultdict(int) under writes."""
+        model: dict[int, int] = {}
+        for slot, val in ops:
+            addr = slot * WORD_SIZE
+            self.mem.write(addr, val)
+            model[addr] = val
+        for addr, val in model.items():
+            assert self.mem.read(addr) == val

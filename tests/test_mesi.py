@@ -1,0 +1,188 @@
+"""MESI protocol support (Section 8 "Other Protocols").
+
+Under MESI, a read miss to an uncached line is granted exclusive-clean (E);
+the first write upgrades E->M silently (no traffic); clean lines never
+write back.  Leases demand exclusive state and are satisfied by E.
+"""
+
+import pytest
+
+from repro import (CAS, Lease, Load, Machine, MachineConfig, LeaseConfig,
+                   Release, Store, Work)
+from repro.coherence.states import DirState, LineState
+
+
+def mesi_machine(num_cores=2, *, leases=True, **kw) -> Machine:
+    return Machine(MachineConfig(num_cores=num_cores, protocol="mesi",
+                                 lease=LeaseConfig(enabled=leases), **kw))
+
+
+def test_read_miss_grants_exclusive_clean():
+    m = mesi_machine()
+    addr = m.alloc_var(7)
+
+    def reader(ctx):
+        v = yield Load(addr)
+        assert v == 7
+
+    m.add_thread(reader)
+    m.run()
+    line = m.amap.line_of(addr)
+    assert m.cores[0].memunit.l1.state_of(line) == LineState.E
+    assert m.directory.state_of(line) == DirState.MODIFIED
+    assert m.directory.owner_of(line) == 0
+    m.check_coherence_invariants()
+
+
+def test_msi_read_miss_grants_shared():
+    m = Machine(MachineConfig(num_cores=2, protocol="msi"))
+    addr = m.alloc_var(7)
+
+    def reader(ctx):
+        yield Load(addr)
+
+    m.add_thread(reader)
+    m.run()
+    assert m.cores[0].memunit.l1.state_of(m.amap.line_of(addr)) == \
+        LineState.S
+
+
+def test_silent_upgrade_on_write():
+    m = mesi_machine()
+    addr = m.alloc_var(0)
+
+    def rw(ctx):
+        yield Load(addr)       # E
+        yield Store(addr, 1)   # silent E->M, no traffic
+
+    m.add_thread(rw)
+    m.run()
+    line = m.amap.line_of(addr)
+    assert m.cores[0].memunit.l1.state_of(line) == LineState.M
+    assert m.counters.mesi_silent_upgrades == 1
+    # Exactly one coherence transaction happened (the read miss).
+    assert m.counters.getx_requests == 0
+    m.check_coherence_invariants()
+
+
+def test_msi_same_pattern_pays_upgrade():
+    m = Machine(MachineConfig(num_cores=2, protocol="msi"))
+    addr = m.alloc_var(0)
+
+    def rw(ctx):
+        yield Load(addr)
+        yield Store(addr, 1)
+
+    m.add_thread(rw)
+    m.run()
+    assert m.counters.getx_requests == 1
+    assert m.counters.mesi_silent_upgrades == 0
+
+
+def test_second_reader_downgrades_e_without_writeback():
+    m = mesi_machine()
+    addr = m.alloc_var(5)
+
+    def t0(ctx):
+        yield Load(addr)       # E, never written
+
+    def t1(ctx):
+        yield Work(200)
+        v = yield Load(addr)
+        assert v == 5
+
+    m.add_thread(t0)
+    m.add_thread(t1)
+    m.run()
+    line = m.amap.line_of(addr)
+    assert m.directory.state_of(line) == DirState.SHARED
+    assert m.counters.writebacks == 0      # E was clean
+    m.check_coherence_invariants()
+
+
+def test_dirty_owner_still_writes_back():
+    m = mesi_machine()
+    addr = m.alloc_var(0)
+
+    def t0(ctx):
+        yield Store(addr, 9)   # E->... store miss goes straight to M
+
+    def t1(ctx):
+        yield Work(200)
+        v = yield Load(addr)
+        assert v == 9
+
+    m.add_thread(t0)
+    m.add_thread(t1)
+    m.run()
+    assert m.counters.writebacks >= 1
+    m.check_coherence_invariants()
+
+
+def test_lease_satisfied_by_e_state():
+    """A line already held in E can be leased with zero extra traffic."""
+    m = mesi_machine()
+    addr = m.alloc_var(0)
+
+    def t0(ctx):
+        yield Load(addr)                   # E
+        before = ctx.machine.counters.messages
+        yield Lease(addr, 10_000)
+        after = ctx.machine.counters.messages
+        assert after == before             # no new traffic
+        ok = yield CAS(addr, 0, 1)
+        assert ok
+        yield Release(addr)
+
+    m.add_thread(t0)
+    m.run()
+    assert m.peek(addr) == 1
+
+
+def test_clean_eviction_of_e_line_is_puts():
+    m = mesi_machine(1)
+    cfg = m.config
+    stride = cfg.l1_num_sets * cfg.line_size
+    addrs = [m.alloc.alloc(8, align=stride)
+             for _ in range(cfg.l1_assoc + 1)]
+
+    def worker(ctx):
+        for a in addrs:
+            yield Load(a)      # all granted E; one gets evicted clean
+
+    m.add_thread(worker)
+    m.run()
+    assert m.counters.l1_evictions == 1
+    assert m.counters.writebacks == 0
+    m.check_coherence_invariants()
+
+
+@pytest.mark.parametrize("protocol", ["msi", "mesi"])
+def test_contended_stack_correct_under_both_protocols(protocol):
+    from repro.structures import TreiberStack
+    m = Machine(MachineConfig(num_cores=8, protocol=protocol))
+    stack = TreiberStack(m)
+    stack.prefill(range(32))
+    for _ in range(8):
+        m.add_thread(stack.update_worker, 15)
+    m.run()
+    m.check_coherence_invariants()
+    assert m.counters.cas_failures == 0    # leases on by default
+
+
+def test_mesi_helps_private_data_pattern():
+    """Read-then-write over private lines is cheaper under MESI (the
+    classic E-state benefit)."""
+    def run(protocol):
+        m = Machine(MachineConfig(num_cores=1, protocol=protocol))
+        addrs = [m.alloc_var(0) for _ in range(20)]
+
+        def worker(ctx):
+            for a in addrs:
+                v = yield Load(a)
+                yield Store(a, v + 1)
+
+        m.add_thread(worker)
+        return m.run()
+
+    assert run("mesi") < run("msi")

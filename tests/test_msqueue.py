@@ -1,0 +1,149 @@
+"""Michael-Scott queue: FIFO semantics, per-producer order, conservation,
+and the Algorithm 3 lease variants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from conftest import make_machine
+
+from repro.structures import MichaelScottQueue
+
+
+class TestSequential:
+    def test_fifo_order(self, machine1):
+        q = MichaelScottQueue(machine1)
+        out = []
+
+        def body(ctx):
+            for v in (1, 2, 3):
+                yield from q.enqueue(ctx, v)
+            for _ in range(4):
+                out.append((yield from q.dequeue(ctx)))
+
+        machine1.add_thread(body)
+        machine1.run()
+        assert out == [1, 2, 3, None]
+
+    def test_dequeue_empty(self, machine1):
+        q = MichaelScottQueue(machine1)
+        out = []
+
+        def body(ctx):
+            out.append((yield from q.dequeue(ctx)))
+
+        machine1.add_thread(body)
+        machine1.run()
+        assert out == [None]
+
+    def test_prefill(self, machine1):
+        q = MichaelScottQueue(machine1)
+        q.prefill([5, 6, 7])
+        assert q.drain_direct() == [5, 6, 7]
+
+    @given(st.lists(st.sampled_from(["enq", "deq"]), max_size=30))
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_deque_model(self, ops):
+        from collections import deque
+        m = make_machine(1)
+        q = MichaelScottQueue(m)
+        model = deque()
+        expect, got = [], []
+        for i, op in enumerate(ops):
+            if op == "enq":
+                model.append(i)
+            else:
+                expect.append(model.popleft() if model else None)
+
+        def body(ctx):
+            for i, op in enumerate(ops):
+                if op == "enq":
+                    yield from q.enqueue(ctx, i)
+                else:
+                    got.append((yield from q.dequeue(ctx)))
+
+        m.add_thread(body)
+        m.run()
+        assert got == expect
+        assert q.drain_direct() == list(model)
+
+
+class TestConcurrent:
+    @pytest.mark.parametrize("leases,variant", [
+        (False, "single"), (True, "single"), (True, "multi"),
+    ])
+    def test_conservation_and_no_duplication(self, leases, variant):
+        m = make_machine(4, leases=leases)
+        q = MichaelScottQueue(m, variant=variant)
+        dequeued = []
+
+        def worker(ctx, tid):
+            got = []
+            for i in range(10):
+                yield from q.enqueue(ctx, (tid, i))
+            for _ in range(5):
+                v = yield from q.dequeue(ctx)
+                if v is not None:
+                    got.append(v)
+            dequeued.extend(got)
+
+        for tid in range(4):
+            m.add_thread(worker, tid)
+        m.run()
+        m.check_coherence_invariants()
+        everything = dequeued + q.drain_direct()
+        assert len(everything) == 40
+        assert len(set(everything)) == 40
+
+    @pytest.mark.parametrize("leases", [False, True])
+    def test_per_producer_fifo(self, leases):
+        """Elements of one producer are dequeued in their enqueue order
+        (a linearizability consequence for MS queues)."""
+        m = make_machine(4, leases=leases)
+        q = MichaelScottQueue(m)
+        consumed = []
+
+        def producer(ctx, tid):
+            for i in range(12):
+                yield from q.enqueue(ctx, (tid, i))
+
+        def consumer(ctx):
+            got = 0
+            while got < 12:
+                v = yield from q.dequeue(ctx)
+                if v is not None:
+                    consumed.append(v)
+                    got += 1
+
+        m.add_thread(producer, 0)
+        m.add_thread(producer, 1)
+        m.add_thread(consumer)
+        m.add_thread(consumer)
+        m.run()
+        for tid in (0, 1):
+            seq = [i for (t, i) in consumed + q.drain_direct() if t == tid]
+            assert seq == sorted(seq)
+
+    def test_lease_eliminates_cas_failures_on_sentinels(self):
+        m = make_machine(8, leases=True)
+        q = MichaelScottQueue(m)
+        q.prefill(range(50))
+        for _ in range(8):
+            m.add_thread(q.update_worker, 20)
+        m.run()
+        # Retried operations are rare: dequeues/enqueues succeed first try.
+        assert m.counters.cas_failures <= m.counters.cas_attempts * 0.05
+
+    def test_multilease_variant_correct_under_contention(self):
+        m = make_machine(8, leases=True)
+        q = MichaelScottQueue(m, variant="multi")
+        q.prefill(range(10))
+
+        def worker(ctx, tid):
+            for i in range(10):
+                yield from q.enqueue(ctx, (tid, i))
+
+        for tid in range(8):
+            m.add_thread(worker, tid)
+        m.run()
+        m.check_coherence_invariants()
+        assert len(q.drain_direct()) == 90

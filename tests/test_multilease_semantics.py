@@ -1,0 +1,266 @@
+"""Algorithm 2 (MultiLease/ReleaseAll) semantics: joint acquisition in
+global sort order, joint release, deadlock freedom (Proposition 3), the
+software emulation, and the single/multi mixing rule."""
+
+import pytest
+
+from conftest import make_machine
+
+from repro import (CAS, Lease, LeaseError, Load, MultiLease, Release,
+                   ReleaseAll, SimulationTimeout, Store, Work)
+
+
+class TestBasics:
+    def test_multilease_holds_all_lines(self):
+        m = make_machine(2)
+        a, b = m.alloc_var(0), m.alloc_var(0)
+        held = {}
+
+        def t0(ctx):
+            yield MultiLease((a, b), 10_000)
+            mgr = m.cores[0].lease_mgr
+            held["a"] = mgr.is_leased(a)
+            held["b"] = mgr.is_leased(b)
+            yield ReleaseAll()
+            held["after"] = mgr.is_leased(a) or mgr.is_leased(b)
+
+        m.add_thread(t0)
+        m.run()
+        assert held == {"a": True, "b": True, "after": False}
+
+    def test_release_one_member_releases_group(self):
+        """Section 4: MultiRelease on one address releases the whole group."""
+        m = make_machine(1)
+        a, b = m.alloc_var(0), m.alloc_var(0)
+        held = {}
+
+        def t0(ctx):
+            yield MultiLease((a, b), 10_000)
+            yield Release(a)
+            mgr = m.cores[0].lease_mgr
+            held["b_after"] = mgr.is_leased(b)
+
+        m.add_thread(t0)
+        m.run()
+        assert held["b_after"] is False
+
+    def test_multilease_releases_prior_leases_first(self):
+        m = make_machine(1)
+        a, b, c = m.alloc_var(0), m.alloc_var(0), m.alloc_var(0)
+        held = {}
+
+        def t0(ctx):
+            yield Lease(a, 10_000)
+            yield MultiLease((b, c), 10_000)
+            mgr = m.cores[0].lease_mgr
+            held["a"] = mgr.is_leased(a)
+            held["b"] = mgr.is_leased(b)
+            yield ReleaseAll()
+
+        m.add_thread(t0)
+        m.run()
+        assert held == {"a": False, "b": True}
+
+    def test_oversized_group_is_ignored(self):
+        m = make_machine(1, max_num_leases=2)
+        addrs = [m.alloc_var(0) for _ in range(3)]
+        held = {}
+
+        def t0(ctx):
+            yield MultiLease(tuple(addrs), 10_000)
+            mgr = m.cores[0].lease_mgr
+            held["any"] = any(mgr.is_leased(x) for x in addrs)
+
+        m.add_thread(t0)
+        m.run()
+        assert held["any"] is False
+        assert m.counters.multilease_ignored == 1
+
+    def test_group_expires_jointly(self):
+        m = make_machine(1, max_lease_time=150)
+        a, b = m.alloc_var(0), m.alloc_var(0)
+        out = {}
+
+        def t0(ctx):
+            yield MultiLease((a, b), 10_000)
+            yield Work(1000)
+            mgr = m.cores[0].lease_mgr
+            out["a"] = mgr.is_leased(a)
+            out["b"] = mgr.is_leased(b)
+
+        m.add_thread(t0)
+        m.run()
+        assert out == {"a": False, "b": False}
+
+    def test_single_lease_during_multilease_rejected(self):
+        m = make_machine(1)
+        a, b, c = m.alloc_var(0), m.alloc_var(0), m.alloc_var(0)
+        errs = []
+
+        def t0(ctx):
+            yield MultiLease((a, b), 10_000)
+            try:
+                yield Lease(c, 10_000)
+            except LeaseError as e:
+                errs.append(e)
+                yield ReleaseAll()
+
+        m.add_thread(t0)
+        m.run()
+        assert len(errs) == 1
+
+
+class TestMutualExclusionUnderMultiLease:
+    def test_joint_update_is_atomic(self):
+        """Two threads jointly updating overlapping pairs never interleave
+        inside the leased window (the transactional use case)."""
+        m = make_machine(4, prioritize_regular_requests=False)
+        words = [m.alloc_var(0) for _ in range(4)]
+
+        def worker(ctx):
+            for i in range(10):
+                x, y = ctx.rng.sample(range(4), 2)
+                ax, ay = words[x], words[y]
+                yield MultiLease((ax, ay), 10_000)
+                vx = yield Load(ax)
+                vy = yield Load(ay)
+                yield Work(30)
+                yield Store(ax, vx + 1)
+                yield Store(ay, vy + 1)
+                yield ReleaseAll()
+
+        for _ in range(4):
+            m.add_thread(worker)
+        m.run()
+        m.check_coherence_invariants()
+        total = sum(m.peek(w) for w in words)
+        assert total == 4 * 10 * 2     # no lost updates
+
+    def test_no_deadlock_on_reversed_pairs(self):
+        """Proposition 3: cores requesting the same two lines in opposite
+        argument orders do not deadlock (global sort order wins)."""
+        m = make_machine(2, prioritize_regular_requests=False)
+        a, b = m.alloc_var(0), m.alloc_var(0)
+
+        def t0(ctx):
+            for _ in range(20):
+                yield MultiLease((a, b), 10_000)
+                v = yield Load(a)
+                yield Store(a, v + 1)
+                yield ReleaseAll()
+
+        def t1(ctx):
+            for _ in range(20):
+                yield MultiLease((b, a), 10_000)   # reversed order
+                v = yield Load(b)
+                yield Store(b, v + 1)
+                yield ReleaseAll()
+
+        m.add_thread(t0)
+        m.add_thread(t1)
+        m.run()                       # would SimulationTimeout on deadlock
+        assert m.peek(a) == 20 and m.peek(b) == 20
+        assert m.counters.releases_involuntary == 0
+
+    def test_no_deadlock_many_cores_random_pairs(self):
+        m = make_machine(8, prioritize_regular_requests=False)
+        words = [m.alloc_var(0) for _ in range(5)]
+
+        def worker(ctx):
+            for _ in range(12):
+                x, y = ctx.rng.sample(range(5), 2)
+                yield MultiLease((words[x], words[y]), 10_000)
+                vx = yield Load(words[x])
+                yield Store(words[x], vx + 1)
+                yield ReleaseAll()
+
+        for _ in range(8):
+            m.add_thread(worker)
+        m.run()
+        assert sum(m.peek(w) for w in words) == 8 * 12
+
+
+class TestSoftwareEmulation:
+    def test_software_mode_staggers_timeouts(self):
+        """The j-th outer lease lives stagger cycles longer (Section 4)."""
+        m = make_machine(1, multilease_mode="software",
+                         software_stagger_cycles=200)
+        a, b = m.alloc_var(0), m.alloc_var(0)
+        first, second = sorted((a, b))
+        out = {}
+
+        def t0(ctx):
+            yield MultiLease((a, b), 300)
+            mgr = m.cores[0].lease_mgr
+            # Outer (first-acquired) lease got 300+200, inner 300.
+            e_first = mgr.table.get(m.amap.line_of(first))
+            e_second = mgr.table.get(m.amap.line_of(second))
+            out["d_first"] = e_first.duration
+            out["d_second"] = e_second.duration
+            yield ReleaseAll()
+
+        m.add_thread(t0)
+        m.run()
+        assert out["d_first"] == 500
+        assert out["d_second"] == 300
+
+    def test_software_mode_correctness(self):
+        """Joint updates stay atomic under the software emulation when
+        leases are long enough."""
+        m = make_machine(4, multilease_mode="software",
+                         prioritize_regular_requests=False)
+        words = [m.alloc_var(0) for _ in range(3)]
+
+        def worker(ctx):
+            for _ in range(10):
+                x, y = ctx.rng.sample(range(3), 2)
+                yield MultiLease((words[x], words[y]), 20_000)
+                vx = yield Load(words[x])
+                vy = yield Load(words[y])
+                yield Store(words[x], vx + 1)
+                yield Store(words[y], vy + 1)
+                yield ReleaseAll()
+
+        for _ in range(4):
+            m.add_thread(worker)
+        m.run()
+        assert sum(m.peek(w) for w in words) == 4 * 10 * 2
+
+    def test_software_mode_charges_overhead(self):
+        """The emulation costs extra cycles vs hardware mode."""
+        def run(mode):
+            m = make_machine(1, multilease_mode=mode,
+                             software_multilease_overhead_cycles=50)
+            a, b = m.alloc_var(0), m.alloc_var(0)
+
+            def t0(ctx):
+                for _ in range(10):
+                    yield MultiLease((a, b), 10_000)
+                    yield ReleaseAll()
+
+            m.add_thread(t0)
+            return m.run()
+
+        assert run("software") > run("hardware")
+
+
+class TestGroupInteractions:
+    def test_probe_on_group_line_waits_for_group_release(self):
+        m = make_machine(2, prioritize_regular_requests=False)
+        a, b = m.alloc_var(0), m.alloc_var(0)
+        times = {}
+
+        def holder(ctx):
+            yield MultiLease((a, b), 10_000)
+            yield Work(500)
+            yield ReleaseAll()
+
+        def rival(ctx):
+            yield Work(300)            # after the group is surely held
+            yield Store(b, 1)
+            times["store"] = ctx.machine.now
+
+        m.add_thread(holder)
+        m.add_thread(rival)
+        m.run()
+        assert times["store"] > 500

@@ -1,0 +1,72 @@
+"""Mesh network latency model and traffic accounting."""
+
+from repro.config import NetworkConfig
+from repro.coherence import MeshNetwork, MessageKind
+from repro.engine import Simulator
+from repro.stats import Counters
+
+
+def make_net(num_tiles=16, **kw):
+    sim = Simulator()
+    k = Counters()
+    net = MeshNetwork(NetworkConfig(**kw), num_tiles, sim, k)
+    return net, sim, k
+
+
+def test_mesh_dimension_covers_tiles():
+    net, _, _ = make_net(16)
+    assert net.dim == 4
+    net, _, _ = make_net(5)
+    assert net.dim == 3
+
+
+def test_self_message_zero_hops():
+    net, _, _ = make_net(16)
+    assert net.hops(3, 3) == 0
+
+
+def test_manhattan_distance():
+    net, _, _ = make_net(16)   # 4x4 row-major
+    assert net.hops(0, 3) == 3          # (0,0) -> (3,0)
+    assert net.hops(0, 15) == 6         # (0,0) -> (3,3)
+    assert net.hops(5, 6) == 1
+
+
+def test_hops_symmetric():
+    net, _, _ = make_net(16)
+    for a in range(16):
+        for b in range(16):
+            assert net.hops(a, b) == net.hops(b, a)
+
+
+def test_latency_formula():
+    net, _, _ = make_net(16, base_latency=4, hop_latency=2, data_latency=8)
+    assert net.latency(0, 0, MessageKind.ACK) == 4
+    assert net.latency(0, 15, MessageKind.ACK) == 4 + 2 * 6
+    assert net.latency(0, 15, MessageKind.DATA) == 4 + 2 * 6 + 8
+
+
+def test_data_kinds():
+    assert MessageKind.DATA.carries_data
+    assert MessageKind.PUTM.carries_data
+    assert not MessageKind.GETS.carries_data
+    assert not MessageKind.ACK.carries_data
+
+
+def test_send_counts_and_delivers():
+    net, sim, k = make_net(16)
+    got = []
+    net.send(0, 15, MessageKind.DATA, got.append, "payload")
+    assert k.messages == 1
+    assert k.data_messages == 1
+    assert k.hops == 6
+    sim.run()
+    assert got == ["payload"]
+    assert sim.now == net.latency(0, 15, MessageKind.DATA)
+
+
+def test_control_message_not_counted_as_data():
+    net, sim, k = make_net(4)
+    net.send(0, 1, MessageKind.INV, lambda: None)
+    assert k.messages == 1
+    assert k.data_messages == 0

@@ -1,0 +1,117 @@
+"""Section 5 "Speculative Execution": the involuntary-release predictor
+tracks lease sites whose leases keep ending involuntarily and stops
+honouring them (skipping a lease is always safe -- leases are advisory).
+"""
+
+from conftest import make_machine
+
+from repro import CAS, Lease, Load, Release, Work
+
+
+def hog_site_body(ctx, addr, rounds, site, work=500):
+    """A pathological lease site: leases and then overstays until expiry."""
+    for _ in range(rounds):
+        yield Lease(addr, 100, site=site)
+        yield Work(work)           # always exceeds the 100-cycle lease
+        yield Release(addr)
+
+
+def good_site_body(ctx, addr, rounds, site):
+    for _ in range(rounds):
+        yield Lease(addr, 10_000, site=site)
+        v = yield Load(addr)
+        yield CAS(addr, v, v + 1)
+        yield Release(addr)
+        yield Work(20)
+
+
+def test_predictor_blacklists_bad_site():
+    m = make_machine(1, predictor_enabled=True, predictor_min_samples=4,
+                     predictor_threshold=0.5)
+    addr = m.alloc_var(0)
+    m.add_thread(hog_site_body, addr, 20, "hog")
+    m.run()
+    k = m.counters
+    assert k.leases_ignored_by_predictor > 0
+    # Once blacklisted, no further involuntary releases accumulate: the
+    # total stays close to the sampling minimum.
+    assert k.releases_involuntary <= 6
+
+
+def test_predictor_disabled_by_default():
+    m = make_machine(1)
+    addr = m.alloc_var(0)
+    m.add_thread(hog_site_body, addr, 10, "hog")
+    m.run()
+    assert m.counters.leases_ignored_by_predictor == 0
+    assert m.counters.releases_involuntary == 10
+
+
+def test_predictor_leaves_good_sites_alone():
+    m = make_machine(2, predictor_enabled=True, predictor_min_samples=4)
+    addr = m.alloc_var(0)
+    m.add_thread(good_site_body, addr, 20, "good")
+    m.add_thread(good_site_body, addr, 20, "good")
+    m.run()
+    assert m.counters.leases_ignored_by_predictor == 0
+    assert m.peek(addr) == 40
+
+
+def test_predictor_is_per_site():
+    """Blacklisting one site must not affect another."""
+    m = make_machine(2, predictor_enabled=True, predictor_min_samples=4,
+                     predictor_threshold=0.5)
+    a, b = m.alloc_var(0), m.alloc_var(0)
+    m.add_thread(hog_site_body, a, 15, "hog")
+    m.add_thread(good_site_body, b, 15, "good")
+    m.run()
+    mgr0, mgr1 = m.cores[0].lease_mgr, m.cores[1].lease_mgr
+    assert mgr0.site_stats["hog"][1] > 0       # involuntary ends recorded
+    assert mgr1.site_stats["good"][1] == 0
+    assert m.counters.leases_ignored_by_predictor > 0
+    assert m.peek(b) == 15
+
+
+def test_untagged_leases_never_tracked():
+    m = make_machine(1, predictor_enabled=True)
+    addr = m.alloc_var(0)
+
+    def body(ctx):
+        for _ in range(10):
+            yield Lease(addr, 100)     # no site
+            yield Work(500)
+            yield Release(addr)
+
+    m.add_thread(body)
+    m.run()
+    assert m.cores[0].lease_mgr.site_stats == {}
+    assert m.counters.leases_ignored_by_predictor == 0
+
+
+def test_predictor_speeds_up_victims_of_bad_leases():
+    """Skipping hopeless leases removes the dead time they impose on
+    *other* threads (the victim finishes earlier; the hog's own local
+    compute is unchanged)."""
+    def victim_finish(enabled):
+        m = make_machine(2, predictor_enabled=enabled,
+                         predictor_min_samples=4,
+                         prioritize_regular_requests=False)
+        addr = m.alloc_var(0)
+        # Thread 0 hogs the line with fast-cycling expiring leases;
+        # thread 1 increments it and records when it finished (long
+        # enough to overlap the post-blacklist phase).
+        m.add_thread(hog_site_body, addr, 80, "hog", 150)
+        finish = {}
+
+        def worker(ctx):
+            for _ in range(60):
+                v = yield Load(addr)
+                yield CAS(addr, v, v + 1)
+                yield Work(30)
+            finish["t"] = ctx.machine.now
+
+        m.add_thread(worker)
+        m.run()
+        return finish["t"]
+
+    assert victim_finish(True) < victim_finish(False)

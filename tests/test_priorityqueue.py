@@ -1,0 +1,208 @@
+"""Priority queues: sequential skiplist PQ, Pugh fine-grained, global-lock
++ lease; plus the MultiQueue relaxed PQ."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from conftest import make_machine
+
+from repro.structures import (GlobalLockPQ, MultiQueue, PughLockPQ,
+                              SequentialSkipListPQ)
+from repro.structures.multiqueue import SequentialBinaryHeap
+
+
+class TestSequentialSkipListPQ:
+    def test_delete_min_order(self, machine1):
+        pq = SequentialSkipListPQ(machine1)
+        out = []
+
+        def body(ctx):
+            for k in (5, 1, 9, 3):
+                yield from pq.insert(ctx, k)
+            for _ in range(5):
+                out.append((yield from pq.delete_min(ctx)))
+
+        machine1.add_thread(body)
+        machine1.run()
+        assert out == [1, 3, 5, 9, None]
+
+    def test_prefill_sorted(self, machine1):
+        pq = SequentialSkipListPQ(machine1)
+        pq.prefill([7, 2, 9])
+        assert pq.keys_direct() == [2, 7, 9]
+
+    @given(st.lists(st.integers(0, 100), max_size=25))
+    @settings(max_examples=15, deadline=None)
+    def test_property_heapsort(self, keys):
+        m = make_machine(1)
+        pq = SequentialSkipListPQ(m)
+        out = []
+
+        def body(ctx):
+            for k in keys:
+                yield from pq.insert(ctx, k)
+            for _ in range(len(keys)):
+                out.append((yield from pq.delete_min(ctx)))
+
+        m.add_thread(body)
+        m.run()
+        assert out == sorted(keys)
+
+
+class TestSequentialBinaryHeap:
+    @given(st.lists(st.integers(0, 100), max_size=25))
+    @settings(max_examples=15, deadline=None)
+    def test_property_heapsort(self, keys):
+        m = make_machine(1)
+        h = SequentialBinaryHeap(m, capacity=64)
+        out = []
+
+        def body(ctx):
+            for k in keys:
+                yield from h.insert(ctx, k)
+            for _ in range(len(keys)):
+                out.append((yield from h.delete_min(ctx)))
+
+        m.add_thread(body)
+        m.run()
+        assert out == sorted(keys)
+
+    def test_peek_does_not_remove(self, machine1):
+        h = SequentialBinaryHeap(machine1)
+        out = []
+
+        def body(ctx):
+            yield from h.insert(ctx, 4)
+            out.append((yield from h.peek_min(ctx)))
+            out.append((yield from h.peek_min(ctx)))
+
+        machine1.add_thread(body)
+        machine1.run()
+        assert out == [4, 4]
+
+    def test_empty(self, machine1):
+        h = SequentialBinaryHeap(machine1)
+        out = []
+
+        def body(ctx):
+            out.append((yield from h.peek_min(ctx)))
+            out.append((yield from h.delete_min(ctx)))
+
+        machine1.add_thread(body)
+        machine1.run()
+        assert out == [None, None]
+
+    def test_capacity_overflow(self, machine1):
+        h = SequentialBinaryHeap(machine1, capacity=2)
+        errs = []
+
+        def body(ctx):
+            yield from h.insert(ctx, 1)
+            yield from h.insert(ctx, 2)
+            try:
+                yield from h.insert(ctx, 3)
+            except OverflowError as e:
+                errs.append(e)
+
+        machine1.add_thread(body)
+        machine1.run()
+        assert len(errs) == 1
+
+
+@pytest.mark.parametrize("cls,leases", [
+    (PughLockPQ, False),
+    (GlobalLockPQ, False),
+    (GlobalLockPQ, True),
+])
+class TestConcurrentPQ:
+    def test_conservation_and_order(self, cls, leases):
+        m = make_machine(4, leases=leases)
+        pq = cls(m)
+        pq.prefill(range(0, 60, 2))
+        popped = []
+
+        def worker(ctx, tid):
+            for i in range(6):
+                yield from pq.insert(ctx, 100 + tid * 10 + i)
+            for _ in range(6):
+                v = yield from pq.delete_min(ctx)
+                if v is not None:
+                    popped.append(v)
+
+        for tid in range(4):
+            m.add_thread(worker, tid)
+        m.run()
+        m.check_coherence_invariants()
+        remaining = pq.keys_direct()
+        assert remaining == sorted(remaining)
+        assert len(popped) + len(remaining) == 30 + 24
+        assert sorted(popped + remaining) == sorted(
+            list(range(0, 60, 2)) +
+            [100 + t * 10 + i for t in range(4) for i in range(6)])
+
+    def test_delete_min_returns_small_keys(self, cls, leases):
+        """Every deleted key must be <= every key still in the queue at
+        the end (global minimality cannot hold mid-run, but the smallest
+        prefilled keys must be gone first in aggregate)."""
+        m = make_machine(4, leases=leases)
+        pq = cls(m)
+        pq.prefill(range(100))
+        popped = []
+
+        def worker(ctx):
+            for _ in range(5):
+                v = yield from pq.delete_min(ctx)
+                popped.append(v)
+
+        for _ in range(4):
+            m.add_thread(worker)
+        m.run()
+        assert sorted(popped) == list(range(20))
+
+
+class TestMultiQueue:
+    @pytest.mark.parametrize("leases", [False, True])
+    def test_conservation(self, leases):
+        m = make_machine(4, leases=leases)
+        mq = MultiQueue(m, num_queues=4)
+        mq.prefill(range(40))
+        popped = []
+
+        def worker(ctx, tid):
+            for i in range(8):
+                yield from mq.insert(ctx, 1000 + tid * 10 + i)
+            for _ in range(8):
+                v = yield from mq.delete_min(ctx)
+                if v is not None:
+                    popped.append(v)
+
+        for tid in range(4):
+            m.add_thread(worker, tid)
+        m.run()
+        m.check_coherence_invariants()
+        remaining = [k for q in mq.queues for k in q.keys_direct()]
+        assert sorted(popped + remaining) == sorted(
+            list(range(40)) +
+            [1000 + t * 10 + i for t in range(4) for i in range(8)])
+
+    @pytest.mark.parametrize("leases", [False, True])
+    def test_relaxed_delete_min_quality(self, leases):
+        """deleteMin returns *small* keys: with 4 queues the rank error is
+        bounded in practice; we assert the aggregate stays in the bottom
+        half (a loose relaxation bound)."""
+        m = make_machine(4, leases=leases)
+        mq = MultiQueue(m, num_queues=4)
+        mq.prefill(range(200))
+        popped = []
+
+        def worker(ctx):
+            for _ in range(10):
+                v = yield from mq.delete_min(ctx)
+                if v is not None:
+                    popped.append(v)
+
+        for _ in range(4):
+            m.add_thread(worker)
+        m.run()
+        assert len(popped) == 40
+        assert max(popped) < 100     # all from the lower half

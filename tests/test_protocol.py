@@ -1,0 +1,242 @@
+"""End-to-end MSI protocol behaviour through small machines.
+
+These tests drive real threads and then assert on directory state, L1
+states and traffic counters -- the protocol's observable contract.
+"""
+
+from conftest import make_machine
+
+from repro import CAS, FetchAdd, Load, Store, Work
+from repro.coherence.states import DirState, LineState
+
+
+def run_threads(m, *bodies):
+    for body in bodies:
+        m.add_thread(body)
+    m.run()
+    m.check_coherence_invariants()
+
+
+class TestReadsAndWrites:
+    def test_single_reader_gets_shared(self):
+        m = make_machine(2)
+        addr = m.alloc_var(7)
+
+        def reader(ctx):
+            v = yield Load(addr)
+            assert v == 7
+
+        run_threads(m, reader)
+        line = m.amap.line_of(addr)
+        assert m.directory.state_of(line) == DirState.SHARED
+        assert m.cores[0].memunit.l1.state_of(line) == LineState.S
+
+    def test_writer_gets_modified(self):
+        m = make_machine(2)
+        addr = m.alloc_var(0)
+
+        def writer(ctx):
+            yield Store(addr, 42)
+
+        run_threads(m, writer)
+        line = m.amap.line_of(addr)
+        assert m.directory.state_of(line) == DirState.MODIFIED
+        assert m.directory.owner_of(line) == 0
+        assert m.peek(addr) == 42
+
+    def test_two_readers_share(self):
+        m = make_machine(2)
+        addr = m.alloc_var(5)
+
+        def reader(ctx):
+            v = yield Load(addr)
+            assert v == 5
+
+        run_threads(m, reader, reader)
+        line = m.amap.line_of(addr)
+        assert m.directory.state_of(line) == DirState.SHARED
+        assert m.directory.sharers_of(line) == frozenset({0, 1})
+
+    def test_write_invalidates_readers(self):
+        m = make_machine(3)
+        addr = m.alloc_var(0)
+
+        def reader(ctx):
+            yield Load(addr)
+            yield Work(5)
+
+        def writer(ctx):
+            yield Work(200)       # let both readers cache the line first
+            yield Store(addr, 1)
+
+        run_threads(m, reader, reader, writer)
+        line = m.amap.line_of(addr)
+        assert m.directory.state_of(line) == DirState.MODIFIED
+        assert m.directory.owner_of(line) == 2
+        assert m.cores[0].memunit.l1.state_of(line) == LineState.I
+        assert m.cores[1].memunit.l1.state_of(line) == LineState.I
+        assert m.counters.invalidations_sent >= 2
+
+    def test_read_downgrades_writer(self):
+        m = make_machine(2)
+        addr = m.alloc_var(0)
+
+        def writer(ctx):
+            yield Store(addr, 9)
+
+        def reader(ctx):
+            yield Work(200)
+            v = yield Load(addr)
+            assert v == 9
+
+        run_threads(m, writer, reader)
+        line = m.amap.line_of(addr)
+        assert m.directory.state_of(line) == DirState.SHARED
+        assert m.cores[0].memunit.l1.state_of(line) == LineState.S
+        assert m.counters.downgrades_sent == 1
+        assert m.counters.writebacks >= 1
+
+    def test_repeat_reads_hit_in_l1(self):
+        m = make_machine(1)
+        addr = m.alloc_var(3)
+
+        def reader(ctx):
+            for _ in range(10):
+                yield Load(addr)
+
+        run_threads(m, reader)
+        assert m.counters.l1_misses == 1
+        assert m.counters.l1_hits == 9
+
+    def test_upgrade_from_shared(self):
+        """A core holding S that writes issues a GetX but no data fetch."""
+        m = make_machine(2)
+        addr = m.alloc_var(0)
+
+        def rw(ctx):
+            yield Load(addr)
+            yield Store(addr, 1)
+
+        run_threads(m, rw)
+        line = m.amap.line_of(addr)
+        assert m.directory.state_of(line) == DirState.MODIFIED
+        # One GetS + one GetX, both misses.
+        assert m.counters.gets_requests == 1
+        assert m.counters.getx_requests == 1
+
+
+class TestAtomics:
+    def test_fetch_add_no_lost_updates(self):
+        m = make_machine(4, leases=False)
+        addr = m.alloc_var(0)
+
+        def worker(ctx):
+            for _ in range(25):
+                yield FetchAdd(addr, 1)
+
+        run_threads(m, *([worker] * 4))
+        assert m.peek(addr) == 100
+
+    def test_cas_is_atomic(self):
+        m = make_machine(4, leases=False)
+        addr = m.alloc_var(0)
+
+        def worker(ctx):
+            done = 0
+            while done < 25:
+                v = yield Load(addr)
+                ok = yield CAS(addr, v, v + 1)
+                if ok:
+                    done += 1
+
+        run_threads(m, *([worker] * 4))
+        assert m.peek(addr) == 100
+
+    def test_cas_failure_counted(self):
+        m = make_machine(1)
+        addr = m.alloc_var(5)
+
+        def worker(ctx):
+            ok = yield CAS(addr, 99, 1)
+            assert not ok
+
+        run_threads(m, worker)
+        assert m.counters.cas_failures == 1
+        assert m.peek(addr) == 5
+
+
+class TestEvictions:
+    def test_capacity_eviction_notifies_directory(self):
+        """Filling one L1 set beyond its ways produces PutS/PutM notices
+        and leaves the directory consistent."""
+        m = make_machine(1)
+        cfg = m.config
+        # Addresses mapping to the same L1 set: stride = sets * line.
+        stride = cfg.l1_num_sets * cfg.line_size
+        addrs = [m.alloc.alloc(8, align=stride) for _ in range(cfg.l1_assoc + 2)]
+
+        def worker(ctx):
+            for a in addrs:
+                yield Store(a, 1)
+
+        run_threads(m, worker)
+        assert m.counters.l1_evictions == 2
+
+    def test_dirty_eviction_then_reread(self):
+        """A value written, evicted and re-read must survive."""
+        m = make_machine(1)
+        cfg = m.config
+        stride = cfg.l1_num_sets * cfg.line_size
+        addrs = [m.alloc.alloc(8, align=stride)
+                 for _ in range(cfg.l1_assoc + 1)]
+
+        def worker(ctx):
+            for i, a in enumerate(addrs):
+                yield Store(a, i + 100)
+            vals = []
+            for a in addrs:
+                v = yield Load(a)
+                vals.append(v)
+            assert vals == [i + 100 for i in range(len(addrs))]
+
+        run_threads(m, worker)
+
+
+class TestTrafficAccounting:
+    def test_miss_generates_messages(self):
+        m = make_machine(2)
+        addr = m.alloc_var(0)
+
+        def reader(ctx):
+            yield Load(addr)
+
+        run_threads(m, reader)
+        assert m.counters.messages >= 2      # request + grant
+        assert m.counters.l2_accesses >= 1
+        assert m.counters.dram_accesses == 1  # cold miss
+
+    def test_warm_alloc_skips_dram(self):
+        m = make_machine(2)
+
+        def worker(ctx):
+            a = ctx.alloc_cached(1, [5])
+            v = yield Load(a)
+            assert v == 5
+
+        run_threads(m, worker)
+        assert m.counters.dram_accesses == 0
+        assert m.counters.l1_misses == 0
+
+    def test_dram_charged_once_per_line(self):
+        m = make_machine(2)
+        addr = m.alloc_var(0)
+
+        def t0(ctx):
+            yield Load(addr)
+
+        def t1(ctx):
+            yield Work(100)
+            yield Load(addr)
+
+        run_threads(m, t0, t1)
+        assert m.counters.dram_accesses == 1

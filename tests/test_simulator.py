@@ -1,0 +1,124 @@
+"""Simulator run loop: clock, budgets, quiescence, scheduling rules."""
+
+import pytest
+
+from repro.engine import Simulator
+from repro.errors import SimulationError, SimulationTimeout
+
+
+def test_clock_advances_to_event_times():
+    sim = Simulator()
+    seen = []
+    sim.at(10, lambda: seen.append(sim.now))
+    sim.at(25, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [10, 25]
+    assert sim.now == 25
+
+
+def test_after_is_relative():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        sim.after(5, lambda: seen.append(sim.now))
+
+    sim.at(10, first)
+    sim.run()
+    assert seen == [15]
+
+
+def test_cannot_schedule_into_the_past():
+    sim = Simulator()
+    sim.at(10, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(5, lambda: None)
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.after(-1, lambda: None)
+
+
+def test_until_stops_and_preserves_pending():
+    sim = Simulator()
+    seen = []
+    sim.at(10, lambda: seen.append("a"))
+    sim.at(100, lambda: seen.append("b"))
+    sim.run(until=50)
+    assert seen == ["a"]
+    assert sim.now == 50
+    sim.run()
+    assert seen == ["a", "b"]
+
+
+def test_max_events_budget():
+    sim = Simulator(max_events=100)
+
+    def tick():
+        sim.after(1, tick)
+
+    sim.at(0, tick)
+    with pytest.raises(SimulationTimeout) as exc:
+        sim.run()
+    assert exc.value.events == 101
+
+
+def test_max_cycles_budget():
+    sim = Simulator(max_cycles=1000)
+    sim.at(2000, lambda: None)
+    with pytest.raises(SimulationTimeout):
+        sim.run()
+
+
+def test_quiescence_stops_early():
+    sim = Simulator()
+    seen = []
+    done = []
+    sim.quiescent = lambda: bool(done)
+    sim.at(1, lambda: (seen.append(1), done.append(True)))
+    sim.at(1000, lambda: seen.append(2))   # never fires: quiescent first
+    sim.run()
+    assert seen == [1]
+
+
+def test_cancel_through_simulator():
+    sim = Simulator()
+    seen = []
+    ev = sim.at(5, lambda: seen.append(1))
+    sim.cancel(ev)
+    sim.run()
+    assert seen == []
+
+
+def test_run_not_reentrant():
+    sim = Simulator()
+    err = []
+
+    def inner():
+        try:
+            sim.run()
+        except SimulationError as e:
+            err.append(e)
+
+    sim.at(1, inner)
+    sim.run()
+    assert len(err) == 1
+
+
+def test_rng_is_seeded():
+    a = Simulator(seed=42).rng.random()
+    b = Simulator(seed=42).rng.random()
+    c = Simulator(seed=43).rng.random()
+    assert a == b
+    assert a != c
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(7):
+        sim.at(i, lambda: None)
+    sim.run()
+    assert sim.events_processed == 7

@@ -1,0 +1,99 @@
+"""Stats: counters, energy model, run reports."""
+
+from repro import Counters, EnergyModel, RunResult
+from repro.config import EnergyConfig
+from repro.stats.report import format_table
+
+
+class TestCounters:
+    def test_note_op(self):
+        k = Counters()
+        k.note_op(0)
+        k.note_op(0)
+        k.note_op(3)
+        assert k.ops_completed == 3
+        assert k.per_core_ops == {0: 2, 3: 1}
+
+    def test_snapshot_delta(self):
+        k = Counters()
+        k.l1_hits = 5
+        snap = k.snapshot()
+        k.l1_hits = 12
+        k.messages = 3
+        d = k.delta(snap)
+        assert d["l1_hits"] == 7
+        assert d["messages"] == 3
+
+    def test_reset(self):
+        k = Counters()
+        k.l1_hits = 5
+        k.note_op(1)
+        k.reset()
+        assert k.l1_hits == 0
+        assert k.ops_completed == 0
+        assert k.per_core_ops == {}
+
+
+class TestEnergyModel:
+    def test_zero_counters_static_only(self):
+        cfg = EnergyConfig(static_nj_per_core_cycle=0.5)
+        em = EnergyModel(cfg, num_cores=4)
+        assert em.total_nj(Counters(), cycles=10) == 0.5 * 4 * 10
+
+    def test_dynamic_terms(self):
+        cfg = EnergyConfig(l1_access_nj=1, l2_access_nj=2, dram_access_nj=3,
+                           message_nj=4, hop_nj=5, data_message_nj=6,
+                           static_nj_per_core_cycle=0)
+        em = EnergyModel(cfg, num_cores=1)
+        k = Counters()
+        k.l1_hits, k.l1_misses = 1, 1
+        k.l2_accesses = 1
+        k.dram_accesses = 1
+        k.messages, k.hops, k.data_messages = 1, 1, 1
+        assert em.total_nj(k, 0) == 2 * 1 + 2 + 3 + 4 + 5 + 6
+
+    def test_nj_per_op_divides_by_ops(self):
+        cfg = EnergyConfig(static_nj_per_core_cycle=1)
+        em = EnergyModel(cfg, num_cores=1)
+        k = Counters()
+        k.ops_completed = 10
+        assert em.nj_per_op(k, cycles=100) == 10.0
+
+    def test_delta_form_matches(self):
+        cfg = EnergyConfig()
+        em = EnergyModel(cfg, num_cores=2)
+        k = Counters()
+        k.l1_hits, k.messages, k.hops = 7, 3, 9
+        snap = Counters().snapshot()
+        assert em.total_nj_from_delta(k.delta(snap), 50) == \
+            em.total_nj(k, 50)
+
+
+class TestRunResult:
+    def make(self):
+        return RunResult(name="x", num_threads=4, cycles=1000, ops=100,
+                         throughput_ops_per_sec=1e8,
+                         energy_nj_per_op=12.5, messages_per_op=4.0,
+                         l1_misses_per_op=2.0, cas_failure_rate=0.1)
+
+    def test_mops(self):
+        assert self.make().mops_per_sec == 100.0
+
+    def test_row_and_str(self):
+        r = self.make()
+        row = r.row()
+        assert row["threads"] == 4
+        assert "mops_per_sec=100.0" in str(r)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        rows = [{"a": 1, "bb": "xy"}, {"a": 100, "bb": "z"}]
+        out = format_table(rows)
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a ")
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"

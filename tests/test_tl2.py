@@ -1,0 +1,83 @@
+"""TL2-style transactional benchmark: atomicity, conservation, abort
+accounting, and the lease-variant ordering the paper reports."""
+
+import pytest
+
+from conftest import make_machine
+
+from repro.stm import TL2Objects
+
+
+@pytest.mark.parametrize("variant,leases", [
+    ("none", False), ("single", True), ("multi", True),
+])
+def test_committed_updates_conserved(variant, leases):
+    m = make_machine(4, leases=leases)
+    tl2 = TL2Objects(m, lease=variant)
+    for _ in range(4):
+        m.add_thread(tl2.txn_worker, 10)
+    m.run()
+    m.check_coherence_invariants()
+    assert m.counters.stm_commits == 40
+    assert tl2.total_value_direct() == 80
+    # Each object's version equals the number of transactions touching it.
+    assert sum(tl2.versions_direct()) == 80
+
+
+def test_unknown_variant_rejected():
+    with pytest.raises(ValueError):
+        TL2Objects(make_machine(1), lease="quantum")
+
+
+def test_locks_all_released_at_end():
+    m = make_machine(4)
+    tl2 = TL2Objects(m, lease="multi")
+    for _ in range(4):
+        m.add_thread(tl2.txn_worker, 10)
+    m.run()
+    from repro.stm.tl2 import LOCK_OFF
+    assert all(m.peek(obj + LOCK_OFF) == 0 for obj in tl2.objects)
+
+
+def test_multilease_eliminates_aborts():
+    m = make_machine(8, leases=True)
+    tl2 = TL2Objects(m, lease="multi")
+    for _ in range(8):
+        m.add_thread(tl2.txn_worker, 10)
+    m.run()
+    assert m.counters.stm_aborts == 0
+
+
+def test_baseline_aborts_under_contention():
+    m = make_machine(8, leases=False)
+    tl2 = TL2Objects(m, lease="none")
+    for _ in range(8):
+        m.add_thread(tl2.txn_worker, 10)
+    m.run()
+    assert m.counters.stm_aborts > 0
+
+
+def test_variant_ordering_under_contention():
+    """Paper's Figure 4/5 ordering: none <= single <= multi throughput."""
+    def run(variant):
+        m = make_machine(16, leases=(variant != "none"))
+        tl2 = TL2Objects(m, lease=variant)
+        for _ in range(16):
+            m.add_thread(tl2.txn_worker, 12)
+        cycles = m.run()
+        return cycles
+
+    t_none, t_single, t_multi = run("none"), run("single"), run("multi")
+    assert t_multi < t_single < t_none
+
+
+def test_software_multilease_close_to_hardware():
+    def run(mode):
+        m = make_machine(8, leases=True, multilease_mode=mode)
+        tl2 = TL2Objects(m, lease="multi")
+        for _ in range(8):
+            m.add_thread(tl2.txn_worker, 12)
+        return m.run()
+
+    hw, sw = run("hardware"), run("software")
+    assert hw <= sw <= hw * 1.5   # slight, bounded hit

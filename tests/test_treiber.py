@@ -1,0 +1,165 @@
+"""Treiber stack: sequential semantics, concurrent conservation, and the
+Figure 1 lease behaviour."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from conftest import make_machine
+
+from repro.structures import TreiberStack
+
+
+def run_single(m, script):
+    """Run `script(stack)` as the only thread; returns collected results."""
+    stack = TreiberStack(m)
+    out = []
+
+    def body(ctx):
+        yield from script(ctx, stack, out)
+
+    m.add_thread(body)
+    m.run()
+    m.check_coherence_invariants()
+    return stack, out
+
+
+class TestSequential:
+    def test_lifo_order(self, machine1):
+        def script(ctx, stack, out):
+            for v in (1, 2, 3):
+                yield from stack.push(ctx, v)
+            for _ in range(3):
+                v = yield from stack.pop(ctx)
+                out.append(v)
+
+        _, out = run_single(machine1, script)
+        assert out == [3, 2, 1]
+
+    def test_pop_empty_returns_none(self, machine1):
+        def script(ctx, stack, out):
+            out.append((yield from stack.pop(ctx)))
+
+        _, out = run_single(machine1, script)
+        assert out == [None]
+
+    def test_interleaved_push_pop(self, machine1):
+        def script(ctx, stack, out):
+            yield from stack.push(ctx, "a")
+            out.append((yield from stack.pop(ctx)))
+            yield from stack.push(ctx, "b")
+            yield from stack.push(ctx, "c")
+            out.append((yield from stack.pop(ctx)))
+            out.append((yield from stack.pop(ctx)))
+            out.append((yield from stack.pop(ctx)))
+
+        _, out = run_single(machine1, script)
+        assert out == ["a", "c", "b", None]
+
+    def test_prefill_order(self, machine1):
+        stack = TreiberStack(machine1)
+        stack.prefill([1, 2, 3])
+        assert stack.drain_direct() == [3, 2, 1]
+
+    @given(st.lists(st.sampled_from(["push", "pop"]), max_size=30))
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_list_model(self, ops):
+        """Single-threaded stack behaves exactly like a Python list."""
+        m = make_machine(1)
+        stack = TreiberStack(m)
+        model = []
+        expect = []
+
+        def body(ctx):
+            for i, op in enumerate(ops):
+                if op == "push":
+                    yield from stack.push(ctx, i)
+                else:
+                    v = yield from stack.pop(ctx)
+                    got.append(v)
+
+        got = []
+        for i, op in enumerate(ops):
+            if op == "push":
+                model.append(i)
+            else:
+                expect.append(model.pop() if model else None)
+        m.add_thread(body)
+        m.run()
+        assert got == expect
+        assert stack.drain_direct() == list(reversed(model))
+
+
+class TestConcurrent:
+    @pytest.mark.parametrize("leases", [False, True])
+    def test_conservation(self, leases):
+        """pushes - pops(successful) == final size; no duplicates, no
+        losses."""
+        m = make_machine(4, leases=leases)
+        stack = TreiberStack(m)
+        popped = []
+
+        def worker(ctx, tid):
+            mine = []
+            for i in range(10):
+                yield from stack.push(ctx, (tid, i))
+            for _ in range(5):
+                v = yield from stack.pop(ctx)
+                if v is not None:
+                    mine.append(v)
+            popped.extend(mine)
+
+        for tid in range(4):
+            m.add_thread(worker, tid)
+        m.run()
+        m.check_coherence_invariants()
+        remaining = stack.drain_direct()
+        all_values = popped + remaining
+        assert len(all_values) == 40
+        assert len(set(all_values)) == 40      # no duplication
+
+    def test_lease_eliminates_cas_failures(self):
+        m = make_machine(8, leases=True)
+        stack = TreiberStack(m)
+        stack.prefill(range(50))
+        for _ in range(8):
+            m.add_thread(stack.update_worker, 20)
+        m.run()
+        assert m.counters.cas_failures == 0
+
+    def test_baseline_has_cas_failures(self):
+        m = make_machine(8, leases=False)
+        stack = TreiberStack(m)
+        stack.prefill(range(50))
+        for _ in range(8):
+            m.add_thread(stack.update_worker, 20)
+        m.run()
+        assert m.counters.cas_failures > 0
+
+    def test_lease_improves_throughput_under_contention(self):
+        def run(leases):
+            m = make_machine(16, leases=leases)
+            stack = TreiberStack(m)
+            stack.prefill(range(50))
+            for _ in range(16):
+                m.add_thread(stack.update_worker, 20)
+            return m.run()
+
+        assert run(True) < run(False) / 2   # at least 2x faster
+
+    def test_same_code_identical_semantics_with_and_without_lease(self):
+        """Both modes produce valid stacks with the same op counts."""
+        finals = []
+        for leases in (False, True):
+            m = make_machine(4, leases=leases)
+            stack = TreiberStack(m)
+
+            def worker(ctx, tid):
+                for i in range(8):
+                    yield from stack.push(ctx, (tid, i))
+                    yield from stack.pop(ctx)
+
+            for tid in range(4):
+                m.add_thread(worker, tid)
+            m.run()
+            finals.append(len(stack.drain_direct()))
+        assert finals == [0, 0]

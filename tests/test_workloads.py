@@ -1,0 +1,119 @@
+"""Workload drivers: every bench runs, is deterministic, and reports sane
+results; the harness registry covers every figure in DESIGN.md."""
+
+import pytest
+
+from repro.harness import EXPERIMENTS, run_experiment
+from repro.harness.runner import series_table, sweep
+from repro.workloads import (bench_bst, bench_counter, bench_harris_list,
+                             bench_hashtable, bench_multiqueue,
+                             bench_pagerank, bench_pq, bench_queue,
+                             bench_skiplist, bench_snapshot, bench_stack,
+                             bench_tl2)
+
+SMALL = dict(ops_per_thread=10)
+
+
+class TestDrivers:
+    @pytest.mark.parametrize("variant", ["base", "lease", "backoff"])
+    def test_stack_variants(self, variant):
+        r = bench_stack(2, variant=variant, **SMALL)
+        assert r.ops == 20
+        assert r.throughput_ops_per_sec > 0
+
+    @pytest.mark.parametrize("variant",
+                             ["base", "lease", "multilease", "backoff"])
+    def test_queue_variants(self, variant):
+        r = bench_queue(2, variant=variant, **SMALL)
+        assert r.ops == 20
+
+    @pytest.mark.parametrize("variant,lease", [
+        ("tts", False), ("tts", True), ("ticket", False), ("clh", False),
+    ])
+    def test_counter_variants(self, variant, lease):
+        r = bench_counter(2, variant=variant, use_lease=lease, **SMALL)
+        assert r.ops == 20
+
+    @pytest.mark.parametrize("variant", ["pugh", "globallock", "lease"])
+    def test_pq_variants(self, variant):
+        r = bench_pq(2, variant=variant, ops_per_thread=8, prefill=64)
+        assert r.ops == 16
+
+    @pytest.mark.parametrize("lease", [False, True])
+    def test_multiqueue(self, lease):
+        r = bench_multiqueue(2, use_lease=lease, ops_per_thread=8,
+                             prefill=64)
+        assert r.ops == 16
+
+    @pytest.mark.parametrize("variant", ["none", "single", "multi"])
+    def test_tl2_variants(self, variant):
+        r = bench_tl2(2, variant=variant, txns_per_thread=8)
+        assert r.ops == 16
+        assert "abort_rate" in r.extra
+
+    @pytest.mark.parametrize("mode", ["hardware", "software"])
+    def test_tl2_multilease_modes(self, mode):
+        r = bench_tl2(2, variant="multi", multilease_mode=mode,
+                      txns_per_thread=8)
+        assert r.ops == 16
+
+    @pytest.mark.parametrize("lease", [False, True])
+    def test_pagerank(self, lease):
+        r = bench_pagerank(2, num_pages=32, iterations=1, use_lease=lease)
+        assert r.ops == 32          # one op per page per iteration
+
+    @pytest.mark.parametrize("lease", [False, True])
+    def test_snapshot(self, lease):
+        r = bench_snapshot(2, use_lease=lease, ops_per_thread=5)
+        assert r.ops == 5
+        assert "snapshot_retries" in r.extra
+
+    @pytest.mark.parametrize("bench", [bench_harris_list, bench_skiplist,
+                                       bench_hashtable, bench_bst])
+    def test_low_contention_structures(self, bench):
+        r = bench(2, ops_per_thread=10, key_range=32)
+        assert r.ops == 20
+
+    def test_driver_determinism(self):
+        a = bench_stack(2, variant="lease", **SMALL)
+        b = bench_stack(2, variant="lease", **SMALL)
+        assert a.cycles == b.cycles
+        assert a.messages_per_op == b.messages_per_op
+
+    def test_max_lease_time_override(self):
+        r = bench_stack(2, variant="lease", max_lease_time=1_000, **SMALL)
+        assert r.ops == 20
+
+
+class TestHarness:
+    def test_every_design_md_experiment_registered(self):
+        expected = {
+            "fig2_stack", "fig3_counter", "fig3_queue", "fig3_pq",
+            "fig4_multiqueue", "fig4_tl2", "fig5_hw_sw_multilease",
+            "fig5_pagerank", "e1_backoff", "e2_low_contention_list",
+            "e2_low_contention_skiplist", "e2_low_contention_hashtable",
+            "e2_low_contention_bst", "e3_messages_per_op",
+            "a1_prioritization", "a2_lease_time", "a3_misuse",
+            "s1_snapshot",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_experiments_have_claims(self):
+        for exp in EXPERIMENTS.values():
+            assert exp.paper_claim
+            assert exp.variants
+
+    def test_run_experiment_small(self):
+        res = run_experiment("fig2_stack", thread_counts=(2,),
+                             ops_per_thread=8)
+        assert set(res) == {"base", "lease"}
+        assert res["base"][0].num_threads == 2
+
+    def test_sweep_and_table(self):
+        res = sweep(bench_stack,
+                    {"base": {"variant": "base"}},
+                    thread_counts=(2, 4), ops_per_thread=8)
+        table = series_table(res)
+        assert "t=2" in table and "t=4" in table
+        energy = series_table(res, metric="nj_per_op")
+        assert "variant" in energy
