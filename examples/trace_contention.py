@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Where does the contention live?  Tracing the Treiber stack.
+
+Attaches a ContentionHeatmap and a JSONL event recorder to the Figure 2
+workload (100% push/pop updates on a Treiber stack).  The heatmap
+aggregates directory queueing and probe traffic per cache line and
+resolves the lines to allocation labels, so the paper's story — all the
+pressure concentrates on the head pointer — is visible by name.  The
+JSONL trace is reconciled against the run's counters before printing.
+
+Run:  python examples/trace_contention.py
+"""
+
+import io
+import json
+
+from repro.trace import ContentionHeatmap, JsonlTracer, reconcile
+from repro.workloads.driver import bench_stack
+
+THREADS = 16
+OPS_PER_THREAD = 50
+
+
+def main():
+    heat = ContentionHeatmap()
+    buf = io.StringIO()
+    jsonl = JsonlTracer(buf)
+
+    res = bench_stack(THREADS, variant="base",
+                      ops_per_thread=OPS_PER_THREAD, sinks=[heat, jsonl])
+
+    print(f"Treiber stack (base), {THREADS} threads, "
+          f"{res.ops} ops, {res.cycles} cycles\n")
+
+    print("-- contention heatmap (by allocation label) --")
+    print(heat.report(top=8))
+
+    head = heat.rows(top=1)[0]
+    pressure = lambda r: r["dir_queued"] + r["probes"]
+    share = pressure(head) / max(1, sum(pressure(r) for r in heat.rows()))
+    print(f"\n{head['allocation']} absorbs {share:.0%} of all queueing/"
+          "probe pressure — the single contended line the lease covers.")
+
+    # The event stream must agree with the counter aggregate, always.
+    problems = reconcile(jsonl.counts, res.counters)
+    assert not problems, problems
+    print(f"\n{jsonl.total} events recorded; trace/counter reconciliation OK")
+
+    print("\n-- first three events --")
+    for line in buf.getvalue().splitlines()[:3]:
+        print(json.dumps(json.loads(line), sort_keys=True))
+
+
+if __name__ == "__main__":
+    main()

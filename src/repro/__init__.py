@@ -35,8 +35,11 @@ from .core import (CAS, Ctx, Fence, FetchAdd, Lease, Load, Machine,
 from .errors import (AllocationError, ConfigError, LeaseError, ProtocolError,
                      ReproError, SimulationError, SimulationTimeout)
 from .stats import Counters, EnergyModel, RunResult
+from .trace import (ContentionHeatmap, CountersTracer, InvariantTracer,
+                    JsonlTracer, NullTracer, RingBufferTracer, TraceBus,
+                    TraceEvent, Tracer)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "MachineConfig", "LeaseConfig", "NetworkConfig", "EnergyConfig",
@@ -45,6 +48,9 @@ __all__ = [
     "Load", "Store", "CAS", "FetchAdd", "Swap", "TestAndSet", "Work",
     "Fence", "Lease", "Release", "MultiLease", "ReleaseAll",
     "Counters", "EnergyModel", "RunResult",
+    "TraceEvent", "Tracer", "NullTracer", "TraceBus", "CountersTracer",
+    "RingBufferTracer", "JsonlTracer", "ContentionHeatmap",
+    "InvariantTracer",
     "ReproError", "ConfigError", "SimulationError", "SimulationTimeout",
     "ProtocolError", "LeaseError", "AllocationError",
     "__version__",

@@ -5,23 +5,67 @@ Commands:
 * ``list``               -- list the registered experiments (one per paper
                             figure/table) with their paper claims.
 * ``run <experiment>``   -- run one experiment and print its series.
+                            ``--jobs N`` fans the sweep cells over worker
+                            processes; ``--save out.json`` writes the raw
+                            results; ``--invariants`` checks coherence/
+                            lease invariants continuously while running.
+* ``trace <experiment>`` -- run one experiment with the JSONL tracer
+                            attached, writing every simulator event to a
+                            file and reconciling the trace against the
+                            run's counters.
 * ``config``             -- print the Table-1 machine configuration.
 
 Examples::
 
     python -m repro list
     python -m repro run fig2_stack --threads 2,8,32
+    python -m repro run fig2_stack --jobs 4 --save stack.json
     python -m repro run fig4_tl2 --metric nj_per_op
+    python -m repro trace fig2_stack --threads 4 --heatmap
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 
 from .config import MachineConfig
 from .harness import EXPERIMENTS, run_experiment
 from .harness.runner import PAPER_THREAD_COUNTS, series_table
+from .trace import (ContentionHeatmap, InvariantTracer, JsonlTracer,
+                    reconcile)
+
+
+class _CliError(Exception):
+    """A user-input problem: printed as one line, exit code 2."""
+
+
+def _parse_threads(spec: str) -> tuple[int, ...]:
+    """Parse a ``--threads`` list ("2,4,8"); positive integers only."""
+    parts = [p.strip() for p in spec.split(",")]
+    counts = []
+    for p in parts:
+        if not p:
+            raise _CliError(f"--threads: empty entry in {spec!r}")
+        try:
+            n = int(p)
+        except ValueError:
+            raise _CliError(f"--threads: {p!r} is not an integer") from None
+        if n <= 0:
+            raise _CliError(f"--threads: {n} is not a positive thread count")
+        counts.append(n)
+    if not counts:
+        raise _CliError("--threads: no thread counts given")
+    return tuple(counts)
+
+
+def _get_experiment(exp_id: str):
+    if exp_id not in EXPERIMENTS:
+        raise _CliError(f"unknown experiment {exp_id!r}; "
+                        "try: python -m repro list")
+    return EXPERIMENTS[exp_id]
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -33,19 +77,87 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    if args.experiment not in EXPERIMENTS:
-        print(f"unknown experiment {args.experiment!r}; "
-              f"try: python -m repro list", file=sys.stderr)
-        return 2
-    threads = tuple(int(t) for t in args.threads.split(","))
-    exp = EXPERIMENTS[args.experiment]
+    exp = _get_experiment(args.experiment)
+    threads = _parse_threads(args.threads)
+    if args.jobs < 1:
+        raise _CliError(f"--jobs: {args.jobs} is not a positive job count")
+    overrides = {}
+    if args.invariants:
+        if args.jobs > 1:
+            raise _CliError("--invariants requires --jobs 1 (trace sinks "
+                            "cannot cross process boundaries)")
+        overrides["sinks"] = [InvariantTracer()]
     print(f"{exp.id}: {exp.title}")
-    res = run_experiment(args.experiment, thread_counts=threads)
+    res = run_experiment(args.experiment, thread_counts=threads,
+                         jobs=args.jobs, **overrides)
     for metric, label in (("mops_per_sec", "throughput (Mops/s)"),
                           ("nj_per_op", "energy (nJ/op)")):
         if args.metric in ("all", metric):
             print(f"\n-- {label} --")
             print(series_table(res, metric=metric))
+    if args.invariants:
+        checker = overrides["sinks"][0]
+        print(f"\ninvariants: OK ({checker.checks_run} checks)")
+    if args.save:
+        payload = {
+            "experiment": exp.id,
+            "title": exp.title,
+            "thread_counts": list(threads),
+            "results": {
+                name: [dataclasses.asdict(r) for r in series]
+                for name, series in res.items()
+            },
+        }
+        with open(args.save, "w", encoding="utf-8") as fp:
+            json.dump(payload, fp, indent=2, sort_keys=True)
+            fp.write("\n")
+        print(f"\nsaved results to {args.save}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    exp = _get_experiment(args.experiment)
+    threads = _parse_threads(args.threads)
+    out_path = args.out or f"{args.experiment}.trace.jsonl"
+    sinks = [JsonlTracer(out_path, max_events=args.limit)]
+    jsonl = sinks[0]
+    heatmap = None
+    if args.heatmap:
+        heatmap = ContentionHeatmap()
+        sinks.append(heatmap)
+    if args.invariants:
+        sinks.append(InvariantTracer())
+    mismatches = 0
+    with jsonl:
+        for name, kw in exp.variants.items():
+            for n in threads:
+                jsonl.annotate(variant=name, threads=n)
+                before = dict(jsonl.counts)
+                res = exp.bench(n, **{**exp.common, **kw, "sinks": sinks})
+                delta = {k: v - before.get(k, 0)
+                         for k, v in jsonl.counts.items()}
+                problems = reconcile(delta, res.counters)
+                jsonl.annotate()
+                jsonl.write_line({
+                    "kind": "run_summary", "variant": name, "threads": n,
+                    "cycles": res.cycles, "ops": res.ops,
+                    "events": sum(delta.values()),
+                    "reconciled": not problems,
+                })
+                status = "ok" if not problems else "MISMATCH"
+                print(f"{exp.id}/{name} t={n}: {sum(delta.values())} "
+                      f"events, ops={res.ops}, reconcile={status}")
+                for p in problems:
+                    print(f"  {p}", file=sys.stderr)
+                mismatches += bool(problems)
+    print(f"wrote {jsonl.written} of {jsonl.total} events to {out_path}")
+    if heatmap is not None:
+        print("\n-- contention heatmap --")
+        print(heatmap.report())
+    if mismatches:
+        print(f"{mismatches} run(s) failed trace/counter reconciliation",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -84,13 +196,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated thread counts (default: the paper's axis)")
     run_p.add_argument("--metric", default="all",
                        choices=["all", "mops_per_sec", "nj_per_op"])
+    run_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="run sweep cells on N worker processes")
+    run_p.add_argument("--save", metavar="OUT.json",
+                       help="write the raw results as JSON")
+    run_p.add_argument("--invariants", action="store_true",
+                       help="check coherence/lease invariants on every "
+                            "event (slow; implies --jobs 1)")
+
+    trace_p = sub.add_parser(
+        "trace", help="run one experiment with the JSONL event tracer")
+    trace_p.add_argument("experiment", help="experiment id (see `list`)")
+    trace_p.add_argument("--threads", default="4",
+                         help="comma-separated thread counts (default: 4)")
+    trace_p.add_argument("--out", metavar="FILE.jsonl",
+                         help="output path (default: <experiment>"
+                              ".trace.jsonl)")
+    trace_p.add_argument("--limit", type=int, default=None, metavar="N",
+                         help="write at most N event lines (counts still "
+                              "cover the full stream)")
+    trace_p.add_argument("--heatmap", action="store_true",
+                         help="print the per-allocation contention heatmap")
+    trace_p.add_argument("--invariants", action="store_true",
+                         help="also check invariants on every event")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return {"list": _cmd_list, "run": _cmd_run,
-            "config": _cmd_config}[args.command](args)
+    handler = {"list": _cmd_list, "run": _cmd_run, "trace": _cmd_trace,
+               "config": _cmd_config}[args.command]
+    try:
+        return handler(args)
+    except _CliError as err:
+        print(str(err), file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

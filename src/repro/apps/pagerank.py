@@ -121,7 +121,7 @@ class PagerankApp:
                     yield Store(self.dangling_sum, s + rp)
                     yield from lease_lock_release(
                         ctx, self.dangling_lock, token)
-                ctx.machine.counters.note_op(ctx.core_id)
+                ctx.note_op()
             sense = yield from self.barrier.wait(ctx, sense)
             if tid == 0:
                 # Single serial window between the two barriers: publish the

@@ -106,6 +106,6 @@ class SnapshotRegion:
                 yield from self.snapshot_double_collect(ctx)
             if local_work:
                 yield Work(local_work)
-            ctx.machine.counters.note_op(ctx.core_id)
+            ctx.note_op()
         if stop_when_done:
             self.stop_flag = True

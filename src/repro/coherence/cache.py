@@ -13,16 +13,18 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from ..errors import ProtocolError
-from ..stats import Counters
+from ..trace import TraceBus
+from ..trace.events import L1Evicted
 from .states import LineState
 
 
 class L1Cache:
     """LRU, set-associative tag store for one core."""
 
-    __slots__ = ("num_sets", "assoc", "_sets", "_pinned", "counters")
+    __slots__ = ("num_sets", "assoc", "_sets", "_pinned", "trace", "core_id")
 
-    def __init__(self, num_sets: int, assoc: int, counters: Counters) -> None:
+    def __init__(self, num_sets: int, assoc: int, trace: TraceBus,
+                 core_id: int = 0) -> None:
         self.num_sets = num_sets
         self.assoc = assoc
         # One OrderedDict per set: line -> LineState, LRU order (front=old).
@@ -30,7 +32,8 @@ class L1Cache:
             OrderedDict() for _ in range(num_sets)
         ]
         self._pinned: set[int] = set()
-        self.counters = counters
+        self.trace = trace
+        self.core_id = core_id
 
     def _set_of(self, line: int) -> OrderedDict[int, LineState]:
         return self._sets[line % self.num_sets]
@@ -97,9 +100,10 @@ class L1Cache:
                     break
             if victim is not None:
                 del s[victim[0]]
-                self.counters.l1_evictions += 1
+                self.trace.emit(L1Evicted(self.core_id, victim[0],
+                                          overflow=False))
             else:
                 # Every way pinned by leases/queued probes: over-fill.
-                self.counters.l1_eviction_overflows += 1
+                self.trace.emit(L1Evicted(self.core_id, line, overflow=True))
         s[line] = state
         return victim

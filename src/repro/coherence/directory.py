@@ -37,7 +37,9 @@ from typing import TYPE_CHECKING, Callable
 from ..engine import Simulator
 from ..errors import ProtocolError
 from ..mem import AddressMap
-from ..stats import Counters
+from ..trace import TraceBus
+from ..trace.events import (EvictionApplied, EvictionIssued, ProbeSent,
+                            ReqGranted, ReqIssued, ReqQueued)
 from .l2 import SharedL2
 from .messages import MessageKind
 from .network import MeshNetwork
@@ -96,13 +98,13 @@ class Directory:
     """The (logically distributed) MSI directory."""
 
     def __init__(self, amap: AddressMap, network: MeshNetwork,
-                 l2: SharedL2, sim: Simulator, counters: Counters,
+                 l2: SharedL2, sim: Simulator, trace: TraceBus,
                  *, mesi: bool = False) -> None:
         self.amap = amap
         self.network = network
         self.l2 = l2
         self.sim = sim
-        self.counters = counters
+        self.trace = trace
         #: Grant exclusive-clean (E) on read misses to uncached lines.
         self.mesi = mesi
         self.entries: dict[int, DirEntry] = {}
@@ -119,16 +121,15 @@ class Directory:
 
     def issue(self, req: Request) -> None:
         """Send ``req`` from its core to the line's home tile."""
-        if req.kind is MessageKind.GETS:
-            self.counters.gets_requests += 1
-        else:
-            self.counters.getx_requests += 1
+        self.trace.emit(ReqIssued(req.core_id, req.line, req.kind.value,
+                                  req.is_lease))
         home = self.amap.home_tile(req.line)
         self.network.send(req.core_id, home, req.kind, self._arrive, req)
 
     def issue_eviction(self, kind: MessageKind, line: int,
                        core_id: int) -> None:
         """Send a PutM/PutS notice from ``core_id`` to the home tile."""
+        self.trace.emit(EvictionIssued(core_id, line, kind.value))
         home = self.amap.home_tile(line)
         ev = _Eviction(kind, line, core_id)
         self.network.send(core_id, home, kind, self._arrive, ev)
@@ -137,9 +138,7 @@ class Directory:
         e = self._entry(req.line)
         if e.busy:
             e.queue.append(req)
-            self.counters.dir_queued_requests += 1
-            if len(e.queue) > self.counters.dir_max_queue_depth:
-                self.counters.dir_max_queue_depth = len(e.queue)
+            self.trace.emit(ReqQueued(req.core_id, req.line, len(e.queue)))
             return
         self._start(req)
 
@@ -166,7 +165,9 @@ class Directory:
         core_l1 = self.mem_units[ev.core_id].l1
         # Drop stale notices: only apply if the core still does not hold the
         # line (it may have re-acquired it since evicting).
-        if core_l1.state_of(ev.line) == LineState.I:
+        applied = core_l1.state_of(ev.line) == LineState.I
+        self.trace.emit(EvictionApplied(ev.core_id, ev.line, applied))
+        if applied:
             if ev.kind is MessageKind.PUTM:
                 if e.state == DirState.MODIFIED and e.owner == ev.core_id:
                     self.l2.writeback(ev.line)
@@ -195,7 +196,6 @@ class Directory:
 
     def _process_gets(self, req: Request, e: DirEntry) -> None:
         if e.state == DirState.MODIFIED and e.owner != req.core_id:
-            self.counters.downgrades_sent += 1
             owner = e.owner
             assert owner is not None
             self._send_probe(owner, req, MessageKind.DOWNGRADE,
@@ -223,7 +223,6 @@ class Directory:
 
     def _process_getx(self, req: Request, e: DirEntry) -> None:
         if e.state == DirState.MODIFIED and e.owner != req.core_id:
-            self.counters.invalidations_sent += 1
             owner = e.owner
             assert owner is not None
             self._send_probe(owner, req, MessageKind.INV,
@@ -260,7 +259,6 @@ class Directory:
                 self._grant(req, LineState.M, fetch=not req.had_shared)
 
         for core in targets:
-            self.counters.invalidations_sent += 1
             self._send_probe(core, req, MessageKind.INV, lambda r: one_ack())
 
     # -- probes ------------------------------------------------------------
@@ -272,6 +270,7 @@ class Directory:
         core's reply arrives back at the home tile."""
         from .memunit import Probe  # local import to avoid cycle
 
+        self.trace.emit(ProbeSent(target_core, req.line, kind.value))
         home = self.amap.home_tile(req.line)
 
         def reply(carries_data: bool) -> None:
@@ -300,6 +299,7 @@ class Directory:
         # L1 tags update now so directory and caches never disagree...
         unit = self.mem_units[req.core_id]
         unit.fill_granted(req, state)
+        self.trace.emit(ReqGranted(req.core_id, req.line, state.name, fetch))
         # ...but the thread resumes when the data message arrives.
         lat = self.l2.fetch_latency(req.line) if fetch else 0
         home = self.amap.home_tile(req.line)
@@ -345,34 +345,43 @@ class Directory:
         """Assert directory/L1 agreement (exact, thanks to synchronous tag
         updates).  Called by tests after quiescence."""
         for line, e in self.entries.items():
-            if e.state == DirState.MODIFIED:
-                if e.owner is None:
-                    raise ProtocolError(f"line {line}: MODIFIED, no owner")
-                st = self.mem_units[e.owner].l1.state_of(line)
-                if st != LineState.M and st != LineState.E:
+            self.check_line(line, e)
+
+    def check_line(self, line: int, e: DirEntry | None = None) -> None:
+        """Assert directory/L1 agreement for one *settled* line (no busy
+        transaction, no in-flight eviction notice).  The continuous
+        :class:`~repro.trace.invariants.InvariantTracer` calls this per
+        line so it can exclude lines with in-flight activity."""
+        if e is None:
+            e = self._entry(line)
+        if e.state == DirState.MODIFIED:
+            if e.owner is None:
+                raise ProtocolError(f"line {line}: MODIFIED, no owner")
+            st = self.mem_units[e.owner].l1.state_of(line)
+            if st != LineState.M and st != LineState.E:
+                raise ProtocolError(
+                    f"line {line}: dir says owner {e.owner} but L1 is "
+                    f"{st.name}")
+            for u in self.mem_units:
+                if u.core_id != e.owner and \
+                        u.l1.state_of(line) != LineState.I:
                     raise ProtocolError(
-                        f"line {line}: dir says owner {e.owner} but L1 is "
-                        f"{st.name}")
-                for u in self.mem_units:
-                    if u.core_id != e.owner and \
-                            u.l1.state_of(line) != LineState.I:
-                        raise ProtocolError(
-                            f"line {line}: core {u.core_id} holds "
-                            f"{u.l1.state_of(line).name} while MODIFIED")
-            elif e.state == DirState.SHARED:
-                for u in self.mem_units:
-                    st = u.l1.state_of(line)
-                    if st == LineState.M or st == LineState.E:
-                        raise ProtocolError(
-                            f"line {line}: core {u.core_id} holds "
-                            f"{st.name} while dir says SHARED")
-                    if st == LineState.S and u.core_id not in e.sharers:
-                        raise ProtocolError(
-                            f"line {line}: core {u.core_id} holds S but is "
-                            "not a recorded sharer")
-            else:
-                for u in self.mem_units:
-                    if u.l1.state_of(line) != LineState.I:
-                        raise ProtocolError(
-                            f"line {line}: core {u.core_id} holds "
-                            f"{u.l1.state_of(line).name} while UNCACHED")
+                        f"line {line}: core {u.core_id} holds "
+                        f"{u.l1.state_of(line).name} while MODIFIED")
+        elif e.state == DirState.SHARED:
+            for u in self.mem_units:
+                st = u.l1.state_of(line)
+                if st == LineState.M or st == LineState.E:
+                    raise ProtocolError(
+                        f"line {line}: core {u.core_id} holds "
+                        f"{st.name} while dir says SHARED")
+                if st == LineState.S and u.core_id not in e.sharers:
+                    raise ProtocolError(
+                        f"line {line}: core {u.core_id} holds S but is "
+                        "not a recorded sharer")
+        else:
+            for u in self.mem_units:
+                if u.l1.state_of(line) != LineState.I:
+                    raise ProtocolError(
+                        f"line {line}: core {u.core_id} holds "
+                        f"{u.l1.state_of(line).name} while UNCACHED")

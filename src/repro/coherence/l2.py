@@ -11,20 +11,21 @@ the paper's benchmarks have working sets far smaller than the aggregate L2
 from __future__ import annotations
 
 from ..config import MachineConfig
-from ..stats import Counters
+from ..trace import TraceBus
+from ..trace.events import L2Access, Writeback
 
 
 class SharedL2:
     """Latency/energy model of the shared L2 + memory controller."""
 
     __slots__ = ("tag_latency", "data_latency", "dram_latency",
-                 "counters", "_seen")
+                 "trace", "_seen")
 
-    def __init__(self, config: MachineConfig, counters: Counters) -> None:
+    def __init__(self, config: MachineConfig, trace: TraceBus) -> None:
         self.tag_latency = config.l2_tag_latency
         self.data_latency = config.l2_data_latency
         self.dram_latency = config.dram_latency
-        self.counters = counters
+        self.trace = trace
         self._seen: set[int] = set()
 
     def lookup_latency(self) -> int:
@@ -33,11 +34,11 @@ class SharedL2:
 
     def fetch_latency(self, line: int) -> int:
         """Latency to produce the line's data at the home tile."""
-        self.counters.l2_accesses += 1
         if line in self._seen:
+            self.trace.emit(L2Access(line, dram=False))
             return self.data_latency
         self._seen.add(line)
-        self.counters.dram_accesses += 1
+        self.trace.emit(L2Access(line, dram=True))
         return self.data_latency + self.dram_latency
 
     def mark_warm(self, line: int) -> None:
@@ -47,6 +48,5 @@ class SharedL2:
 
     def writeback(self, line: int) -> None:
         """Account a dirty writeback into the L2 slice."""
-        self.counters.l2_accesses += 1
-        self.counters.writebacks += 1
+        self.trace.emit(Writeback(line))
         self._seen.add(line)

@@ -15,7 +15,9 @@ from ..config import MachineConfig
 from ..engine import Simulator
 from ..errors import ProtocolError
 from ..mem import AddressMap
-from ..stats import Counters
+from ..trace import TraceBus
+from ..trace.events import (L1Hit, L1Miss, MesiUpgrade, ProbeDeferred,
+                            ProbeServiced)
 from .cache import L1Cache
 from .directory import Directory, Request
 from .messages import MessageKind
@@ -63,14 +65,15 @@ class MemUnit:
 
     def __init__(self, core_id: int, config: MachineConfig,
                  amap: AddressMap, directory: Directory,
-                 sim: Simulator, counters: Counters) -> None:
+                 sim: Simulator, trace: TraceBus) -> None:
         self.core_id = core_id
         self.config = config
         self.amap = amap
         self.directory = directory
         self.sim = sim
-        self.counters = counters
-        self.l1 = L1Cache(config.l1_num_sets, config.l1_assoc, counters)
+        self.trace = trace
+        self.l1 = L1Cache(config.l1_num_sets, config.l1_assoc, trace,
+                          core_id)
         #: Attached by the Machine after construction.
         self.lease_mgr: "LeaseManager | None" = None
         self._outstanding: _Outstanding | None = None
@@ -98,12 +101,12 @@ class MemUnit:
                 # MESI silent upgrade: first write to an exclusive-clean
                 # line dirties it without any coherence traffic.
                 self.l1.set_state(line, LineState.M)
-                self.counters.mesi_silent_upgrades += 1
-            self.counters.l1_hits += 1
+                self.trace.emit(MesiUpgrade(self.core_id, line))
+            self.trace.emit(L1Hit(self.core_id, line))
             self.l1.touch(line)
             self.sim.after(self.config.l1_latency, callback)
             return
-        self.counters.l1_misses += 1
+        self.trace.emit(L1Miss(self.core_id, line))
         kind = MessageKind.GETX if need_exclusive else MessageKind.GETS
         req = Request(kind, line, self.core_id, is_lease, callback)
         self._outstanding = _Outstanding(req, callback)
@@ -150,6 +153,7 @@ class MemUnit:
                     f"core {self.core_id}: two probes deferred on line "
                     f"{probe.line}")
             out.deferred_probe = probe
+            self.trace.emit(ProbeDeferred(self.core_id, probe.line))
             return
         self._route_probe(probe)
 
@@ -163,19 +167,29 @@ class MemUnit:
         """Service a probe now: downgrade/invalidate the L1 line, reply."""
         st = self.l1.state_of(probe.line)
         if st == LineState.I:
-            self.counters.stale_probes += 1
+            self.trace.emit(ProbeServiced(self.core_id, probe.line,
+                                          probe.kind.value, stale=True,
+                                          data=False))
             probe.reply(False)
             return
         if probe.kind is MessageKind.INV:
             self.l1.invalidate(probe.line)
             # Only a dirty line's ack carries data back home.
+            self.trace.emit(ProbeServiced(self.core_id, probe.line,
+                                          probe.kind.value, stale=False,
+                                          data=st == LineState.M))
             probe.reply(st == LineState.M)
         elif probe.kind is MessageKind.DOWNGRADE:
             if st == LineState.M or st == LineState.E:
                 self.l1.set_state(probe.line, LineState.S)
+                self.trace.emit(ProbeServiced(self.core_id, probe.line,
+                                              probe.kind.value, stale=False,
+                                              data=st == LineState.M))
                 probe.reply(st == LineState.M)
             else:
-                self.counters.stale_probes += 1
+                self.trace.emit(ProbeServiced(self.core_id, probe.line,
+                                              probe.kind.value, stale=True,
+                                              data=False))
                 probe.reply(False)
         else:  # pragma: no cover - defensive
             raise ProtocolError(f"unexpected probe kind {probe.kind}")
@@ -185,3 +199,12 @@ class MemUnit:
     @property
     def busy(self) -> bool:
         return self._outstanding is not None
+
+    @property
+    def deferred_probe_line(self) -> int | None:
+        """Line of the probe deferred behind the outstanding access, if any
+        (used by the continuous invariant checker for Proposition 1)."""
+        out = self._outstanding
+        if out is not None and out.deferred_probe is not None:
+            return out.deferred_probe.line
+        return None

@@ -14,19 +14,20 @@ from typing import Any, Callable
 
 from ..config import NetworkConfig
 from ..engine import Simulator
-from ..stats import Counters
+from ..trace import TraceBus
+from ..trace.events import MessageSent
 from .messages import MessageKind
 
 
 class MeshNetwork:
-    """Computes message latencies, counts traffic, and schedules delivery."""
+    """Computes message latencies, traces traffic, and schedules delivery."""
 
     def __init__(self, config: NetworkConfig, num_tiles: int,
-                 sim: Simulator, counters: Counters) -> None:
+                 sim: Simulator, trace: TraceBus) -> None:
         self.config = config
         self.num_tiles = num_tiles
         self.sim = sim
-        self.counters = counters
+        self.trace = trace
         self.dim = 1
         while self.dim * self.dim < num_tiles:
             self.dim += 1
@@ -56,11 +57,9 @@ class MeshNetwork:
 
     def send(self, src: int, dst: int, kind: MessageKind,
              fn: Callable[..., Any], *args: Any) -> None:
-        """Count one ``kind`` message from tile ``src`` to ``dst`` and
+        """Trace one ``kind`` message from tile ``src`` to ``dst`` and
         schedule ``fn(*args)`` at its delivery time."""
-        k = self.counters
-        k.messages += 1
-        k.hops += self._hops[src][dst]
-        if kind.carries_data:
-            k.data_messages += 1
+        self.trace.emit(MessageSent(src, dst, kind.value,
+                                    self._hops[src][dst],
+                                    kind.carries_data))
         self.sim.after(self.latency(src, dst, kind), fn, *args)

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Generator
 
 from ..errors import SimulationError
+from ..trace.events import CasOutcome
 from . import isa
 from .thread import ThreadHandle
 
@@ -30,14 +31,14 @@ class Core:
         self.core_id = core_id
         self.machine = machine
         self.sim = machine.sim
-        self.counters = machine.counters
+        self.trace = machine.trace
         self.memory = machine.memory
         self.memunit = MemUnit(core_id, machine.config, machine.amap,
                                machine.directory, machine.sim,
-                               machine.counters)
+                               machine.trace)
         self.lease_mgr = LeaseManager(core_id, machine.config.lease,
                                       machine.amap, self.memunit,
-                                      machine.sim, machine.counters)
+                                      machine.sim, machine.trace)
         self.memunit.lease_mgr = self.lease_mgr
         self._gen: Generator | None = None
         self._handle: ThreadHandle | None = None
@@ -168,9 +169,7 @@ class Core:
 
     def _do_cas(self, instr: isa.CAS) -> None:
         ok = self.memory.cas(instr.addr, instr.expected, instr.new)
-        self.counters.cas_attempts += 1
-        if not ok:
-            self.counters.cas_failures += 1
+        self.trace.emit(CasOutcome(self.core_id, instr.addr, ok))
         self._resume(ok)
 
     def _do_rmw(self, fn, addr: int, operand: Any) -> None:

@@ -23,7 +23,8 @@ from ..coherence.network import MeshNetwork
 from ..engine import Simulator
 from ..errors import SimulationError
 from ..mem import AddressMap, Allocator, Memory
-from ..stats import Counters, EnergyModel, RunResult
+from ..stats import EnergyModel, RunResult
+from ..trace import CountersTracer, TraceBus, Tracer
 from .core import Core
 from .thread import Ctx, ThreadHandle
 
@@ -36,15 +37,21 @@ class Machine:
         cfg = self.config
         self.sim = Simulator(seed=cfg.seed, max_cycles=cfg.max_cycles,
                              max_events=cfg.max_events)
-        self.counters = Counters()
+        #: The instrumentation bus every layer emits trace events into.
+        #: The default CountersTracer sink derives the classic flat
+        #: counters; attach_tracer() adds further observers.
+        self._counters_sink = CountersTracer()
+        self.trace = TraceBus(clock=lambda: self.sim.now,
+                              sinks=(self._counters_sink,))
+        self.counters = self._counters_sink.counters
         self.amap = AddressMap(cfg.line_size, cfg.num_cores)
         self.memory = Memory()
         self.alloc = Allocator(self.amap)
         self.network = MeshNetwork(cfg.network, cfg.num_cores, self.sim,
-                                   self.counters)
-        self.l2 = SharedL2(cfg, self.counters)
+                                   self.trace)
+        self.l2 = SharedL2(cfg, self.trace)
         self.directory = Directory(self.amap, self.network, self.l2,
-                                   self.sim, self.counters,
+                                   self.sim, self.trace,
                                    mesi=cfg.protocol == "mesi")
         self.cores = [Core(i, self) for i in range(cfg.num_cores)]
         self.directory.mem_units = [c.memunit for c in self.cores]
@@ -54,19 +61,33 @@ class Machine:
         self.sim.quiescent = lambda: self._live_threads == 0
         self._ran = False
 
+    # -- instrumentation -----------------------------------------------------
+
+    def attach_tracer(self, sink: Tracer) -> Tracer:
+        """Attach a trace sink to this machine's bus.  The sink's ``bind``
+        hook receives the machine (sinks that inspect state -- invariant
+        checker, heatmap -- wire themselves there).  Returns the sink."""
+        sink.bind(self)
+        return self.trace.attach(sink)
+
+    def detach_tracer(self, sink: Tracer) -> None:
+        self.trace.detach(sink)
+
     # -- memory helpers ----------------------------------------------------
 
-    def alloc_var(self, init: Any = 0) -> int:
+    def alloc_var(self, init: Any = 0, *, label: str | None = None) -> int:
         """Allocate one shared variable on its own cache line (the paper's
-        false-sharing-free layout) and initialize it without traffic."""
-        addr = self.alloc.alloc_line()
+        false-sharing-free layout) and initialize it without traffic.
+        ``label`` names the allocation in traces/heatmaps."""
+        addr = self.alloc.alloc_line(label=label)
         self.memory.write(addr, init)
         return addr
 
-    def alloc_struct(self, fields: list[Any]) -> int:
+    def alloc_struct(self, fields: list[Any], *,
+                     label: str | None = None) -> int:
         """Allocate consecutive words (one line-aligned block) initialized
         to ``fields``; returns the base address."""
-        base = self.alloc.alloc_words(len(fields))
+        base = self.alloc.alloc_words(len(fields), label=label)
         for i, v in enumerate(fields):
             self.memory.write(base + i * WORD_SIZE, v)
         return base
@@ -142,6 +163,7 @@ class Machine:
             l1_misses_per_op=k.l1_misses / max(1, ops),
             cas_failure_rate=k.cas_failures / max(1, k.cas_attempts),
             extra=extra or {},
+            counters=k.snapshot(),
         )
 
     def check_coherence_invariants(self) -> None:

@@ -12,6 +12,7 @@ import random
 from typing import TYPE_CHECKING, Any, Iterable
 
 from ..config import WORD_SIZE
+from ..trace.events import OpCompleted, TraceEvent
 
 if TYPE_CHECKING:  # pragma: no cover
     from .machine import Machine
@@ -34,29 +35,41 @@ class Ctx:
         self.core_id = core_id
         self.rng = random.Random((machine.config.seed << 20) ^ (tid + 1))
 
+    # -- instrumentation ---------------------------------------------------
+
+    def emit(self, event: TraceEvent) -> None:
+        """Emit a trace event onto the machine's instrumentation bus."""
+        self.machine.trace.emit(event)
+
+    def note_op(self) -> None:
+        """Record one completed data-structure operation by this thread."""
+        self.machine.trace.emit(OpCompleted(self.core_id))
+
     # -- allocation ------------------------------------------------------
 
     def alloc_words(self, nwords: int, init: Iterable[Any] | None = None,
-                    *, line_aligned: bool = True) -> int:
+                    *, line_aligned: bool = True,
+                    label: str | None = None) -> int:
         """Allocate ``nwords`` words, optionally writing initial values
         directly to the backing store (no simulated traffic)."""
         base = self.machine.alloc.alloc_words(nwords,
-                                              line_aligned=line_aligned)
+                                              line_aligned=line_aligned,
+                                              label=label)
         if init is not None:
             for i, v in enumerate(init):
                 self.machine.memory.write(base + i * WORD_SIZE, v)
         return base
 
-    def alloc_line(self) -> int:
-        return self.machine.alloc.alloc_line()
+    def alloc_line(self, *, label: str | None = None) -> int:
+        return self.machine.alloc.alloc_line(label=label)
 
-    def alloc_cached(self, nwords: int, init: Iterable[Any] | None = None
-                     ) -> int:
+    def alloc_cached(self, nwords: int, init: Iterable[Any] | None = None,
+                     *, label: str | None = None) -> int:
         """Like :meth:`alloc_words`, but additionally installs the fresh
         line(s) into this core's L1 in exclusive state, as a warm per-core
         allocator pool would.  The object's first *remote* access still
         costs a full coherence transfer."""
-        base = self.alloc_words(nwords, init)
+        base = self.alloc_words(nwords, init, label=label)
         amap = self.machine.amap
         first = amap.line_of(base)
         last = amap.line_of(base + (nwords - 1) * WORD_SIZE)

@@ -6,7 +6,11 @@ were scheduled.  This gives bit-for-bit reproducible simulations for a fixed
 seed, which the test suite relies on.
 
 Cancellation is lazy: cancelled events stay in the heap and are skipped on
-pop (the standard idiom for heap-backed schedulers; O(1) cancel).
+pop (the standard idiom for heap-backed schedulers; O(1) cancel).  When
+dead entries outnumber live ones (and there are enough of them to matter)
+the heap is compacted in place, so workloads that cancel heavily -- e.g.
+every lease acquisition schedules an expiry that a voluntary release
+cancels -- keep the heap linear in the number of *live* events.
 """
 
 from __future__ import annotations
@@ -43,6 +47,10 @@ class Event:
 class EventQueue:
     """Min-heap of :class:`Event` ordered by ``(time, seq)``."""
 
+    #: Compact only once at least this many cancelled entries accumulate
+    #: (avoids rebuilding tiny heaps over and over).
+    COMPACT_MIN_DEAD = 64
+
     __slots__ = ("_heap", "_seq", "_live")
 
     def __init__(self) -> None:
@@ -53,6 +61,11 @@ class EventQueue:
     def __len__(self) -> int:
         """Number of live (non-cancelled) events."""
         return self._live
+
+    @property
+    def heap_size(self) -> int:
+        """Physical heap length, including cancelled entries (tests)."""
+        return len(self._heap)
 
     def schedule(self, time: int, fn: Callable[..., Any],
                  *args: Any) -> Event:
@@ -70,6 +83,17 @@ class EventQueue:
         if not ev.cancelled:
             ev.cancelled = True
             self._live -= 1
+            dead = len(self._heap) - self._live
+            if dead >= self.COMPACT_MIN_DEAD and dead > self._live:
+                self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify.  O(n) in heap length --
+        amortized O(1) per cancel, since at least half the heap is dead
+        whenever this runs.  Ordering is untouched: surviving events keep
+        their (time, seq) keys, so determinism is preserved."""
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
 
     def pop(self) -> Event | None:
         """Pop and return the earliest live event, or None if empty."""

@@ -38,10 +38,11 @@ def _register(exp: Experiment) -> None:
 
 def run_experiment(exp_id: str,
                    thread_counts: Sequence[int] = PAPER_THREAD_COUNTS,
-                   **overrides: Any):
+                   *, jobs: int = 1, **overrides: Any):
     exp = EXPERIMENTS[exp_id]
     common = {**exp.common, **overrides}
-    return sweep(exp.bench, exp.variants, thread_counts, **common)
+    return sweep(exp.bench, exp.variants, thread_counts, jobs=jobs,
+                 **common)
 
 
 # ---------------------------------------------------------------------------

@@ -1,5 +1,12 @@
 """Sweep runner: executes a benchmark driver across thread counts and
-variants, producing the rows/series the paper's figures plot."""
+variants, producing the rows/series the paper's figures plot.
+
+Sweep cells (variant x thread count) are independent simulations, so with
+``jobs > 1`` they fan out over a :class:`~concurrent.futures.
+ProcessPoolExecutor`.  Results are reassembled in the fixed variant-major,
+thread-minor order regardless of completion order, and every simulation is
+deterministic for its seed, so a parallel sweep returns exactly what the
+serial sweep returns (the test suite asserts equality)."""
 
 from __future__ import annotations
 
@@ -15,17 +22,39 @@ PAPER_THREAD_COUNTS = (2, 4, 8, 16, 32, 64)
 def sweep(bench: Callable[..., RunResult],
           variants: dict[str, dict[str, Any]],
           thread_counts: Sequence[int] = PAPER_THREAD_COUNTS,
-          **common: Any) -> dict[str, list[RunResult]]:
+          *, jobs: int = 1, **common: Any) -> dict[str, list[RunResult]]:
     """Run ``bench(threads, **variant_kwargs, **common)`` for every variant
     and thread count.  Returns ``{variant_name: [RunResult, ...]}`` in
-    thread-count order."""
-    out: dict[str, list[RunResult]] = {}
-    for name, kw in variants.items():
-        series = []
-        for n in thread_counts:
-            series.append(bench(n, **kw, **common))
-        out[name] = series
+    thread-count order.  ``jobs > 1`` runs the cells on that many worker
+    processes (same results, reassembled deterministically)."""
+    cells = [(name, n) for name in variants for n in thread_counts]
+    if jobs > 1 and len(cells) > 1:
+        if common.get("sinks"):
+            raise ValueError(
+                "trace sinks cannot cross process boundaries; run a traced "
+                "sweep with jobs=1")
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as ex:
+            futures = [
+                ex.submit(_run_cell, bench, n, variants[name], common)
+                for name, n in cells
+            ]
+            results = [f.result() for f in futures]
+    else:
+        results = [_run_cell(bench, n, variants[name], common)
+                   for name, n in cells]
+    out: dict[str, list[RunResult]] = {name: [] for name in variants}
+    for (name, _n), res in zip(cells, results):
+        out[name].append(res)
     return out
+
+
+def _run_cell(bench: Callable[..., RunResult], num_threads: int,
+              variant_kw: dict[str, Any], common: dict[str, Any]
+              ) -> RunResult:
+    """One sweep cell (module-level so it pickles to worker processes)."""
+    return bench(num_threads, **variant_kw, **common)
 
 
 def series_table(results: dict[str, list[RunResult]],

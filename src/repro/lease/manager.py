@@ -20,7 +20,10 @@ from typing import TYPE_CHECKING, Callable
 from ..config import LeaseConfig
 from ..engine import Simulator
 from ..errors import LeaseError
-from ..stats import Counters
+from ..trace import TraceBus
+from ..trace.events import (LeaseIgnored, LeaseNoop, LeaseProbeQueued,
+                            LeaseReleased, LeaseRequested, LeaseStarted,
+                            MultiLeaseIssued)
 from .table import LeaseEntry, LeaseGroup, LeaseTable
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -33,13 +36,13 @@ class LeaseManager:
 
     def __init__(self, core_id: int, config: LeaseConfig,
                  amap: "AddressMap", memunit: "MemUnit",
-                 sim: Simulator, counters: Counters) -> None:
+                 sim: Simulator, trace: TraceBus) -> None:
         self.core_id = core_id
         self.config = config
         self.amap = amap
         self.memunit = memunit
         self.sim = sim
-        self.counters = counters
+        self.trace = trace
         self.table = LeaseTable(config.max_num_leases)
         #: Currently active MultiLease group, if any (at most one; the paper
         #: forbids concurrent single- and multi-location leases).
@@ -63,25 +66,25 @@ class LeaseManager:
                 "concurrent single- and multi-location leases are not "
                 "allowed (Section 4)")
         line = self.amap.line_of(addr)
-        self.counters.leases_requested += 1
+        self.trace.emit(LeaseRequested(self.core_id, line, site))
         if self._predictor_rejects(site):
             # Section 5 speculative mechanism: this site's leases keep
             # ending involuntarily, so stop honouring them (lease usage is
             # advisory; skipping is always correct).
-            self.counters.leases_ignored_by_predictor += 1
+            self.trace.emit(LeaseIgnored(self.core_id, line, site))
             done()
             return
         if line in self.table:
             # No extension of an already-leased address (footnote 1: this
             # could break the MAX_LEASE_TIME bound).
-            self.counters.leases_noop_already_held += 1
+            self.trace.emit(LeaseNoop(self.core_id, line))
             done()
             return
         duration = min(time, self.config.max_lease_time)
         if self.table.full:
             oldest = self.table.oldest()
             assert oldest is not None
-            self.counters.releases_fifo_eviction += 1
+            self.trace.emit(LeaseReleased(self.core_id, oldest.line, "fifo"))
             self._release_entry(oldest, voluntary=True)
         entry = LeaseEntry(line, duration, site=site)
         self.table.add(entry)
@@ -141,7 +144,8 @@ class LeaseManager:
     def _start_timer(self, entry: LeaseEntry) -> None:
         assert entry.granted and not entry.started
         entry.started = True
-        self.counters.leases_granted += 1
+        self.trace.emit(LeaseStarted(self.core_id, entry.line,
+                                     entry.duration))
         entry.expiry_event = self.sim.after(entry.duration,
                                             self._expire, entry)
 
@@ -157,7 +161,7 @@ class LeaseManager:
         if entry.group is not None:
             self._release_group(entry.group, voluntary=True)
         else:
-            self.counters.releases_voluntary += 1
+            self.trace.emit(LeaseReleased(self.core_id, line, "voluntary"))
             self._release_entry(entry, voluntary=True)
         return True
 
@@ -172,7 +176,8 @@ class LeaseManager:
                 self.sim.cancel(entry.expiry_event)
                 entry.expiry_event = None
             if entry.started:
-                self.counters.releases_voluntary += 1
+                self.trace.emit(LeaseReleased(self.core_id, entry.line,
+                                              "voluntary"))
                 self._predictor_note(entry, involuntary=False)
             self.memunit.l1.unpin(entry.line)
         for entry in entries:
@@ -203,12 +208,11 @@ class LeaseManager:
         """ZERO-COUNTER event: involuntary release."""
         if entry.dead or entry.line not in self.table:
             return
+        self.trace.emit(LeaseReleased(self.core_id, entry.line, "expired"))
         if entry.group is not None:
-            self.counters.releases_involuntary += 1
             self._release_group(entry.group, voluntary=False,
                                 count_involuntary=False)
         else:
-            self.counters.releases_involuntary += 1
             self._release_entry(entry, voluntary=False)
 
     # ------------------------------------------------------------------
@@ -225,7 +229,8 @@ class LeaseManager:
         if (not probe.requester_is_lease
                 and self.config.prioritize_regular_requests):
             # Section 5 prioritization: a regular request breaks the lease.
-            self.counters.releases_broken_by_priority += 1
+            self.trace.emit(LeaseReleased(self.core_id, probe.line,
+                                          "broken"))
             if entry.group is not None:
                 self._release_group(entry.group, voluntary=False,
                                     count_involuntary=False)
@@ -239,7 +244,7 @@ class LeaseManager:
                 f"core {self.core_id}: second probe queued on leased line "
                 f"{probe.line}")
         entry.queued_probe = probe
-        self.counters.probes_queued_at_core += 1
+        self.trace.emit(LeaseProbeQueued(self.core_id, probe.line))
         return True
 
     # ------------------------------------------------------------------
@@ -251,11 +256,11 @@ class LeaseManager:
         """``MultiLease(num, time, addr1, ...)``: jointly lease the lines of
         ``addrs``.  Releases all held leases first; ignored if the group
         would exceed MAX_NUM_LEASES."""
-        self.counters.multilease_calls += 1
         self.release_all()
         lines = sorted({self.amap.line_of(a) for a in addrs})
-        if len(lines) > self.config.max_num_leases:
-            self.counters.multilease_ignored += 1
+        ignored = len(lines) > self.config.max_num_leases
+        self.trace.emit(MultiLeaseIssued(self.core_id, len(lines), ignored))
+        if ignored:
             done()
             return
         duration = min(time, self.config.max_lease_time)
@@ -340,9 +345,11 @@ class LeaseManager:
                     entry.expiry_event = None
                 if entry.started:
                     if voluntary:
-                        self.counters.releases_voluntary += 1
+                        self.trace.emit(LeaseReleased(
+                            self.core_id, entry.line, "voluntary"))
                     elif count_involuntary:
-                        self.counters.releases_involuntary += 1
+                        self.trace.emit(LeaseReleased(
+                            self.core_id, entry.line, "expired"))
                 self.memunit.l1.unpin(entry.line)
                 released.append(entry)
         for entry in released:

@@ -29,6 +29,7 @@ class Counters:
     invalidations_sent: int = 0
     downgrades_sent: int = 0
     stale_probes: int = 0            # probe reached a core that evicted
+    probes_deferred_mid_access: int = 0  # landed between grant and commit
     writebacks: int = 0
     mesi_silent_upgrades: int = 0    # E -> M on first write (MESI only)
     dir_queued_requests: int = 0     # arrived while line transaction busy

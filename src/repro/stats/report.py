@@ -24,6 +24,9 @@ class RunResult:
     l1_misses_per_op: float
     cas_failure_rate: float
     extra: dict[str, Any] = field(default_factory=dict)
+    #: Full scalar-counter snapshot of the run (machine-readable output,
+    #: trace reconciliation).  Not shown in tables.
+    counters: dict[str, int] = field(default_factory=dict)
 
     @property
     def mops_per_sec(self) -> float:

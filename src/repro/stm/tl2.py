@@ -28,6 +28,7 @@ from typing import Any, Generator
 from ..config import WORD_SIZE
 from ..core.isa import (Lease, Load, MultiLease, Release, ReleaseAll, Store,
                         TestAndSet, Work)
+from ..trace.events import StmOutcome
 from ..core.machine import Machine
 from ..core.thread import Ctx
 from ..sync.locks import SPIN_PAUSE
@@ -89,7 +90,6 @@ class TL2Objects:
 
     def run_transaction(self, ctx: Ctx) -> Generator[Any, Any, bool]:
         """One attempt: returns True on commit, False on abort."""
-        counters = ctx.machine.counters
         a, b = ctx.rng.sample(range(self.num_objects), 2)
         obj_a, obj_b = self.objects[a], self.objects[b]
         if self.lease == "multi":
@@ -98,13 +98,13 @@ class TL2Objects:
             yield Lease(obj_a, self.single_lease_time)
         ok_a = yield from self._try_lock(ctx, obj_a)
         if not ok_a:
-            counters.stm_aborts += 1
+            ctx.emit(StmOutcome(ctx.core_id, committed=False))
             yield from self._drop_leases(obj_a, obj_b)
             return False
         ok_b = yield from self._try_lock(ctx, obj_b)
         if not ok_b:
             yield from self._unlock(ctx, obj_a)
-            counters.stm_aborts += 1
+            ctx.emit(StmOutcome(ctx.core_id, committed=False))
             yield from self._drop_leases(obj_a, obj_b)
             return False
         # Both locks held: read, compute, write, bump versions (TL2 commit).
@@ -121,7 +121,7 @@ class TL2Objects:
         yield from self._unlock(ctx, obj_b)
         yield from self._unlock(ctx, obj_a)
         yield from self._drop_leases(obj_a, obj_b)
-        counters.stm_commits += 1
+        ctx.emit(StmOutcome(ctx.core_id, committed=True))
         return True
 
     def _drop_leases(self, obj_a: int, obj_b: int) -> Generator:
@@ -156,4 +156,4 @@ class TL2Objects:
                 yield Work(SPIN_PAUSE * min(attempt, 8))
             if local_work:
                 yield Work(local_work)
-            ctx.machine.counters.note_op(ctx.core_id)
+            ctx.note_op()

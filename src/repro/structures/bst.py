@@ -215,4 +215,4 @@ class LockedExternalBST:
                 yield from self.delete(ctx, key)
             else:
                 yield from self.contains(ctx, key)
-            ctx.machine.counters.note_op(ctx.core_id)
+            ctx.note_op()

@@ -22,6 +22,7 @@ from ..core.thread import Ctx
 from ..sync.locks import (CLHLock, HTicketLock, SPIN_PAUSE, TTSLock,
                           TicketLock, lease_lock_acquire,
                           lease_lock_release)
+from ..trace.events import LockAttempt, LockFailed
 
 _LOCKS = {"tts": TTSLock, "ticket": TicketLock, "clh": CLHLock,
           "hticket": HTicketLock}
@@ -37,7 +38,7 @@ class LockedCounter:
         self.machine = machine
         self.lock_kind = lock
         self.lock = _LOCKS[lock](machine)
-        self.value_addr = machine.alloc_var(0)
+        self.value_addr = machine.alloc_var(0, label="counter.value")
         #: Extra cycles spent inside the critical section (models the work
         #: a real application does while holding the lock).
         self.critical_work = critical_work
@@ -74,7 +75,7 @@ class LockedCounter:
             # The site tag lets the Section 5 predictor identify (and, when
             # enabled, neutralize) this repeatedly-expiring lease site.
             yield Lease(lock_addr, site="counter.misuse_spin")
-            ctx.machine.counters.lock_acquire_attempts += 1
+            ctx.emit(LockAttempt(ctx.core_id))
             v = yield Load(lock_addr)
             if v == 0:
                 old = yield TestAndSet(lock_addr)
@@ -83,7 +84,7 @@ class LockedCounter:
                     # lock, so others can observe the locked line.
                     yield Release(lock_addr)
                     break
-            ctx.machine.counters.lock_acquire_failures += 1
+            ctx.emit(LockFailed(ctx.core_id))
             # BUG (deliberate): no Release on failure; spin while leasing
             # the lock line, reading our own stale exclusive copy until
             # the lease expires or is broken.
@@ -104,7 +105,7 @@ class LockedCounter:
         """Benchmark body: ``ops`` lock-protected increments."""
         for _ in range(ops):
             yield from self.increment(ctx)
-            ctx.machine.counters.note_op(ctx.core_id)
+            ctx.note_op()
 
 
 class AtomicCounter:
@@ -112,7 +113,7 @@ class AtomicCounter:
     paper's figures but useful as a sanity ceiling in tests)."""
 
     def __init__(self, machine: Machine) -> None:
-        self.value_addr = machine.alloc_var(0)
+        self.value_addr = machine.alloc_var(0, label="counter.value")
 
     def increment(self, ctx: Ctx) -> Generator[Any, Any, int]:
         return (yield FetchAdd(self.value_addr, 1))
@@ -120,4 +121,4 @@ class AtomicCounter:
     def update_worker(self, ctx: Ctx, ops: int) -> Generator:
         for _ in range(ops):
             yield from self.increment(ctx)
-            ctx.machine.counters.note_op(ctx.core_id)
+            ctx.note_op()

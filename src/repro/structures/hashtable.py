@@ -125,4 +125,4 @@ class LockedHashTable:
                 yield from self.delete(ctx, key)
             else:
                 yield from self.contains(ctx, key)
-            ctx.machine.counters.note_op(ctx.core_id)
+            ctx.note_op()

@@ -42,11 +42,11 @@ class MichaelScottQueue:
         self.variant = variant
         self.lease_time = lease_time
         self.backoff = backoff
-        dummy = machine.alloc.alloc_words(2)
+        dummy = machine.alloc.alloc_words(2, label="queue.node")
         machine.write_init(dummy + VALUE_OFF, NIL)
         machine.write_init(dummy + NEXT_OFF, NIL)
-        self.head = machine.alloc_var(dummy)
-        self.tail = machine.alloc_var(dummy)
+        self.head = machine.alloc_var(dummy, label="queue.head")
+        self.tail = machine.alloc_var(dummy, label="queue.tail")
 
     # -- setup ------------------------------------------------------------
 
@@ -54,7 +54,7 @@ class MichaelScottQueue:
         """Enqueue ``values`` directly (no traffic); call before run."""
         m = self.machine
         for v in values:
-            node = m.alloc.alloc_words(2)
+            node = m.alloc.alloc_words(2, label="queue.node")
             m.write_init(node + VALUE_OFF, v)
             m.write_init(node + NEXT_OFF, NIL)
             last = m.peek(self.tail)
@@ -172,4 +172,4 @@ class MichaelScottQueue:
                 yield from self.dequeue(ctx)
             if local_work:
                 yield Work(local_work)
-            ctx.machine.counters.note_op(ctx.core_id)
+            ctx.note_op()

@@ -198,4 +198,4 @@ class MultiQueue:
                 yield from self.delete_min(ctx)
             if local_work:
                 yield Work(local_work)
-            ctx.machine.counters.note_op(ctx.core_id)
+            ctx.note_op()

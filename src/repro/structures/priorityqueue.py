@@ -24,6 +24,7 @@ from ..core.machine import Machine
 from ..core.thread import Ctx
 from ..sync.locks import SPIN_PAUSE, TTSLock, lease_lock_acquire, \
     lease_lock_release
+from ..trace.events import LockAttempt, LockFailed
 
 NIL = 0
 MAX_HEIGHT = 5
@@ -169,7 +170,7 @@ class GlobalLockPQ:
                 yield from self.delete_min(ctx)
             if local_work:
                 yield Work(local_work)
-            ctx.machine.counters.note_op(ctx.core_id)
+            ctx.note_op()
 
 
 class PughLockPQ:
@@ -221,13 +222,13 @@ class PughLockPQ:
     # -- per-node locks -----------------------------------------------------
 
     def _try_lock(self, ctx: Ctx, node: int) -> Generator[Any, Any, bool]:
-        ctx.machine.counters.lock_acquire_attempts += 1
+        ctx.emit(LockAttempt(ctx.core_id))
         v = yield Load(node + P_LOCK_OFF)
         if v == 0:
             old = yield TestAndSet(node + P_LOCK_OFF)
             if old == 0:
                 return True
-        ctx.machine.counters.lock_acquire_failures += 1
+        ctx.emit(LockFailed(ctx.core_id))
         return False
 
     def _unlock(self, ctx: Ctx, node: int) -> Generator:
@@ -335,7 +336,7 @@ class PughLockPQ:
                 yield from self.delete_min(ctx)
             if local_work:
                 yield Work(local_work)
-            ctx.machine.counters.note_op(ctx.core_id)
+            ctx.note_op()
 
 
 class LotanShavitPQ(PughLockPQ):

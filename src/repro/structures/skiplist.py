@@ -247,4 +247,4 @@ class LockFreeSkipList:
                 yield from self.delete(ctx, key)
             else:
                 yield from self.contains(ctx, key)
-            ctx.machine.counters.note_op(ctx.core_id)
+            ctx.note_op()

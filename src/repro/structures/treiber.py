@@ -32,7 +32,7 @@ class TreiberStack:
     def __init__(self, machine: Machine, *, backoff=None,
                  lease_time: int = 1 << 62) -> None:
         self.machine = machine
-        self.head = machine.alloc_var(NIL)
+        self.head = machine.alloc_var(NIL, label="stack.head")
         self.backoff = backoff
         self.lease_time = lease_time
 
@@ -41,7 +41,7 @@ class TreiberStack:
     def prefill(self, values) -> None:
         """Push ``values`` directly (no simulated traffic); call before run."""
         for v in values:
-            node = self.machine.alloc.alloc_words(2)
+            node = self.machine.alloc.alloc_words(2, label="stack.node")
             self.machine.write_init(node + VALUE_OFF, v)
             self.machine.write_init(node + NEXT_OFF,
                                     self.machine.peek(self.head))
@@ -50,7 +50,7 @@ class TreiberStack:
     # -- operations (Figure 1) ---------------------------------------------
 
     def push(self, ctx: Ctx, value: Any) -> Generator:
-        node = ctx.alloc_cached(2, [value, NIL])
+        node = ctx.alloc_cached(2, [value, NIL], label="stack.node")
         attempt = 0
         while True:
             yield Lease(self.head, self.lease_time)
@@ -105,4 +105,4 @@ class TreiberStack:
                 yield from self.pop(ctx)
             if local_work:
                 yield Work(local_work)
-            ctx.machine.counters.note_op(ctx.core_id)
+            ctx.note_op()

@@ -23,6 +23,7 @@ from ..core.isa import (FetchAdd, Lease, Load, Release, Store, TestAndSet,
                         Work, Swap)
 from ..core.thread import Ctx
 from ..core.machine import Machine
+from ..trace.events import LockAttempt, LockFailed
 
 #: Compute cycles modeling one spin-loop iteration's instruction overhead
 #: (keeps simulated spin loops from degenerating into per-cycle polling).
@@ -33,14 +34,14 @@ class TASLock:
     """Test-and-set spin lock: one word, 0 = free, 1 = held."""
 
     def __init__(self, machine: Machine) -> None:
-        self.addr = machine.alloc_var(0)
+        self.addr = machine.alloc_var(0, label="lock.tas")
 
     def try_acquire(self, ctx: Ctx) -> Generator[Any, Any, bool]:
-        ctx.machine.counters.lock_acquire_attempts += 1
+        ctx.emit(LockAttempt(ctx.core_id))
         old = yield TestAndSet(self.addr)
         if old == 0:
             return True
-        ctx.machine.counters.lock_acquire_failures += 1
+        ctx.emit(LockFailed(ctx.core_id))
         return False
 
     def acquire(self, ctx: Ctx) -> Generator[Any, Any, Any]:
@@ -58,27 +59,27 @@ class TTSLock:
     """Test-and-test-and-set lock: spin reading, TAS only when free."""
 
     def __init__(self, machine: Machine) -> None:
-        self.addr = machine.alloc_var(0)
+        self.addr = machine.alloc_var(0, label="lock.tts")
 
     def try_acquire(self, ctx: Ctx) -> Generator[Any, Any, bool]:
-        ctx.machine.counters.lock_acquire_attempts += 1
+        ctx.emit(LockAttempt(ctx.core_id))
         v = yield Load(self.addr)
         if v == 0:
             old = yield TestAndSet(self.addr)
             if old == 0:
                 return True
-        ctx.machine.counters.lock_acquire_failures += 1
+        ctx.emit(LockFailed(ctx.core_id))
         return False
 
     def acquire(self, ctx: Ctx) -> Generator[Any, Any, Any]:
         while True:
             v = yield Load(self.addr)
             if v == 0:
-                ctx.machine.counters.lock_acquire_attempts += 1
+                ctx.emit(LockAttempt(ctx.core_id))
                 old = yield TestAndSet(self.addr)
                 if old == 0:
                     return None
-                ctx.machine.counters.lock_acquire_failures += 1
+                ctx.emit(LockFailed(ctx.core_id))
             yield Work(SPIN_PAUSE)
 
     def release(self, ctx: Ctx, token: Any = None) -> Generator:
@@ -93,12 +94,12 @@ class TicketLock:
     """
 
     def __init__(self, machine: Machine, *, backoff_step: int = 48) -> None:
-        self.next_ticket = machine.alloc_var(0)
-        self.now_serving = machine.alloc_var(0)
+        self.next_ticket = machine.alloc_var(0, label="lock.ticket.next")
+        self.now_serving = machine.alloc_var(0, label="lock.ticket.serving")
         self.backoff_step = backoff_step
 
     def acquire(self, ctx: Ctx) -> Generator[Any, Any, int]:
-        ctx.machine.counters.lock_acquire_attempts += 1
+        ctx.emit(LockAttempt(ctx.core_id))
         my = yield FetchAdd(self.next_ticket, 1)
         while True:
             s = yield Load(self.now_serving)
@@ -127,7 +128,7 @@ class CLHLock:
         self.tail = machine.alloc_var(dummy)
 
     def acquire(self, ctx: Ctx) -> Generator[Any, Any, int]:
-        ctx.machine.counters.lock_acquire_attempts += 1
+        ctx.emit(LockAttempt(ctx.core_id))
         my_node = ctx.alloc_cached(1, [1])
         pred = yield Swap(self.tail, my_node)
         while True:
@@ -179,7 +180,7 @@ class HTicketLock:
         return ctx.core_id // self.cluster_size
 
     def acquire(self, ctx: Ctx) -> Generator[Any, Any, tuple[int, int]]:
-        ctx.machine.counters.lock_acquire_attempts += 1
+        ctx.emit(LockAttempt(ctx.core_id))
         c = self._cluster(ctx)
         my = yield FetchAdd(self.l_ticket[c], 1)
         while True:                          # local ticket queue

@@ -1,0 +1,28 @@
+"""Instrumentation layer: event taxonomy, trace bus, and stock sinks.
+
+See DESIGN.md ("Instrumentation") for the event taxonomy and how to write
+a custom sink.  Quick orientation::
+
+    from repro import Machine
+    from repro.trace import RingBufferTracer
+
+    m = Machine()
+    ring = m.attach_tracer(RingBufferTracer(capacity=4096))
+    ...
+    m.run()
+    for event in ring.events():
+        print(event)
+"""
+
+from . import events
+from .bus import NullTracer, TraceBus, Tracer
+from .events import TraceEvent
+from .invariants import InvariantTracer
+from .sinks import (ContentionHeatmap, CountersTracer, JsonlTracer,
+                    RingBufferTracer, reconcile)
+
+__all__ = [
+    "events", "TraceEvent", "Tracer", "NullTracer", "TraceBus",
+    "CountersTracer", "RingBufferTracer", "JsonlTracer",
+    "ContentionHeatmap", "InvariantTracer", "reconcile",
+]

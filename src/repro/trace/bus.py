@@ -1,0 +1,96 @@
+"""The instrumentation bus: one ``emit`` seam, pluggable sinks.
+
+Every layer of the machine (engine, coherence, leases, sync, workloads)
+reports what it does by constructing a :mod:`~repro.trace.events` object
+and calling ``trace.emit(ev)``.  What happens to the event is entirely a
+property of the attached sinks:
+
+* :class:`~repro.trace.sinks.CountersTracer` -- the default; rebuilds the
+  classic :class:`~repro.stats.Counters` so reports keep working;
+* :class:`~repro.trace.sinks.JsonlTracer` / ``RingBufferTracer`` -- raw
+  event capture for offline analysis;
+* :class:`~repro.trace.sinks.ContentionHeatmap` -- per-line queue-depth /
+  deferral histograms;
+* :class:`~repro.trace.invariants.InvariantTracer` -- protocol checking.
+
+Observation must never perturb the simulation: sinks only read machine
+state, never schedule events or mutate it, so a run's ``RunResult`` is
+bit-identical whatever sinks are attached (the test suite asserts this).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from .events import TraceEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.machine import Machine
+
+
+class Tracer:
+    """Sink interface.  Subclass and override :meth:`on_event`.
+
+    ``bind(machine)`` is called when the sink is attached via
+    :meth:`Machine.attach_tracer`, giving sinks that need machine state
+    (invariant checker, heatmap label resolution) a reference; the default
+    is a no-op so simple sinks ignore it.
+    """
+
+    def on_event(self, ev: TraceEvent) -> None:
+        raise NotImplementedError
+
+    def bind(self, machine: "Machine") -> None:
+        pass
+
+
+class NullTracer(Tracer):
+    """A sink that drops everything (for machines that need no accounting
+    at all, and as the do-nothing default for standalone components)."""
+
+    def on_event(self, ev: TraceEvent) -> None:
+        pass
+
+
+class TraceBus:
+    """Fan-out point between instrumented code and the attached sinks.
+
+    The bus stamps each event with the current simulation cycle (via the
+    ``clock`` callable) and forwards it to every sink in attachment order.
+    With no sinks attached ``emit`` returns immediately.
+    """
+
+    __slots__ = ("clock", "_sinks")
+
+    def __init__(self, clock: Callable[[], int] | None = None,
+                 sinks: Iterable[Tracer] = ()) -> None:
+        self.clock = clock or (lambda: 0)
+        self._sinks: list[Tracer] = list(sinks)
+
+    # -- sink management -----------------------------------------------------
+
+    def attach(self, sink: Tracer) -> Tracer:
+        """Add ``sink`` to the fan-out list; returns it for chaining."""
+        self._sinks.append(sink)
+        return sink
+
+    def detach(self, sink: Tracer) -> None:
+        """Remove ``sink``; detaching an unattached sink is a no-op."""
+        if sink in self._sinks:
+            self._sinks.remove(sink)
+
+    @property
+    def sinks(self) -> tuple[Tracer, ...]:
+        return tuple(self._sinks)
+
+    # -- the seam ------------------------------------------------------------
+
+    def emit(self, ev: TraceEvent) -> None:
+        """Stamp ``ev`` with the current cycle and deliver it to every
+        attached sink."""
+        sinks = self._sinks
+        if not sinks:
+            return
+        ev.t = self.clock()
+        for sink in sinks:
+            sink.on_event(ev)

@@ -1,0 +1,441 @@
+"""The typed trace-event taxonomy.
+
+Every observable action in the simulated machine -- coherence requests,
+probes, lease transitions, cache/L2/network activity, synchronization
+outcomes, completed operations -- is described by exactly one event class
+below.  Hot-path code constructs an event and hands it to the machine's
+:class:`~repro.trace.bus.TraceBus`; sinks (counters, JSONL writers,
+heatmaps, invariant checkers) consume the stream.
+
+Events are plain ``__slots__`` objects: cheap to construct, and
+``to_dict()`` flattens them for JSONL serialization.  The ``t`` field (the
+simulation cycle) is stamped by the bus at emit time, so call sites never
+pass timestamps.
+
+Taxonomy overview (``kind`` strings):
+
+===================  ====================================================
+coherence requests    ``req_issued``, ``req_queued``, ``req_granted``
+probes                ``probe_sent``, ``probe_deferred``,
+                      ``probe_serviced``, ``lease_probe_queued``
+leases                ``lease_requested``, ``lease_noop``,
+                      ``lease_ignored``, ``lease_started``,
+                      ``lease_released``, ``multilease``
+evictions             ``eviction_issued``, ``eviction_applied``
+caches / memory       ``l1_hit``, ``l1_miss``, ``l1_evicted``,
+                      ``mesi_upgrade``, ``l2_access``, ``writeback``
+network               ``message``
+synchronization       ``cas``, ``lock_attempt``, ``lock_failed``, ``stm``
+workload              ``op_completed``
+===================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class TraceEvent:
+    """Base class of all trace events.
+
+    ``t`` is the simulation cycle at emit time (stamped by the bus).
+    Subclasses declare their payload in ``__slots__``; ``to_dict`` walks
+    the MRO so inherited fields serialize too.
+    """
+
+    __slots__ = ("t",)
+    kind: str = "event"
+
+    def __init__(self) -> None:
+        self.t = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"kind": self.kind, "t": self.t}
+        for cls in type(self).__mro__:
+            for name in getattr(cls, "__slots__", ()):
+                if name != "t":
+                    out[name] = getattr(self, name)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        fields = ", ".join(f"{k}={v!r}" for k, v in self.to_dict().items()
+                           if k != "kind")
+        return f"<{type(self).__name__} {fields}>"
+
+
+# ---------------------------------------------------------------------------
+# Coherence requests (core -> directory)
+# ---------------------------------------------------------------------------
+
+class ReqIssued(TraceEvent):
+    """A GetS/GetX request left a core for the line's home tile."""
+
+    __slots__ = ("core", "line", "req", "is_lease")
+    kind = "req_issued"
+
+    def __init__(self, core: int, line: int, req: str,
+                 is_lease: bool) -> None:
+        super().__init__()
+        self.core = core
+        self.line = line
+        self.req = req
+        self.is_lease = is_lease
+
+
+class ReqQueued(TraceEvent):
+    """A request arrived at a busy directory entry and joined the line's
+    FIFO queue at depth ``depth`` (the paper's per-line waiting room)."""
+
+    __slots__ = ("core", "line", "depth")
+    kind = "req_queued"
+
+    def __init__(self, core: int, line: int, depth: int) -> None:
+        super().__init__()
+        self.core = core
+        self.line = line
+        self.depth = depth
+
+
+class ReqGranted(TraceEvent):
+    """The directory granted ``line`` to ``core`` in ``state``."""
+
+    __slots__ = ("core", "line", "state", "fetch")
+    kind = "req_granted"
+
+    def __init__(self, core: int, line: int, state: str,
+                 fetch: bool) -> None:
+        super().__init__()
+        self.core = core
+        self.line = line
+        self.state = state
+        self.fetch = fetch
+
+
+# ---------------------------------------------------------------------------
+# Probes (directory -> core)
+# ---------------------------------------------------------------------------
+
+class ProbeSent(TraceEvent):
+    """An invalidation/downgrade probe left the home tile for ``target``."""
+
+    __slots__ = ("target", "line", "probe")
+    kind = "probe_sent"
+
+    def __init__(self, target: int, line: int, probe: str) -> None:
+        super().__init__()
+        self.target = target
+        self.line = line
+        self.probe = probe
+
+
+class ProbeDeferred(TraceEvent):
+    """A probe reached a core between grant and access commit and was
+    deferred until the waiting access completes."""
+
+    __slots__ = ("core", "line")
+    kind = "probe_deferred"
+
+    def __init__(self, core: int, line: int) -> None:
+        super().__init__()
+        self.core = core
+        self.line = line
+
+
+class ProbeServiced(TraceEvent):
+    """A core serviced a probe (possibly after a lease delay).  ``stale``
+    means the line was already gone; ``data`` means the reply carried a
+    dirty line back home."""
+
+    __slots__ = ("core", "line", "probe", "stale", "data")
+    kind = "probe_serviced"
+
+    def __init__(self, core: int, line: int, probe: str, stale: bool,
+                 data: bool) -> None:
+        super().__init__()
+        self.core = core
+        self.line = line
+        self.probe = probe
+        self.stale = stale
+        self.data = data
+
+
+class LeaseProbeQueued(TraceEvent):
+    """A probe hit a leased line and was queued at the core (Algorithm 1's
+    deferral -- the mechanism the whole paper is about)."""
+
+    __slots__ = ("core", "line")
+    kind = "lease_probe_queued"
+
+    def __init__(self, core: int, line: int) -> None:
+        super().__init__()
+        self.core = core
+        self.line = line
+
+
+# ---------------------------------------------------------------------------
+# Leases
+# ---------------------------------------------------------------------------
+
+class LeaseRequested(TraceEvent):
+    """A ``Lease`` instruction reached the core's lease manager."""
+
+    __slots__ = ("core", "line", "site")
+    kind = "lease_requested"
+
+    def __init__(self, core: int, line: int, site: str | None) -> None:
+        super().__init__()
+        self.core = core
+        self.line = line
+        self.site = site
+
+
+class LeaseNoop(TraceEvent):
+    """Lease on an already-leased line: no-op (no extension, footnote 1)."""
+
+    __slots__ = ("core", "line")
+    kind = "lease_noop"
+
+    def __init__(self, core: int, line: int) -> None:
+        super().__init__()
+        self.core = core
+        self.line = line
+
+
+class LeaseIgnored(TraceEvent):
+    """The Section 5 predictor skipped a lease at a misbehaving site."""
+
+    __slots__ = ("core", "line", "site")
+    kind = "lease_ignored"
+
+    def __init__(self, core: int, line: int, site: str | None) -> None:
+        super().__init__()
+        self.core = core
+        self.line = line
+        self.site = site
+
+
+class LeaseStarted(TraceEvent):
+    """Ownership is held and the lease countdown started (lease acquired)."""
+
+    __slots__ = ("core", "line", "duration")
+    kind = "lease_started"
+
+    def __init__(self, core: int, line: int, duration: int) -> None:
+        super().__init__()
+        self.core = core
+        self.line = line
+        self.duration = duration
+
+
+class LeaseReleased(TraceEvent):
+    """A lease ended.  ``mode`` is one of ``voluntary`` (Release/ReleaseAll),
+    ``expired`` (timer ran out), ``broken`` (Section 5 prioritization), or
+    ``fifo`` (table full, oldest evicted)."""
+
+    __slots__ = ("core", "line", "mode")
+    kind = "lease_released"
+
+    MODES = ("voluntary", "expired", "broken", "fifo")
+
+    def __init__(self, core: int, line: int, mode: str) -> None:
+        super().__init__()
+        self.core = core
+        self.line = line
+        self.mode = mode
+
+
+class MultiLeaseIssued(TraceEvent):
+    """A MultiLease instruction was executed over ``n`` lines; ``ignored``
+    when the group would exceed MAX_NUM_LEASES."""
+
+    __slots__ = ("core", "n", "ignored")
+    kind = "multilease"
+
+    def __init__(self, core: int, n: int, ignored: bool) -> None:
+        super().__init__()
+        self.core = core
+        self.n = n
+        self.ignored = ignored
+
+
+# ---------------------------------------------------------------------------
+# Evictions (core -> directory notices)
+# ---------------------------------------------------------------------------
+
+class EvictionIssued(TraceEvent):
+    """A PutM/PutS notice left ``core`` for the home tile."""
+
+    __slots__ = ("core", "line", "notice")
+    kind = "eviction_issued"
+
+    def __init__(self, core: int, line: int, notice: str) -> None:
+        super().__init__()
+        self.core = core
+        self.line = line
+        self.notice = notice
+
+
+class EvictionApplied(TraceEvent):
+    """The directory processed an eviction notice.  ``applied`` is False
+    when the notice was stale (the core had re-acquired the line)."""
+
+    __slots__ = ("core", "line", "applied")
+    kind = "eviction_applied"
+
+    def __init__(self, core: int, line: int, applied: bool) -> None:
+        super().__init__()
+        self.core = core
+        self.line = line
+        self.applied = applied
+
+
+# ---------------------------------------------------------------------------
+# Caches / memory hierarchy
+# ---------------------------------------------------------------------------
+
+class L1Hit(TraceEvent):
+    __slots__ = ("core", "line")
+    kind = "l1_hit"
+
+    def __init__(self, core: int, line: int) -> None:
+        super().__init__()
+        self.core = core
+        self.line = line
+
+
+class L1Miss(TraceEvent):
+    __slots__ = ("core", "line")
+    kind = "l1_miss"
+
+    def __init__(self, core: int, line: int) -> None:
+        super().__init__()
+        self.core = core
+        self.line = line
+
+
+class L1Evicted(TraceEvent):
+    """A fill displaced ``line`` from ``core``'s L1.  ``overflow`` means
+    every way was pinned and the set over-filled instead (the line is the
+    *incoming* one in that case)."""
+
+    __slots__ = ("core", "line", "overflow")
+    kind = "l1_evicted"
+
+    def __init__(self, core: int, line: int, overflow: bool) -> None:
+        super().__init__()
+        self.core = core
+        self.line = line
+        self.overflow = overflow
+
+
+class MesiUpgrade(TraceEvent):
+    """Silent E->M upgrade on first write (MESI only)."""
+
+    __slots__ = ("core", "line")
+    kind = "mesi_upgrade"
+
+    def __init__(self, core: int, line: int) -> None:
+        super().__init__()
+        self.core = core
+        self.line = line
+
+
+class L2Access(TraceEvent):
+    """An L2 data fetch at the home slice; ``dram`` on cold first touch."""
+
+    __slots__ = ("line", "dram")
+    kind = "l2_access"
+
+    def __init__(self, line: int, dram: bool) -> None:
+        super().__init__()
+        self.line = line
+        self.dram = dram
+
+
+class Writeback(TraceEvent):
+    """A dirty line was written back into its L2 slice."""
+
+    __slots__ = ("line",)
+    kind = "writeback"
+
+    def __init__(self, line: int) -> None:
+        super().__init__()
+        self.line = line
+
+
+# ---------------------------------------------------------------------------
+# Network
+# ---------------------------------------------------------------------------
+
+class MessageSent(TraceEvent):
+    """One coherence message traversed the mesh."""
+
+    __slots__ = ("src", "dst", "msg", "hops", "data")
+    kind = "message"
+
+    def __init__(self, src: int, dst: int, msg: str, hops: int,
+                 data: bool) -> None:
+        super().__init__()
+        self.src = src
+        self.dst = dst
+        self.msg = msg
+        self.hops = hops
+        self.data = data
+
+
+# ---------------------------------------------------------------------------
+# Synchronization / workload
+# ---------------------------------------------------------------------------
+
+class CasOutcome(TraceEvent):
+    """A CAS (or TAS-as-CAS) committed; ``ok`` is the success flag."""
+
+    __slots__ = ("core", "addr", "ok")
+    kind = "cas"
+
+    def __init__(self, core: int, addr: int, ok: bool) -> None:
+        super().__init__()
+        self.core = core
+        self.addr = addr
+        self.ok = ok
+
+
+class LockAttempt(TraceEvent):
+    __slots__ = ("core",)
+    kind = "lock_attempt"
+
+    def __init__(self, core: int) -> None:
+        super().__init__()
+        self.core = core
+
+
+class LockFailed(TraceEvent):
+    __slots__ = ("core",)
+    kind = "lock_failed"
+
+    def __init__(self, core: int) -> None:
+        super().__init__()
+        self.core = core
+
+
+class StmOutcome(TraceEvent):
+    """A TL2 transaction attempt ended: committed or aborted."""
+
+    __slots__ = ("core", "committed")
+    kind = "stm"
+
+    def __init__(self, core: int, committed: bool) -> None:
+        super().__init__()
+        self.core = core
+        self.committed = committed
+
+
+class OpCompleted(TraceEvent):
+    """One data-structure operation completed (the throughput unit)."""
+
+    __slots__ = ("core",)
+    kind = "op_completed"
+
+    def __init__(self, core: int) -> None:
+        super().__init__()
+        self.core = core

@@ -1,0 +1,115 @@
+"""Continuous protocol checking driven by the trace stream.
+
+``Directory.check_invariants`` verifies directory/L1 agreement at
+quiescence; :class:`InvariantTracer` extends that to *every step of the
+run* by re-checking after each emitted event.  Two windows make the naive
+check unsound mid-run, and are excluded:
+
+* lines with an in-flight transaction (``entry.busy`` / queued requests):
+  the L1 of a probed owner is updated before the reply reaches home;
+* lines with an eviction notice in flight (issued, not yet applied): the
+  core's L1 already dropped the line but the directory has not heard yet.
+  These are tracked from ``eviction_issued``/``eviction_applied`` events.
+
+On top of agreement it checks the paper's Assumption 1 / Proposition 1
+consequence -- at any time at most one request per line is queued at a
+core (as a deferred probe or a lease-queued probe) -- and that every
+granted, live lease pins its line in the L1.
+
+Violations raise :class:`~repro.errors.ProtocolError` immediately, with
+the event and cycle that exposed them, so CI catches protocol regressions
+at the first bad transition instead of at end-of-run.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import ProtocolError
+from . import events as ev
+from .bus import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.machine import Machine
+
+
+class InvariantTracer(Tracer):
+    """Checks coherence/lease invariants after every ``every``-th event."""
+
+    def __init__(self, *, every: int = 1) -> None:
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.every = every
+        self.machine: "Machine | None" = None
+        self.events_seen = 0
+        self.checks_run = 0
+        #: line -> number of eviction notices in flight.
+        self._pending_evictions: dict[int, int] = {}
+
+    def bind(self, machine: "Machine") -> None:
+        self.machine = machine
+        self.events_seen = 0
+        self.checks_run = 0
+        self._pending_evictions.clear()
+
+    # -- sink interface -----------------------------------------------------
+
+    def on_event(self, event: ev.TraceEvent) -> None:
+        t = type(event)
+        if t is ev.EvictionIssued:
+            p = self._pending_evictions
+            p[event.line] = p.get(event.line, 0) + 1
+        elif t is ev.EvictionApplied:
+            p = self._pending_evictions
+            left = p.get(event.line, 0) - 1
+            if left > 0:
+                p[event.line] = left
+            else:
+                p.pop(event.line, None)
+        self.events_seen += 1
+        if self.events_seen % self.every == 0:
+            try:
+                self.check()
+            except ProtocolError as err:
+                raise ProtocolError(
+                    f"invariant violated at t={event.t} after "
+                    f"{event.kind} event: {err}") from None
+
+    # -- the checks ---------------------------------------------------------
+
+    def check(self) -> None:
+        """Run all checks now (also callable directly, e.g. at quiescence)."""
+        m = self.machine
+        if m is None:
+            raise ProtocolError("InvariantTracer not bound to a machine")
+        self.checks_run += 1
+        d = m.directory
+        pending = self._pending_evictions
+        # 1. Directory/L1 agreement on every settled line.
+        for line, entry in d.entries.items():
+            if entry.busy or entry.queue or pending.get(line):
+                continue
+            d.check_line(line, entry)
+        # 2. Proposition 1: at most one request queued per line at a core.
+        queued: dict[int, int] = {}
+        for unit in d.mem_units:
+            dline = unit.deferred_probe_line
+            if dline is not None:
+                queued[dline] = queued.get(dline, 0) + 1
+            mgr = unit.lease_mgr
+            if mgr is None:
+                continue
+            for e in mgr.table.entries():
+                # 3. Every granted, live lease pins its line.
+                if e.granted and not e.dead and \
+                        not unit.l1.is_pinned(e.line):
+                    raise ProtocolError(
+                        f"core {unit.core_id}: leased line {e.line} is "
+                        "not pinned in the L1")
+                if e.queued_probe is not None:
+                    queued[e.line] = queued.get(e.line, 0) + 1
+        for line, n in queued.items():
+            if n > 1:
+                raise ProtocolError(
+                    f"line {line}: {n} requests queued at cores "
+                    "(Proposition 1 allows at most one)")

@@ -1,0 +1,364 @@
+"""The stock trace sinks: counters, JSONL/ring-buffer capture, heatmap.
+
+``CountersTracer`` is what keeps the rest of the repo oblivious to the
+refactor: it folds the event stream back into the flat
+:class:`~repro.stats.Counters` that reports, the energy model and the test
+suite consume.  Because the counters are now *derived* from the same events
+a trace captures, any written trace reconciles with the run's counter
+totals by construction -- :func:`reconcile` checks exactly that.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import IO, TYPE_CHECKING, Any, Callable, Mapping
+
+from ..stats import Counters
+from ..stats.report import format_table
+from . import events as ev
+from .bus import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.machine import Machine
+
+
+class CountersTracer(Tracer):
+    """Rebuilds the classic flat :class:`Counters` from the event stream.
+
+    One instance is attached to every machine by default;
+    ``machine.counters`` is this sink's ``counters`` attribute, so all
+    existing result/report/energy code works unchanged.
+    """
+
+    def __init__(self, counters: Counters | None = None) -> None:
+        self.counters = counters or Counters()
+        k = self.counters
+        # type -> handler; dispatch is one dict lookup per event.
+        self._handlers: dict[type, Callable[[Any], None]] = {
+            ev.L1Hit: lambda e: self._bump("l1_hits"),
+            ev.L1Miss: lambda e: self._bump("l1_misses"),
+            ev.L1Evicted: self._on_l1_evicted,
+            ev.MesiUpgrade: lambda e: self._bump("mesi_silent_upgrades"),
+            ev.L2Access: self._on_l2_access,
+            ev.Writeback: self._on_writeback,
+            ev.MessageSent: self._on_message,
+            ev.ReqIssued: self._on_req_issued,
+            ev.ReqQueued: self._on_req_queued,
+            ev.ProbeSent: self._on_probe_sent,
+            ev.ProbeServiced: self._on_probe_serviced,
+            ev.ProbeDeferred: lambda e: self._bump(
+                "probes_deferred_mid_access"),
+            ev.LeaseProbeQueued: lambda e: self._bump(
+                "probes_queued_at_core"),
+            ev.LeaseRequested: lambda e: self._bump("leases_requested"),
+            ev.LeaseNoop: lambda e: self._bump("leases_noop_already_held"),
+            ev.LeaseIgnored: lambda e: self._bump(
+                "leases_ignored_by_predictor"),
+            ev.LeaseStarted: lambda e: self._bump("leases_granted"),
+            ev.LeaseReleased: self._on_lease_released,
+            ev.MultiLeaseIssued: self._on_multilease,
+            ev.CasOutcome: self._on_cas,
+            ev.LockAttempt: lambda e: self._bump("lock_acquire_attempts"),
+            ev.LockFailed: lambda e: self._bump("lock_acquire_failures"),
+            ev.StmOutcome: self._on_stm,
+            ev.OpCompleted: lambda e: k.note_op(e.core),
+        }
+        self._release_fields = {
+            "voluntary": "releases_voluntary",
+            "expired": "releases_involuntary",
+            "broken": "releases_broken_by_priority",
+            "fifo": "releases_fifo_eviction",
+        }
+
+    def _bump(self, field: str) -> None:
+        k = self.counters
+        setattr(k, field, getattr(k, field) + 1)
+
+    # -- composite handlers -------------------------------------------------
+
+    def _on_l1_evicted(self, e: ev.L1Evicted) -> None:
+        if e.overflow:
+            self.counters.l1_eviction_overflows += 1
+        else:
+            self.counters.l1_evictions += 1
+
+    def _on_l2_access(self, e: ev.L2Access) -> None:
+        k = self.counters
+        k.l2_accesses += 1
+        if e.dram:
+            k.dram_accesses += 1
+
+    def _on_writeback(self, e: ev.Writeback) -> None:
+        k = self.counters
+        k.l2_accesses += 1
+        k.writebacks += 1
+
+    def _on_message(self, e: ev.MessageSent) -> None:
+        k = self.counters
+        k.messages += 1
+        k.hops += e.hops
+        if e.data:
+            k.data_messages += 1
+
+    def _on_req_issued(self, e: ev.ReqIssued) -> None:
+        if e.req == "GetS":
+            self.counters.gets_requests += 1
+        else:
+            self.counters.getx_requests += 1
+
+    def _on_req_queued(self, e: ev.ReqQueued) -> None:
+        k = self.counters
+        k.dir_queued_requests += 1
+        if e.depth > k.dir_max_queue_depth:
+            k.dir_max_queue_depth = e.depth
+
+    def _on_probe_sent(self, e: ev.ProbeSent) -> None:
+        if e.probe == "Inv":
+            self.counters.invalidations_sent += 1
+        else:
+            self.counters.downgrades_sent += 1
+
+    def _on_probe_serviced(self, e: ev.ProbeServiced) -> None:
+        if e.stale:
+            self.counters.stale_probes += 1
+
+    def _on_lease_released(self, e: ev.LeaseReleased) -> None:
+        self._bump(self._release_fields[e.mode])
+
+    def _on_multilease(self, e: ev.MultiLeaseIssued) -> None:
+        k = self.counters
+        k.multilease_calls += 1
+        if e.ignored:
+            k.multilease_ignored += 1
+
+    def _on_cas(self, e: ev.CasOutcome) -> None:
+        k = self.counters
+        k.cas_attempts += 1
+        if not e.ok:
+            k.cas_failures += 1
+
+    def _on_stm(self, e: ev.StmOutcome) -> None:
+        if e.committed:
+            self.counters.stm_commits += 1
+        else:
+            self.counters.stm_aborts += 1
+
+    # -- sink interface -----------------------------------------------------
+
+    def on_event(self, event: ev.TraceEvent) -> None:
+        handler = self._handlers.get(type(event))
+        if handler is not None:
+            handler(event)
+
+
+class RingBufferTracer(Tracer):
+    """Keeps the last ``capacity`` events in memory (bounded), while
+    tallying per-kind counts over the *whole* stream."""
+
+    def __init__(self, capacity: int = 65536) -> None:
+        self.buffer: deque[ev.TraceEvent] = deque(maxlen=capacity)
+        self.counts: dict[str, int] = {}
+        self.total = 0
+
+    def on_event(self, event: ev.TraceEvent) -> None:
+        self.buffer.append(event)
+        self.counts[event.kind] = self.counts.get(event.kind, 0) + 1
+        self.total += 1
+
+    def events(self) -> list[ev.TraceEvent]:
+        return list(self.buffer)
+
+    def dump(self, fp: IO[str]) -> int:
+        """Write the buffered events as JSONL; returns lines written."""
+        n = 0
+        for event in self.buffer:
+            fp.write(json.dumps(event.to_dict(), separators=(",", ":")))
+            fp.write("\n")
+            n += 1
+        return n
+
+
+class JsonlTracer(Tracer):
+    """Streams every event as one JSON line to a file (or file object).
+
+    ``annotate(**fields)`` attaches context fields (e.g. variant name,
+    thread count) to every subsequent line -- handy when one file covers a
+    whole sweep.  ``max_events`` bounds the number of lines *written*;
+    per-kind counts always cover the full stream so reconciliation against
+    the run's counters stays exact even for truncated files.
+    """
+
+    def __init__(self, path_or_fp: str | IO[str], *,
+                 max_events: int | None = None) -> None:
+        if isinstance(path_or_fp, str):
+            self._fp: IO[str] = open(path_or_fp, "w", encoding="utf-8")
+            self._owns_fp = True
+        else:
+            self._fp = path_or_fp
+            self._owns_fp = False
+        self.max_events = max_events
+        self.written = 0
+        self.total = 0
+        self.counts: dict[str, int] = {}
+        self._extra: dict[str, Any] = {}
+
+    def annotate(self, **fields: Any) -> None:
+        """Set context fields merged into every subsequent event line."""
+        self._extra = dict(fields)
+
+    def on_event(self, event: ev.TraceEvent) -> None:
+        self.counts[event.kind] = self.counts.get(event.kind, 0) + 1
+        self.total += 1
+        if self.max_events is not None and self.written >= self.max_events:
+            return
+        d = event.to_dict()
+        if self._extra:
+            d.update(self._extra)
+        self._fp.write(json.dumps(d, separators=(",", ":")))
+        self._fp.write("\n")
+        self.written += 1
+
+    def write_line(self, record: Mapping[str, Any]) -> None:
+        """Write an out-of-band record (e.g. a run summary) to the file."""
+        self._fp.write(json.dumps(dict(record), separators=(",", ":")))
+        self._fp.write("\n")
+
+    def close(self) -> None:
+        if self._owns_fp:
+            self._fp.close()
+        else:
+            self._fp.flush()
+
+    def __enter__(self) -> "JsonlTracer":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class _LineStats:
+    __slots__ = ("queued", "max_depth", "probes", "deferrals", "lines")
+
+    def __init__(self) -> None:
+        self.queued = 0
+        self.max_depth = 0
+        self.probes = 0
+        self.deferrals = 0
+        self.lines: set[int] = set()
+
+
+class ContentionHeatmap(Tracer):
+    """Per-line contention statistics keyed by symbolic allocation name.
+
+    Aggregates directory queueing (how long requests wait behind the
+    single in-flight transaction per line), probe traffic, and probe
+    deferrals (lease queueing + mid-access deferral) per allocation label
+    (see ``Allocator.label_of``), reproducing the paper's "messages per
+    op" story at individual-variable granularity.
+    """
+
+    def __init__(self) -> None:
+        self._stats: dict[str, _LineStats] = {}
+        self._resolve: Callable[[int], str | None] = lambda line: None
+
+    def bind(self, machine: "Machine") -> None:
+        self._resolve = machine.alloc.label_of
+
+    def _rec(self, line: int) -> _LineStats:
+        name = self._resolve(line) or f"line#{line}"
+        rec = self._stats.get(name)
+        if rec is None:
+            rec = self._stats[name] = _LineStats()
+        rec.lines.add(line)
+        return rec
+
+    def on_event(self, event: ev.TraceEvent) -> None:
+        t = type(event)
+        if t is ev.ReqQueued:
+            rec = self._rec(event.line)
+            rec.queued += 1
+            if event.depth > rec.max_depth:
+                rec.max_depth = event.depth
+        elif t is ev.ProbeSent:
+            self._rec(event.line).probes += 1
+        elif t is ev.LeaseProbeQueued or t is ev.ProbeDeferred:
+            self._rec(event.line).deferrals += 1
+
+    def rows(self, top: int | None = None) -> list[dict[str, Any]]:
+        """Hottest allocations first (by directory queueing, then probes)."""
+        ranked = sorted(self._stats.items(),
+                        key=lambda kv: (kv[1].queued, kv[1].probes),
+                        reverse=True)
+        if top is not None:
+            ranked = ranked[:top]
+        return [{
+            "allocation": name,
+            "lines": len(rec.lines),
+            "dir_queued": rec.queued,
+            "max_queue_depth": rec.max_depth,
+            "probes": rec.probes,
+            "probe_deferrals": rec.deferrals,
+        } for name, rec in ranked]
+
+    def report(self, top: int | None = 20) -> str:
+        rows = self.rows(top)
+        if not rows:
+            return "(no contention recorded)"
+        return format_table(rows)
+
+
+#: (description, event-count expression, counter expression) triplets used
+#: to cross-check a captured trace against the run's Counters totals.
+_RECONCILE_RULES: tuple[tuple[str, Callable[[Mapping[str, int]], int],
+                              Callable[[Mapping[str, int]], int]], ...] = (
+    ("messages", lambda c: c.get("message", 0),
+     lambda k: k["messages"]),
+    ("l1 hits", lambda c: c.get("l1_hit", 0),
+     lambda k: k["l1_hits"]),
+    ("l1 misses", lambda c: c.get("l1_miss", 0),
+     lambda k: k["l1_misses"]),
+    ("requests issued", lambda c: c.get("req_issued", 0),
+     lambda k: k["gets_requests"] + k["getx_requests"]),
+    ("requests queued", lambda c: c.get("req_queued", 0),
+     lambda k: k["dir_queued_requests"]),
+    ("probes sent", lambda c: c.get("probe_sent", 0),
+     lambda k: k["invalidations_sent"] + k["downgrades_sent"]),
+    ("writebacks", lambda c: c.get("writeback", 0),
+     lambda k: k["writebacks"]),
+    ("l2 accesses", lambda c: c.get("l2_access", 0) + c.get("writeback", 0),
+     lambda k: k["l2_accesses"]),
+    ("leases requested", lambda c: c.get("lease_requested", 0),
+     lambda k: k["leases_requested"]),
+    ("leases started", lambda c: c.get("lease_started", 0),
+     lambda k: k["leases_granted"]),
+    ("probes queued at cores", lambda c: c.get("lease_probe_queued", 0),
+     lambda k: k["probes_queued_at_core"]),
+    ("multilease calls", lambda c: c.get("multilease", 0),
+     lambda k: k["multilease_calls"]),
+    ("cas attempts", lambda c: c.get("cas", 0),
+     lambda k: k["cas_attempts"]),
+    ("lock attempts", lambda c: c.get("lock_attempt", 0),
+     lambda k: k["lock_acquire_attempts"]),
+    ("stm attempts", lambda c: c.get("stm", 0),
+     lambda k: k["stm_commits"] + k["stm_aborts"]),
+    ("ops completed", lambda c: c.get("op_completed", 0),
+     lambda k: k["ops_completed"]),
+)
+
+
+def reconcile(event_counts: Mapping[str, int],
+              counters: Counters | Mapping[str, int]) -> list[str]:
+    """Cross-check per-kind trace event counts against Counters totals.
+
+    Returns a list of human-readable mismatch descriptions (empty when the
+    trace reconciles exactly).  ``counters`` may be a live ``Counters`` or
+    a ``snapshot()`` dict.
+    """
+    snap = counters.snapshot() if isinstance(counters, Counters) else counters
+    problems = []
+    for desc, from_events, from_counters in _RECONCILE_RULES:
+        a, b = from_events(event_counts), from_counters(snap)
+        if a != b:
+            problems.append(f"{desc}: trace={a} counters={b}")
+    return problems

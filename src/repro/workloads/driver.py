@@ -10,11 +10,12 @@ a fixed seed.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Any
+from typing import Any, Sequence
 
 from ..config import MachineConfig
 from ..core.machine import Machine
 from ..stats import RunResult
+from ..trace import Tracer
 from ..structures import (GlobalLockPQ, HarrisList, LockFreeSkipList,
                           LockedCounter, LockedExternalBST, LockedHashTable,
                           LotanShavitPQ, MichaelScottQueue, MultiQueue,
@@ -31,6 +32,16 @@ def _config(num_threads: int, use_lease: bool,
     cfg = replace(cfg, num_cores=num_threads)
     lease = replace(cfg.lease, enabled=use_lease, **lease_kw)
     return replace(cfg, lease=lease)
+
+
+def _machine(cfg: MachineConfig,
+             sinks: Sequence[Tracer] | None) -> Machine:
+    """Build the benchmark machine, attaching any extra trace sinks
+    (JSONL writers, heatmaps, invariant checkers) the caller supplied."""
+    m = Machine(cfg)
+    for sink in sinks or ():
+        m.attach_tracer(sink)
+    return m
 
 
 def _finish(m: Machine, name: str, **extra: Any) -> RunResult:
@@ -50,14 +61,15 @@ def _finish(m: Machine, name: str, **extra: Any) -> RunResult:
 def bench_stack(num_threads: int, *, ops_per_thread: int = 60,
                 variant: str = "base", prefill: int = 128,
                 config: MachineConfig | None = None,
-                max_lease_time: int | None = None) -> RunResult:
+                max_lease_time: int | None = None,
+                sinks: Sequence[Tracer] | None = None) -> RunResult:
     """``variant``: 'base', 'lease', or 'backoff' (the software-optimized
     comparison point of Section 7)."""
     kw = {}
     if max_lease_time is not None:
         kw["max_lease_time"] = max_lease_time
     cfg = _config(num_threads, variant == "lease", config, **kw)
-    m = Machine(cfg)
+    m = _machine(cfg, sinks)
     backoff = ExponentialBackoff() if variant == "backoff" else None
     stack = TreiberStack(m, backoff=backoff)
     stack.prefill(range(prefill))
@@ -72,12 +84,13 @@ def bench_stack(num_threads: int, *, ops_per_thread: int = 60,
 
 def bench_queue(num_threads: int, *, ops_per_thread: int = 60,
                 variant: str = "base", prefill: int = 128,
-                config: MachineConfig | None = None) -> RunResult:
+                config: MachineConfig | None = None,
+                sinks: Sequence[Tracer] | None = None) -> RunResult:
     """``variant``: 'base', 'lease' (Algorithm 3), 'multilease' (tail +
     next jointly), or 'backoff'."""
     use_lease = variant in ("lease", "multilease")
     cfg = _config(num_threads, use_lease, config)
-    m = Machine(cfg)
+    m = _machine(cfg, sinks)
     backoff = ExponentialBackoff() if variant == "backoff" else None
     q = MichaelScottQueue(
         m, variant="multi" if variant == "multilease" else "single",
@@ -96,14 +109,15 @@ def bench_counter(num_threads: int, *, ops_per_thread: int = 60,
                   variant: str = "tts", use_lease: bool = False,
                   misuse: bool = False,
                   config: MachineConfig | None = None,
-                  max_lease_time: int | None = None) -> RunResult:
+                  max_lease_time: int | None = None,
+                  sinks: Sequence[Tracer] | None = None) -> RunResult:
     """``variant``: lock kind ('tts', 'ticket', 'clh'); ``use_lease``
     applies the Section 6 lease pattern (only meaningful for 'tts')."""
     kw = {}
     if max_lease_time is not None:
         kw["max_lease_time"] = max_lease_time
     cfg = _config(num_threads, use_lease, config, **kw)
-    m = Machine(cfg)
+    m = _machine(cfg, sinks)
     counter = LockedCounter(m, lock=variant, misuse=misuse)
     for _ in range(num_threads):
         m.add_thread(counter.update_worker, ops_per_thread)
@@ -122,12 +136,13 @@ def bench_counter(num_threads: int, *, ops_per_thread: int = 60,
 
 def bench_pq(num_threads: int, *, ops_per_thread: int = 40,
              variant: str = "pugh", prefill: int = 1024,
-             config: MachineConfig | None = None) -> RunResult:
+             config: MachineConfig | None = None,
+             sinks: Sequence[Tracer] | None = None) -> RunResult:
     """``variant``: 'pugh' (fine-grained-lock baseline), 'lotan' (the
     literal Lotan-Shavit logical-deletion algorithm), 'globallock' (global
     lock, no leases), or 'lease' (global lock + leases)."""
     cfg = _config(num_threads, variant == "lease", config)
-    m = Machine(cfg)
+    m = _machine(cfg, sinks)
     if variant == "pugh":
         pq = PughLockPQ(m)
     elif variant == "lotan":
@@ -147,11 +162,12 @@ def bench_pq(num_threads: int, *, ops_per_thread: int = 40,
 def bench_multiqueue(num_threads: int, *, ops_per_thread: int = 40,
                      num_queues: int = 8, use_lease: bool = False,
                      prefill: int = 1024,
-                     config: MachineConfig | None = None) -> RunResult:
+                     config: MachineConfig | None = None,
+                     sinks: Sequence[Tracer] | None = None) -> RunResult:
     """MultiQueues (Figure 4a): alternating insert/deleteMin over
     ``num_queues`` heaps, with the Algorithm 4 lease placement."""
     cfg = _config(num_threads, use_lease, config)
-    m = Machine(cfg)
+    m = _machine(cfg, sinks)
     mq = MultiQueue(m, num_queues=num_queues)
     mq.prefill(range(0, 2 * prefill, 2))
     for _ in range(num_threads):
@@ -166,11 +182,12 @@ def bench_multiqueue(num_threads: int, *, ops_per_thread: int = 40,
 def bench_tl2(num_threads: int, *, txns_per_thread: int = 30,
               variant: str = "none", num_objects: int = 10,
               multilease_mode: str = "hardware",
-              config: MachineConfig | None = None) -> RunResult:
+              config: MachineConfig | None = None,
+              sinks: Sequence[Tracer] | None = None) -> RunResult:
     """``variant``: 'none', 'single' (first object only), 'multi'."""
     cfg = _config(num_threads, variant != "none", config,
                   multilease_mode=multilease_mode)
-    m = Machine(cfg)
+    m = _machine(cfg, sinks)
     tl2 = TL2Objects(m, num_objects=num_objects, lease=variant)
     for _ in range(num_threads):
         m.add_thread(tl2.txn_worker, txns_per_thread)
@@ -190,11 +207,12 @@ def bench_tl2(num_threads: int, *, txns_per_thread: int = 30,
 
 def bench_pagerank(num_threads: int, *, num_pages: int = 128,
                    iterations: int = 2, use_lease: bool = False,
-                   config: MachineConfig | None = None) -> RunResult:
+                   config: MachineConfig | None = None,
+                   sinks: Sequence[Tracer] | None = None) -> RunResult:
     """Lock-based Pagerank (Figure 5 right): the contended dangling-mass
     lock is leased when ``use_lease`` is set."""
     cfg = _config(num_threads, use_lease, config)
-    m = Machine(cfg)
+    m = _machine(cfg, sinks)
     app = PagerankApp(m, num_pages=num_pages, num_threads=num_threads,
                       iterations=iterations)
     for tid in range(num_threads):
@@ -209,7 +227,8 @@ def bench_pagerank(num_threads: int, *, num_pages: int = 128,
 def bench_snapshot(num_threads: int, *, ops_per_thread: int = 15,
                    num_words: int = 6, writer_work: int = 150,
                    use_lease: bool = False,
-                   config: MachineConfig | None = None) -> RunResult:
+                   config: MachineConfig | None = None,
+                   sinks: Sequence[Tracer] | None = None) -> RunResult:
     """Half the threads write, half snapshot (lease-based vs
     double-collect).  Leases stay enabled in the machine either way; the
     flag selects the snapshot algorithm.  Prioritization must be off for
@@ -217,7 +236,7 @@ def bench_snapshot(num_threads: int, *, ops_per_thread: int = 15,
     leases and force a retry."""
     cfg = _config(num_threads, True, config,
                   prioritize_regular_requests=False)
-    m = Machine(cfg)
+    m = _machine(cfg, sinks)
     sr = SnapshotRegion(m, num_words)
     # One snapshotter vs an open-loop write load: cycles then measure the
     # time to complete ``ops_per_thread`` snapshots under interference.
@@ -238,9 +257,10 @@ def _bench_search_structure(cls, name: str, num_threads: int,
                             ops_per_thread: int, key_range: int,
                             update_pct: int, use_lease: bool,
                             config: MachineConfig | None,
+                            sinks: Sequence[Tracer] | None = None,
                             **cls_kw: Any) -> RunResult:
     cfg = _config(num_threads, use_lease, config)
-    m = Machine(cfg)
+    m = _machine(cfg, sinks)
     s = cls(m, **cls_kw)
     s.prefill(range(0, key_range, 2))
     for _ in range(num_threads):
@@ -251,38 +271,42 @@ def _bench_search_structure(cls, name: str, num_threads: int,
 def bench_harris_list(num_threads: int, *, ops_per_thread: int = 40,
                       key_range: int = 128, update_pct: int = 20,
                       use_lease: bool = False,
-                      config: MachineConfig | None = None) -> RunResult:
+                      config: MachineConfig | None = None,
+                      sinks: Sequence[Tracer] | None = None) -> RunResult:
     """Harris lock-free list at 20% updates (Section 7 low contention)."""
     return _bench_search_structure(HarrisList, "list", num_threads,
                                    ops_per_thread, key_range, update_pct,
-                                   use_lease, config)
+                                   use_lease, config, sinks=sinks)
 
 
 def bench_skiplist(num_threads: int, *, ops_per_thread: int = 40,
                    key_range: int = 512, update_pct: int = 20,
                    use_lease: bool = False,
-                   config: MachineConfig | None = None) -> RunResult:
+                   config: MachineConfig | None = None,
+                   sinks: Sequence[Tracer] | None = None) -> RunResult:
     """Lock-free skiplist at 20% updates (Section 7 low contention)."""
     return _bench_search_structure(LockFreeSkipList, "skiplist", num_threads,
                                    ops_per_thread, key_range, update_pct,
-                                   use_lease, config)
+                                   use_lease, config, sinks=sinks)
 
 
 def bench_hashtable(num_threads: int, *, ops_per_thread: int = 40,
                     key_range: int = 512, update_pct: int = 20,
                     use_lease: bool = False,
-                    config: MachineConfig | None = None) -> RunResult:
+                    config: MachineConfig | None = None,
+                    sinks: Sequence[Tracer] | None = None) -> RunResult:
     """Lock-striped hash table at 20% updates (Section 7 low contention)."""
     return _bench_search_structure(LockedHashTable, "hashtable", num_threads,
                                    ops_per_thread, key_range, update_pct,
-                                   use_lease, config)
+                                   use_lease, config, sinks=sinks)
 
 
 def bench_bst(num_threads: int, *, ops_per_thread: int = 40,
               key_range: int = 512, update_pct: int = 20,
               use_lease: bool = False,
-              config: MachineConfig | None = None) -> RunResult:
+              config: MachineConfig | None = None,
+              sinks: Sequence[Tracer] | None = None) -> RunResult:
     """External BST at 20% updates (Section 7 low contention)."""
     return _bench_search_structure(LockedExternalBST, "bst", num_threads,
                                    ops_per_thread, key_range, update_pct,
-                                   use_lease, config)
+                                   use_lease, config, sinks=sinks)

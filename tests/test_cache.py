@@ -5,11 +5,16 @@ import pytest
 from repro.coherence import L1Cache
 from repro.coherence.states import LineState
 from repro.errors import ProtocolError
-from repro.stats import Counters
+from repro.trace import CountersTracer, TraceBus
 
 
 def make_cache(num_sets=2, assoc=2):
-    return L1Cache(num_sets, assoc, Counters())
+    return L1Cache(num_sets, assoc, TraceBus())
+
+
+def make_counted_cache(num_sets, assoc):
+    sink = CountersTracer()
+    return L1Cache(num_sets, assoc, TraceBus(sinks=(sink,))), sink.counters
 
 
 def test_initially_invalid():
@@ -66,8 +71,7 @@ def test_pinned_lines_survive_eviction():
 
 
 def test_all_pinned_overfills():
-    k = Counters()
-    c = L1Cache(1, 2, k)
+    c, k = make_counted_cache(1, 2)
     c.fill(0, LineState.M)
     c.fill(2, LineState.M)
     c.pin(0)
@@ -110,8 +114,7 @@ def test_set_state_to_invalid_rejected():
 
 
 def test_eviction_counter():
-    k = Counters()
-    c = L1Cache(1, 1, k)
+    c, k = make_counted_cache(1, 1)
     c.fill(0, LineState.S)
     c.fill(1, LineState.S)
     c.fill(2, LineState.S)

@@ -47,3 +47,103 @@ def test_run_energy_metric_only(capsys):
     out = capsys.readouterr().out
     assert "energy" in out
     assert "Mops/s" not in out      # throughput table suppressed
+
+
+# -- --threads validation ----------------------------------------------------
+
+@pytest.mark.parametrize("bad", ["", "x", "2,x", "0", "-4", "2,,4", "2.5"])
+def test_run_rejects_bad_threads(bad, capsys):
+    assert main(["run", "fig2_stack", "--threads", bad]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("--threads:")
+    assert err.count("\n") == 1      # exactly one line
+
+
+def test_run_accepts_padded_threads(capsys):
+    assert main(["run", "fig2_stack", "--threads", " 2 , 2 ",
+                 "--metric", "mops_per_sec"]) == 0
+
+
+def test_run_rejects_bad_jobs(capsys):
+    assert main(["run", "fig2_stack", "--threads", "2", "--jobs", "0"]) == 2
+    assert "--jobs" in capsys.readouterr().err
+
+
+# -- parallel + save ----------------------------------------------------------
+
+def test_run_jobs_output_identical_to_serial(capsys):
+    assert main(["run", "fig2_stack", "--threads", "2,4"]) == 0
+    serial = capsys.readouterr().out
+    assert main(["run", "fig2_stack", "--threads", "2,4",
+                 "--jobs", "4"]) == 0
+    assert capsys.readouterr().out == serial
+
+
+def test_run_save_writes_json(tmp_path, capsys):
+    import json
+    out = tmp_path / "res.json"
+    assert main(["run", "fig2_stack", "--threads", "2",
+                 "--save", str(out)]) == 0
+    data = json.loads(out.read_text())
+    assert data["experiment"] == "fig2_stack"
+    assert set(data["results"]) == {"base", "lease"}
+    run = data["results"]["lease"][0]
+    assert run["num_threads"] == 2
+    assert run["counters"]["leases_requested"] > 0
+
+
+def test_run_with_invariants(capsys):
+    assert main(["run", "fig2_stack", "--threads", "2"] +
+                ["--invariants"]) == 0
+    assert "invariants: OK" in capsys.readouterr().out
+
+
+def test_run_invariants_conflicts_with_jobs(capsys):
+    assert main(["run", "fig2_stack", "--threads", "2", "--jobs", "2",
+                 "--invariants"]) == 2
+
+
+# -- trace command ------------------------------------------------------------
+
+def test_trace_command_writes_reconciling_jsonl(tmp_path, capsys):
+    import json
+    out = tmp_path / "t.jsonl"
+    rc = main(["trace", "fig2_stack", "--threads", "2",
+               "--out", str(out), "--heatmap"])
+    assert rc == 0
+    stdout = capsys.readouterr().out
+    assert "reconcile=ok" in stdout
+    assert "stack.head" in stdout            # heatmap labels the hot line
+    lines = [json.loads(line) for line in out.read_text().splitlines()]
+    summaries = [d for d in lines if d["kind"] == "run_summary"]
+    assert len(summaries) == 2               # base + lease at t=2
+    assert all(s["reconciled"] for s in summaries)
+    events = [d for d in lines if d["kind"] != "run_summary"]
+    assert all("variant" in d and "threads" in d for d in events)
+    base_events = sum(d["variant"] == "base" for d in events)
+    assert base_events == next(s["events"] for s in summaries
+                               if s["variant"] == "base")
+
+
+def test_trace_limit_truncates_file(tmp_path, capsys):
+    out = tmp_path / "t.jsonl"
+    rc = main(["trace", "fig2_stack", "--threads", "2",
+               "--out", str(out), "--limit", "50"])
+    assert rc == 0
+    # 50 event lines + one run_summary line per run.
+    assert len(out.read_text().splitlines()) == 50 + 2
+
+
+def test_trace_default_output_name(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    assert main(["trace", "fig2_stack", "--threads", "2"]) == 0
+    assert (tmp_path / "fig2_stack.trace.jsonl").exists()
+
+
+def test_trace_unknown_experiment(capsys):
+    assert main(["trace", "nope"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_trace_rejects_bad_threads(capsys):
+    assert main(["trace", "fig2_stack", "--threads", "nope"]) == 2

@@ -105,3 +105,40 @@ def test_property_cancellation_filters(entries):
         out.append((e.time, e.seq))
     expected = sorted((ev.time, ev.seq) for ev, keep in evs if keep)
     assert out == expected
+
+
+# -- lazy-cancel compaction -------------------------------------------------
+
+def test_compaction_keeps_heap_bounded():
+    """Schedule/cancel churn must not grow the physical heap without bound:
+    once dead entries dominate, the queue compacts in place."""
+    q = EventQueue()
+    keep = q.schedule(10**6, lambda: None)
+    for i in range(10_000):
+        ev = q.schedule(i + 1, lambda: None)
+        q.cancel(ev)
+        assert q.heap_size <= max(2 * len(q), EventQueue.COMPACT_MIN_DEAD + 2)
+    assert len(q) == 1
+    assert q.heap_size < 100
+    assert q.pop() is keep
+
+
+def test_compaction_preserves_pop_order():
+    q = EventQueue()
+    events = [q.schedule(t, lambda: None) for t in range(500)]
+    for ev in events[::2]:
+        q.cancel(ev)                 # forces several compactions
+    out = []
+    while (e := q.pop()) is not None:
+        out.append((e.time, e.seq))
+    assert out == sorted((e.time, e.seq) for e in events[1::2])
+
+
+def test_cancel_twice_after_compaction_is_noop():
+    q = EventQueue()
+    evs = [q.schedule(t, lambda: None) for t in range(200)]
+    for ev in evs[:150]:
+        q.cancel(ev)
+    for ev in evs[:150]:
+        q.cancel(ev)                 # double-cancel must not corrupt _live
+    assert len(q) == 50

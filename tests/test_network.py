@@ -3,14 +3,15 @@
 from repro.config import NetworkConfig
 from repro.coherence import MeshNetwork, MessageKind
 from repro.engine import Simulator
-from repro.stats import Counters
+from repro.trace import CountersTracer, TraceBus
 
 
 def make_net(num_tiles=16, **kw):
     sim = Simulator()
-    k = Counters()
-    net = MeshNetwork(NetworkConfig(**kw), num_tiles, sim, k)
-    return net, sim, k
+    sink = CountersTracer()
+    bus = TraceBus(clock=lambda: sim.now, sinks=(sink,))
+    net = MeshNetwork(NetworkConfig(**kw), num_tiles, sim, bus)
+    return net, sim, sink.counters
 
 
 def test_mesh_dimension_covers_tiles():

@@ -1,0 +1,50 @@
+"""Parallel sweep execution: same results as serial, deterministically."""
+
+import pytest
+
+from repro.harness.runner import sweep
+from repro.harness.experiments import run_experiment
+from repro.trace import RingBufferTracer
+from repro.workloads.driver import bench_stack
+
+
+VARIANTS = {"base": {"variant": "base"}, "lease": {"variant": "lease"}}
+
+
+def test_parallel_sweep_equals_serial():
+    serial = sweep(bench_stack, VARIANTS, (2, 4), ops_per_thread=15)
+    parallel = sweep(bench_stack, VARIANTS, (2, 4), jobs=4,
+                     ops_per_thread=15)
+    # RunResult equality covers every field including the full counter
+    # snapshot, so this is a bit-level determinism check.
+    assert serial == parallel
+
+
+def test_parallel_sweep_preserves_cell_order():
+    res = sweep(bench_stack, VARIANTS, (4, 2), jobs=2, ops_per_thread=10)
+    assert list(res) == ["base", "lease"]
+    assert [r.num_threads for r in res["base"]] == [4, 2]
+    assert [r.num_threads for r in res["lease"]] == [4, 2]
+
+
+def test_run_experiment_jobs_passthrough():
+    serial = run_experiment("fig2_stack", thread_counts=(2,),
+                            ops_per_thread=10)
+    parallel = run_experiment("fig2_stack", thread_counts=(2,), jobs=2,
+                              ops_per_thread=10)
+    assert serial == parallel
+
+
+def test_sweep_rejects_sinks_with_jobs():
+    with pytest.raises(ValueError, match="sinks"):
+        sweep(bench_stack, VARIANTS, (2, 4), jobs=2,
+              sinks=[RingBufferTracer()])
+
+
+def test_single_cell_sweep_stays_serial():
+    # One cell: nothing to parallelize; sinks are allowed even with jobs>1.
+    ring = RingBufferTracer()
+    res = sweep(bench_stack, {"base": {"variant": "base"}}, (2,), jobs=4,
+                ops_per_thread=10, sinks=[ring])
+    assert ring.total > 0
+    assert res["base"][0].ops == 20
