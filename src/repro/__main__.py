@@ -13,15 +13,25 @@ Commands:
                             attached, writing every simulator event to a
                             file and reconciling the trace against the
                             run's counters.
+* ``check <target>``     -- fuzz schedules of a contended structure and
+                            check every history for linearizability plus
+                            the lease properties; on failure, shrink the
+                            schedule and write a replayable repro file.
+                            ``check replay repro.json`` re-runs one.
 * ``config``             -- print the Table-1 machine configuration.
+
+``run`` and ``trace`` accept a global ``--seed N`` that reseeds the
+simulated machine (and thereby every workload RNG) for the whole sweep.
 
 Examples::
 
     python -m repro list
     python -m repro run fig2_stack --threads 2,8,32
-    python -m repro run fig2_stack --jobs 4 --save stack.json
+    python -m repro run fig2_stack --jobs 4 --save stack.json --seed 7
     python -m repro run fig4_tl2 --metric nj_per_op
     python -m repro trace fig2_stack --threads 4 --heatmap
+    python -m repro check treiber --budget 200 --seed 7
+    python -m repro check replay repro.treiber.json
 """
 
 from __future__ import annotations
@@ -61,6 +71,17 @@ def _parse_threads(spec: str) -> tuple[int, ...]:
     return tuple(counts)
 
 
+def _parse_seed(spec: str) -> int:
+    """Parse a ``--seed`` value; non-negative integers only."""
+    try:
+        n = int(spec)
+    except ValueError:
+        raise _CliError(f"--seed: {spec!r} is not an integer") from None
+    if n < 0:
+        raise _CliError(f"--seed: {n} is negative")
+    return n
+
+
 def _get_experiment(exp_id: str):
     if exp_id not in EXPERIMENTS:
         raise _CliError(f"unknown experiment {exp_id!r}; "
@@ -82,6 +103,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.jobs < 1:
         raise _CliError(f"--jobs: {args.jobs} is not a positive job count")
     overrides = {}
+    if args.seed is not None:
+        overrides["seed"] = _parse_seed(args.seed)
     if args.invariants:
         if args.jobs > 1:
             raise _CliError("--invariants requires --jobs 1 (trace sinks "
@@ -118,6 +141,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_trace(args: argparse.Namespace) -> int:
     exp = _get_experiment(args.experiment)
     threads = _parse_threads(args.threads)
+    seed = _parse_seed(args.seed) if args.seed is not None else None
     out_path = args.out or f"{args.experiment}.trace.jsonl"
     sinks = [JsonlTracer(out_path, max_events=args.limit)]
     jsonl = sinks[0]
@@ -133,7 +157,11 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             for n in threads:
                 jsonl.annotate(variant=name, threads=n)
                 before = dict(jsonl.counts)
-                res = exp.bench(n, **{**exp.common, **kw, "sinks": sinks})
+                merged = {**exp.common, **kw, "sinks": sinks}
+                if seed is not None:
+                    merged["config"] = dataclasses.replace(
+                        merged.get("config") or MachineConfig(), seed=seed)
+                res = exp.bench(n, **merged)
                 delta = {k: v - before.get(k, 0)
                          for k, v in jsonl.counts.items()}
                 problems = reconcile(delta, res.counters)
@@ -159,6 +187,66 @@ def _cmd_trace(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .check import load_repro, replay_repro, run_campaign
+    from .errors import ReproError
+
+    if args.target == "replay":
+        if not args.repro:
+            raise _CliError("check replay: missing repro file "
+                            "(usage: python -m repro check replay FILE)")
+        try:
+            repro = load_repro(args.repro)
+        except (OSError, ValueError, ReproError) as err:
+            raise _CliError(f"check replay: {err}") from None
+        print(f"replaying {args.repro}: target={repro['target']} "
+              f"variant={repro['variant']} "
+              f"decisions={len(repro.get('decisions', {}))}")
+        out = replay_repro(repro)
+        if out.ok:
+            print("replay PASSED (the recorded failure did not reproduce)")
+            return 1
+        print(f"replay reproduced the failure: [{out.kind}] {out.detail}")
+        return 0
+    if args.repro is not None:
+        raise _CliError(f"check: unexpected extra argument {args.repro!r}")
+
+    seed = _parse_seed(args.seed)
+    if args.budget < 1:
+        raise _CliError(f"--budget: {args.budget} is not a positive "
+                        "schedule count")
+    try:
+        report = run_campaign(args.target, budget=args.budget, seed=seed,
+                              shrink=not args.no_shrink,
+                              progress=lambda msg: print(f"  {msg}"))
+    except ReproError as err:
+        raise _CliError(str(err)) from None
+
+    print(f"check {report.target}: explored {report.schedules_run} "
+          f"schedule(s), checked {report.histories_checked} histories / "
+          f"{report.ops_checked} operations "
+          f"({', '.join(f'{k}: {v}' for k, v in report.per_variant.items())})")
+    if report.inconclusive:
+        print(f"  {report.inconclusive} history check(s) hit the state "
+              "budget (inconclusive, counted as pass)")
+    if report.ok:
+        print("no failures found")
+        return 0
+    fail = report.failure
+    print(f"\nFAILURE [{fail.kind}] after {report.schedules_run} "
+          f"schedule(s): {fail.detail}")
+    if report.shrink_runs:
+        print(f"shrunk to {len(report.repro['decisions'])} schedule "
+              f"decision(s) in {report.shrink_runs} replay run(s)")
+    out_path = args.save or f"repro.{report.target}.json"
+    with open(out_path, "w", encoding="utf-8") as fp:
+        json.dump(report.repro, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    print(f"wrote repro to {out_path} "
+          f"(replay: python -m repro check replay {out_path})")
+    return 1
 
 
 def _cmd_config(_args: argparse.Namespace) -> int:
@@ -203,6 +291,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--invariants", action="store_true",
                        help="check coherence/lease invariants on every "
                             "event (slow; implies --jobs 1)")
+    run_p.add_argument("--seed", default=None, metavar="N",
+                       help="reseed the simulated machine for the whole "
+                            "sweep (default: the config's seed)")
 
     trace_p = sub.add_parser(
         "trace", help="run one experiment with the JSONL event tracer")
@@ -219,13 +310,37 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print the per-allocation contention heatmap")
     trace_p.add_argument("--invariants", action="store_true",
                          help="also check invariants on every event")
+    trace_p.add_argument("--seed", default=None, metavar="N",
+                         help="reseed the simulated machine (default: the "
+                              "config's seed)")
+
+    check_p = sub.add_parser(
+        "check", help="fuzz schedules and check linearizability + lease "
+                      "properties")
+    check_p.add_argument(
+        "target", help="check target (treiber, msqueue, multilease, "
+                       "counter, pq, harris), an experiment id that maps "
+                       "to one (e.g. fig2_stack), or 'replay'")
+    check_p.add_argument("repro", nargs="?", default=None,
+                         help="repro file path (with target 'replay')")
+    check_p.add_argument("--budget", type=int, default=100, metavar="N",
+                         help="number of schedules to explore (default 100)")
+    check_p.add_argument("--seed", default="1", metavar="N",
+                         help="campaign seed: drives both the perturbation "
+                              "strategies and the per-schedule machine "
+                              "seeds (default 1)")
+    check_p.add_argument("--no-shrink", action="store_true",
+                         help="skip ddmin shrinking of a failing schedule")
+    check_p.add_argument("--save", metavar="REPRO.json", default=None,
+                         help="where to write the repro on failure "
+                              "(default: repro.<target>.json)")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {"list": _cmd_list, "run": _cmd_run, "trace": _cmd_trace,
-               "config": _cmd_config}[args.command]
+               "check": _cmd_check, "config": _cmd_config}[args.command]
     try:
         return handler(args)
     except _CliError as err:

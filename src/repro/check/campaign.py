@@ -1,0 +1,430 @@
+"""Fuzzing campaigns: explore schedules, check histories, shrink failures.
+
+A campaign runs one :class:`CheckTarget` (a small, contended instance of a
+structure) under a budget of perturbed schedules.  Each schedule:
+
+1. builds a fresh machine with a derived seed and a perturbation strategy
+   from :func:`~repro.check.perturb.strategy_for_schedule` (schedule 0 is
+   always the unperturbed baseline);
+2. records the operation history and checks the lease properties while
+   the run executes;
+3. at quiescence, verifies coherence invariants and searches for a
+   linearization of the history against the target's sequential model.
+
+On a failure the campaign *shrinks* the strategy's recorded decision map
+with ddmin -- re-running the workload under :class:`ReplayStrategy` with
+ever-smaller decision subsets -- and emits a repro dict that
+:func:`replay_repro` (or ``python -m repro check replay``) re-executes
+deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable
+
+from ..config import LeaseConfig, MachineConfig
+from ..core.machine import Machine
+from ..errors import (LeaseError, ProtocolError, ReproError, SimulationError,
+                      SimulationTimeout)
+from ..structures.counter import LockedCounter
+from ..structures.harris_list import HarrisList
+from ..structures.msqueue import MichaelScottQueue
+from ..structures.priorityqueue import GlobalLockPQ
+from ..structures.treiber import TreiberStack
+from .history import HistoryRecorder
+from .linearize import check_history
+from .models import CounterModel, PQModel, QueueModel, SetModel, StackModel
+from .perturb import ReplayStrategy, strategy_for_schedule
+from .properties import LeasePropertyTracer, PropertyViolation
+
+__all__ = ["CheckTarget", "RunOutcome", "CampaignReport", "TARGETS",
+           "EXPERIMENT_ALIASES", "resolve_target", "run_once",
+           "run_campaign", "replay_repro", "load_repro"]
+
+REPRO_FORMAT = "repro-check/1"
+
+#: Campaign workload shape: small and contended, and short enough that the
+#: exact linearizability check always decides (4 threads x 8 ops = 32 ops).
+THREADS = 4
+OPS = 8
+#: Lease length for leased variants: short, so expiries/breaks actually
+#: happen inside these tiny runs.
+LEASE_TIME = 600
+
+
+def _cfg(*, leases: bool, mode: str = "hardware",
+         max_lease_time: int = LEASE_TIME) -> MachineConfig:
+    """Campaign machine: 4 cores, tight budgets so a deadlocked or
+    livelocked schedule surfaces as SimulationTimeout in well under a
+    second instead of hanging the fuzzer."""
+    return MachineConfig(
+        num_cores=THREADS,
+        lease=LeaseConfig(enabled=leases, max_lease_time=max_lease_time,
+                          multilease_mode=mode),
+        max_cycles=3_000_000,
+        max_events=3_000_000,
+    )
+
+
+@dataclass(frozen=True)
+class CheckTarget:
+    """One fuzzable structure instance.
+
+    ``build(machine, variant)`` constructs the structure on ``machine``,
+    prefills it, spawns the worker threads, and returns
+    ``(model_factory, final_fn)``: a zero-argument factory for the
+    matching sequential model (preloaded with the prefill) and a
+    zero-argument observer that reads the structure's final state from
+    the backing store in the model's ``snapshot()`` representation --
+    the extra observation that catches lost updates.  ``configs`` maps
+    variant names to machine configs; the campaign cycles through them
+    across schedule indices.
+    """
+
+    name: str
+    title: str
+    configs: tuple[tuple[str, MachineConfig], ...]
+    build: Callable[[Machine, str],
+                    tuple[Callable[[], Any], Callable[[], Any]]]
+
+    def config_for(self, variant: str) -> MachineConfig:
+        for name, cfg in self.configs:
+            if name == variant:
+                return cfg
+        raise ReproError(f"target {self.name!r} has no variant {variant!r}: "
+                         f"choices are {[n for n, _ in self.configs]}")
+
+
+# -- target builders ----------------------------------------------------------
+
+def _build_treiber(m: Machine, variant: str):
+    s = TreiberStack(m, lease_time=LEASE_TIME)
+    prefill = [10_000 + j for j in range(3)]
+    s.prefill(prefill)
+    for _ in range(THREADS):
+        m.add_thread(s.update_worker, OPS, local_work=4)
+    # drain_direct walks top->bottom; the model keeps bottom->top.
+    return (lambda: StackModel(prefill),
+            lambda: tuple(reversed(s.drain_direct())))
+
+
+def _build_msqueue(m: Machine, variant: str):
+    q = MichaelScottQueue(m, variant="single", lease_time=LEASE_TIME)
+    prefill = [20_000 + j for j in range(3)]
+    q.prefill(prefill)
+    for _ in range(THREADS):
+        m.add_thread(q.update_worker, OPS, local_work=4)
+    return lambda: QueueModel(prefill), lambda: tuple(q.drain_direct())
+
+
+def _build_multilease(m: Machine, variant: str):
+    q = MichaelScottQueue(m, variant="multi", lease_time=LEASE_TIME)
+    prefill = [30_000 + j for j in range(3)]
+    q.prefill(prefill)
+    for _ in range(THREADS):
+        m.add_thread(q.update_worker, OPS, local_work=4)
+    return lambda: QueueModel(prefill), lambda: tuple(q.drain_direct())
+
+
+def _build_counter(m: Machine, variant: str):
+    c = LockedCounter(m, critical_work=8)
+    for _ in range(THREADS):
+        m.add_thread(c.update_worker, OPS)
+    return lambda: CounterModel(0), lambda: m.peek(c.value_addr)
+
+
+def _build_pq(m: Machine, variant: str):
+    pq = GlobalLockPQ(m)
+    prefill = [40_000 + 2 * j for j in range(4)]
+    pq.prefill(prefill)
+    for _ in range(THREADS):
+        m.add_thread(pq.update_worker, OPS, key_range=64, local_work=4)
+    return lambda: PQModel(prefill), lambda: tuple(pq.keys_direct())
+
+
+def _build_harris(m: Machine, variant: str):
+    lst = HarrisList(m, lease_time=LEASE_TIME)
+    prefill = [1, 4, 7, 10]
+    lst.prefill(prefill)
+    for _ in range(THREADS):
+        m.add_thread(lst.mixed_worker, OPS, key_range=12, update_pct=60)
+    return lambda: SetModel(prefill), lambda: frozenset(lst.keys_direct())
+
+
+TARGETS: dict[str, CheckTarget] = {
+    t.name: t for t in (
+        CheckTarget(
+            "treiber", "Treiber stack (Fig. 1 lease placement)",
+            (("base", _cfg(leases=False)), ("lease", _cfg(leases=True))),
+            _build_treiber),
+        CheckTarget(
+            "msqueue", "Michael-Scott queue, single-lease variant",
+            (("base", _cfg(leases=False)), ("lease", _cfg(leases=True))),
+            _build_msqueue),
+        CheckTarget(
+            "multilease", "MS queue MultiLease variant (hw + sw emulation)",
+            (("hw", _cfg(leases=True, mode="hardware")),
+             ("sw", _cfg(leases=True, mode="software"))),
+            _build_multilease),
+        CheckTarget(
+            "counter", "Lock-protected counter (leased TTS lock)",
+            (("base", _cfg(leases=False)), ("lease", _cfg(leases=True))),
+            _build_counter),
+        CheckTarget(
+            "pq", "Global-lock skiplist priority queue",
+            (("base", _cfg(leases=False)), ("lease", _cfg(leases=True))),
+            _build_pq),
+        CheckTarget(
+            "harris", "Harris lock-free list (set semantics)",
+            (("base", _cfg(leases=False)), ("lease", _cfg(leases=True))),
+            _build_harris),
+    )
+}
+
+#: ``repro check <experiment>`` accepts harness experiment ids too.
+EXPERIMENT_ALIASES: dict[str, str] = {
+    "fig2_stack": "treiber",
+    "fig3_counter": "counter",
+    "fig3_queue": "msqueue",
+    "fig3_pq": "pq",
+    "fig5_multilease": "multilease",
+    "e1_backoff": "treiber",
+    "e2_low_contention_list": "harris",
+}
+
+
+def resolve_target(name: str) -> CheckTarget:
+    key = EXPERIMENT_ALIASES.get(name, name)
+    try:
+        return TARGETS[key]
+    except KeyError:
+        choices = sorted(set(TARGETS) | set(EXPERIMENT_ALIASES))
+        raise ReproError(
+            f"unknown check target {name!r}: choices are "
+            f"{', '.join(choices)}") from None
+
+
+# -- single run ---------------------------------------------------------------
+
+@dataclass
+class RunOutcome:
+    """Result of checking one schedule."""
+
+    ok: bool
+    kind: str                   #: pass | inconclusive | linearizability |
+                                #: timeout | property | history
+    detail: str
+    ops: int
+    decided: bool
+    decisions: dict[int, int] = field(default_factory=dict)
+    strategy: dict = field(default_factory=dict)
+    properties: dict = field(default_factory=dict)
+
+
+def run_once(target: CheckTarget, variant: str, cfg: MachineConfig,
+             strategy: ReplayStrategy | Any) -> RunOutcome:
+    """Run one schedule of ``target`` and check everything we know how to
+    check: lease properties during the run, coherence invariants at
+    quiescence, then history linearizability."""
+    m = Machine(cfg, schedule_strategy=strategy)
+    hist = m.attach_tracer(HistoryRecorder())
+    props = m.attach_tracer(LeasePropertyTracer())
+    model_factory, final_fn = target.build(m, variant)
+
+    def outcome(ok: bool, kind: str, detail: str,
+                decided: bool = True) -> RunOutcome:
+        return RunOutcome(
+            ok=ok, kind=kind, detail=detail, ops=len(hist.records),
+            decided=decided, decisions=dict(strategy.decisions),
+            strategy=strategy.describe(), properties=props.summary())
+
+    try:
+        m.run()
+        m.check_coherence_invariants()
+        hist.validate()
+    except SimulationTimeout as exc:
+        return outcome(False, "timeout",
+                       f"no quiescence (deadlock/livelock?): {exc}")
+    except (PropertyViolation, ProtocolError, LeaseError) as exc:
+        return outcome(False, "property", str(exc))
+    except SimulationError as exc:
+        return outcome(False, "history", str(exc))
+
+    res = check_history(hist.records, model_factory,
+                        final_state=final_fn())
+    if not res.ok:
+        return outcome(False, "linearizability", res.reason)
+    if not res.decided:
+        return outcome(True, "inconclusive", res.reason, decided=False)
+    return outcome(True, "pass",
+                   f"linearizable ({res.states_explored} states)")
+
+
+def _strategy_for(campaign_seed: int, index: int):
+    """Schedule 0 is the unperturbed baseline (an empty replay records no
+    decisions and assigns priority 0 everywhere); later schedules come
+    from the seeded generator."""
+    if index == 0:
+        return ReplayStrategy({})
+    return strategy_for_schedule(campaign_seed, index)
+
+
+def _machine_seed(campaign_seed: int, index: int) -> int:
+    return ((campaign_seed * 2_654_435_761 + index * 40_503)
+            & 0x7FFFFFFF) or 1
+
+
+# -- shrinking ----------------------------------------------------------------
+
+def _ddmin(items: list[tuple[int, int]],
+           fails: Callable[[dict[int, int]], bool],
+           max_runs: int) -> tuple[list[tuple[int, int]], int]:
+    """Classic ddmin over decision entries: find a (locally) minimal
+    subset that still fails.  ``fails`` must be deterministic, which
+    replay strategies guarantee."""
+    runs = 0
+    n = 2
+    while len(items) >= 2 and runs < max_runs:
+        size = max(1, len(items) // n)
+        reduced = False
+        for start in range(0, len(items), size):
+            if runs >= max_runs:
+                break
+            subset = items[:start] + items[start + size:]
+            runs += 1
+            if fails(dict(subset)):
+                items = subset
+                n = max(2, n - 1)
+                reduced = True
+                break
+        if not reduced:
+            if n >= len(items):
+                break
+            n = min(len(items), n * 2)
+    return items, runs
+
+
+def shrink_failure(target: CheckTarget, variant: str, cfg: MachineConfig,
+                   decisions: dict[int, int], *,
+                   max_runs: int = 160) -> tuple[dict[int, int], int]:
+    """Minimize a failing decision map by replaying subsets.  Returns the
+    shrunken map and how many replay runs were spent.  Any failure kind
+    counts -- a subset that fails differently is still a bug, and keeping
+    the predicate loose lets ddmin cut much deeper."""
+    items = sorted(decisions.items())
+    if not items:
+        return {}, 0
+
+    def fails(subset: dict[int, int]) -> bool:
+        return not run_once(target, variant, cfg,
+                            ReplayStrategy(subset)).ok
+
+    if not fails({}):
+        shrunk, runs = _ddmin(items, fails, max_runs)
+        runs += 1
+    else:
+        # The unperturbed run fails too: the schedule was never the
+        # trigger, so the minimal repro is the empty decision map.
+        shrunk, runs = [], 1
+    return dict(shrunk), runs
+
+
+# -- campaign -----------------------------------------------------------------
+
+@dataclass
+class CampaignReport:
+    """Everything a ``repro check`` invocation learned."""
+
+    target: str
+    seed: int
+    budget: int
+    schedules_run: int = 0
+    histories_checked: int = 0
+    ops_checked: int = 0
+    inconclusive: int = 0
+    shrink_runs: int = 0
+    per_variant: dict[str, int] = field(default_factory=dict)
+    failure: RunOutcome | None = None
+    repro: dict | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+def run_campaign(target_name: str, *, budget: int = 100, seed: int = 1,
+                 shrink: bool = True, shrink_runs: int = 160,
+                 progress: Callable[[str], None] | None = None
+                 ) -> CampaignReport:
+    """Explore ``budget`` schedules of ``target_name``; stop at the first
+    failure (shrinking it to a minimal replayable repro)."""
+    target = resolve_target(target_name)
+    report = CampaignReport(target=target.name, seed=seed, budget=budget)
+    for i in range(budget):
+        variant, base_cfg = target.configs[i % len(target.configs)]
+        cfg = replace(base_cfg, seed=_machine_seed(seed, i))
+        out = run_once(target, variant, cfg, _strategy_for(seed, i))
+        report.schedules_run += 1
+        report.histories_checked += 1
+        report.ops_checked += out.ops
+        report.per_variant[variant] = report.per_variant.get(variant, 0) + 1
+        if out.decided is False:
+            report.inconclusive += 1
+        if out.ok:
+            continue
+        report.failure = out
+        if progress:
+            progress(f"schedule {i} [{variant}] failed ({out.kind}): "
+                     f"{out.detail}")
+        decisions = out.decisions
+        if shrink and decisions:
+            if progress:
+                progress(f"shrinking {len(decisions)} schedule decisions...")
+            decisions, spent = shrink_failure(
+                target, variant, cfg, decisions, max_runs=shrink_runs)
+            report.shrink_runs = spent
+            # Re-run the minimal schedule to report the minimized failure.
+            final = run_once(target, variant, cfg,
+                             ReplayStrategy(decisions))
+            if not final.ok:
+                report.failure = final
+        report.repro = {
+            "format": REPRO_FORMAT,
+            "target": target.name,
+            "variant": variant,
+            "campaign_seed": seed,
+            "schedule_index": i,
+            "machine_seed": cfg.seed,
+            "strategy": out.strategy,
+            "decisions": {str(k): v for k, v in sorted(decisions.items())},
+            "failure": {"kind": report.failure.kind,
+                        "detail": report.failure.detail},
+        }
+        break
+    return report
+
+
+# -- repro files --------------------------------------------------------------
+
+def load_repro(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if data.get("format") != REPRO_FORMAT:
+        raise ReproError(
+            f"{path}: not a {REPRO_FORMAT} repro file "
+            f"(format={data.get('format')!r})")
+    return data
+
+
+def replay_repro(repro: dict) -> RunOutcome:
+    """Re-execute a repro dict (as written by :func:`run_campaign`)
+    deterministically and return the outcome of the checks."""
+    target = resolve_target(repro["target"])
+    cfg = replace(target.config_for(repro["variant"]),
+                  seed=int(repro["machine_seed"]))
+    decisions = {int(k): int(v)
+                 for k, v in repro.get("decisions", {}).items()}
+    return run_once(target, repro["variant"], cfg,
+                    ReplayStrategy(decisions))

@@ -1,0 +1,181 @@
+"""Wing & Gong-style linearizability checker.
+
+Given a complete history (every invocation has a response -- true for our
+workers, which always run to completion) and a sequential model, search
+for a total order of the operations that (a) respects real-time order
+(if op A responded before op B was invoked, A precedes B) and (b) makes
+every recorded result legal under the model.
+
+The search is the classic Wing & Gong DFS with the Lowe-style
+memoization refinement: states are ``(remaining-op bitmask, model
+snapshot)`` pairs; revisiting one is futile and is pruned.  Candidates
+at each step are the remaining operations whose invocation does not
+follow another remaining operation's response -- the "minimal" ops.
+
+The checker is exact but exponential in the worst case, so a state
+budget bounds the search; exceeding it yields an *inconclusive* result
+(``decided=False``), which the campaign treats as a pass with a note,
+never as a failure.
+
+When the caller also knows the structure's *final state* (read directly
+from the backing store at quiescence), passing it as ``final_state``
+strengthens the check decisively: the witness order must additionally
+leave the model in exactly that state.  Without it, a buggy operation
+that returns a plausible value but fails to update the structure (e.g. a
+pop that ignores its CAS result) can hide forever -- its leftover node
+just sinks to the bottom and is never observed again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from .history import OpRecord
+
+__all__ = ["LinearizationResult", "check_history"]
+
+
+@dataclass
+class LinearizationResult:
+    """Outcome of one linearizability check."""
+
+    ok: bool                 #: True when a witness order was found
+    decided: bool            #: False when the state budget ran out
+    states_explored: int
+    order: list[OpRecord] = field(default_factory=list)  #: witness, if ok
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+#: Sentinel: "no final-state observation supplied".
+_UNOBSERVED = object()
+
+
+def check_history(records: Sequence[OpRecord],
+                  model_factory: Callable[[], object], *,
+                  final_state: object = _UNOBSERVED,
+                  max_states: int = 250_000) -> LinearizationResult:
+    """Search for a linearization of ``records`` against the model.
+
+    ``model_factory`` builds a fresh model preloaded with the structure's
+    initial (prefill) state.  When ``final_state`` is given (in the
+    model's ``snapshot()`` representation), only witness orders whose
+    final model state equals it are accepted.  Returns a
+    :class:`LinearizationResult`; when ``ok`` the ``order`` field holds a
+    witness sequential execution.
+    """
+    n = len(records)
+    if n == 0:
+        if (final_state is not _UNOBSERVED
+                and model_factory().snapshot() != final_state):
+            return LinearizationResult(
+                ok=False, decided=True, states_explored=0,
+                reason=(f"empty history but final state {final_state!r} "
+                        "differs from the initial state"))
+        return LinearizationResult(ok=True, decided=True, states_explored=0)
+    if n > 64:
+        # The bitmask fits in an int regardless, but histories this long
+        # are far beyond what exact checking can handle; keep campaigns
+        # honest about it.
+        return LinearizationResult(
+            ok=True, decided=False, states_explored=0,
+            reason=f"history too long for exact check ({n} ops)")
+
+    # Stable order by invocation time; the real-time constraint below only
+    # looks at invoked/responded, so the sort is just for candidate
+    # enumeration efficiency.
+    recs = sorted(records, key=lambda r: (r.invoked, r.responded, r.index))
+
+    full_mask = (1 << n) - 1
+    seen: set[tuple[int, object]] = set()
+    states = 0
+
+    # Iterative DFS.  Each frame: (remaining mask, model, chosen list).
+    # Candidates: remaining ops i with inv_i <= min(resp_j for remaining j).
+    def min_resp(mask: int) -> int:
+        lo = None
+        m = mask
+        while m:
+            i = (m & -m).bit_length() - 1
+            m &= m - 1
+            r = recs[i].responded
+            if lo is None or r < lo:
+                lo = r
+        return lo if lo is not None else 0
+
+    stack: list[tuple[int, object, list[OpRecord]]] = [
+        (full_mask, model_factory(), [])]
+    while stack:
+        mask, model, chosen = stack.pop()
+        if mask == 0:
+            if (final_state is not _UNOBSERVED
+                    and model.snapshot() != final_state):
+                continue    # right results, wrong final state: keep looking
+            return LinearizationResult(
+                ok=True, decided=True, states_explored=states, order=chosen)
+        key = (mask, model.snapshot())
+        if key in seen:
+            continue
+        seen.add(key)
+        states += 1
+        if states > max_states:
+            return LinearizationResult(
+                ok=True, decided=False, states_explored=states,
+                reason=f"state budget exhausted ({max_states} states)")
+        bound = min_resp(mask)
+        # Push candidates in reverse so the earliest-invoked op is tried
+        # first (stack is LIFO) -- the common fast path for near-sequential
+        # histories.
+        frames = []
+        for i in range(n):
+            bit = 1 << i
+            if not (mask & bit):
+                continue
+            r = recs[i]
+            if r.invoked > bound:
+                break   # recs sorted by invocation; no later op is minimal
+            m2 = model.copy()
+            try:
+                got = m2.apply(r.op, r.args)
+            except Exception as exc:  # model rejects the op outright
+                return LinearizationResult(
+                    ok=False, decided=True, states_explored=states,
+                    reason=f"model error on {r}: {exc}")
+            if got == r.result:
+                frames.append((mask & ~bit, m2, chosen + [r]))
+        for frame in reversed(frames):
+            stack.append(frame)
+
+    # Search space exhausted with no witness: not linearizable.  Point at
+    # the earliest operation that can never be scheduled first, which is
+    # usually the culprit in the report.
+    reason = _diagnose(recs, model_factory)
+    if final_state is not _UNOBSERVED:
+        reason += (f"; no order reaches the observed final state "
+                   f"{final_state!r}")
+    return LinearizationResult(
+        ok=False, decided=True, states_explored=states, reason=reason)
+
+
+def _diagnose(recs: list[OpRecord], model_factory: Callable[[], object]) -> str:
+    """Best-effort one-line explanation of a non-linearizable history:
+    find the first minimal op whose recorded result no model state reached
+    by any prefix explains (approximated by the greedy frontier)."""
+    bound = min(r.responded for r in recs)
+    first = [r for r in recs if r.invoked <= bound]
+    model = model_factory()
+    bad = []
+    for r in first:
+        try:
+            got = model.copy().apply(r.op, r.args)
+        except Exception as exc:
+            return f"model rejected {r}: {exc}"
+        if got != r.result:
+            bad.append(f"{r} (model would return {got!r})")
+    if bad:
+        return ("no linearization: every initial candidate is "
+                "inconsistent, e.g. " + "; ".join(bad[:3]))
+    return "no valid linearization order exists for this history"

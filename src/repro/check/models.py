@@ -1,0 +1,156 @@
+"""Sequential specification models.
+
+Each model is the *sequential* semantics of one structure family: the
+linearizability checker replays a candidate operation order against the
+model and compares each operation's recorded result with what the model
+says it should have returned.  Models are tiny pure-Python objects with
+three obligations:
+
+* ``apply(op, args) -> result`` -- run one operation, mutating the state;
+* ``copy()``                    -- cheap independent clone (for branching);
+* ``snapshot()``                -- hashable state digest (for memoization).
+
+All models take their initial contents from the structure's prefill so
+histories start from the right state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Iterable
+
+from ..errors import SimulationError
+
+__all__ = ["ModelError", "StackModel", "QueueModel", "PQModel",
+           "CounterModel", "SetModel"]
+
+
+class ModelError(SimulationError):
+    """A history contains an operation the model does not define."""
+
+
+class StackModel:
+    """LIFO stack: ``push(v) -> None``, ``pop() -> v | None``."""
+
+    def __init__(self, prefill: Iterable[Any] = ()) -> None:
+        # Items in push order: the last element is the top of the stack.
+        self._items = list(prefill)
+
+    def apply(self, op: str, args: tuple) -> Any:
+        if op == "push":
+            self._items.append(args[0])
+            return None
+        if op == "pop":
+            return self._items.pop() if self._items else None
+        raise ModelError(f"stack model: unknown op {op!r}")
+
+    def copy(self) -> "StackModel":
+        m = StackModel()
+        m._items = list(self._items)
+        return m
+
+    def snapshot(self) -> tuple:
+        return tuple(self._items)
+
+
+class QueueModel:
+    """FIFO queue: ``enqueue(v) -> None``, ``dequeue() -> v | None``."""
+
+    def __init__(self, prefill: Iterable[Any] = ()) -> None:
+        self._items = deque(prefill)
+
+    def apply(self, op: str, args: tuple) -> Any:
+        if op == "enqueue":
+            self._items.append(args[0])
+            return None
+        if op == "dequeue":
+            return self._items.popleft() if self._items else None
+        raise ModelError(f"queue model: unknown op {op!r}")
+
+    def copy(self) -> "QueueModel":
+        m = QueueModel()
+        m._items = deque(self._items)
+        return m
+
+    def snapshot(self) -> tuple:
+        return tuple(self._items)
+
+
+class PQModel:
+    """Min-priority queue (multiset): ``insert(k) -> None``,
+    ``delete_min() -> min | None``."""
+
+    def __init__(self, prefill: Iterable[Any] = ()) -> None:
+        self._items = sorted(prefill)
+
+    def apply(self, op: str, args: tuple) -> Any:
+        if op == "insert":
+            import bisect
+            bisect.insort(self._items, args[0])
+            return None
+        if op == "delete_min":
+            return self._items.pop(0) if self._items else None
+        raise ModelError(f"pq model: unknown op {op!r}")
+
+    def copy(self) -> "PQModel":
+        m = PQModel()
+        m._items = list(self._items)
+        return m
+
+    def snapshot(self) -> tuple:
+        return tuple(self._items)
+
+
+class CounterModel:
+    """Fetch-and-increment counter: ``inc() -> pre-increment value``,
+    ``read() -> value``."""
+
+    def __init__(self, start: int = 0) -> None:
+        self._value = start
+
+    def apply(self, op: str, args: tuple) -> Any:
+        if op == "inc":
+            v = self._value
+            self._value += 1
+            return v
+        if op == "read":
+            return self._value
+        raise ModelError(f"counter model: unknown op {op!r}")
+
+    def copy(self) -> "CounterModel":
+        return CounterModel(self._value)
+
+    def snapshot(self) -> int:
+        return self._value
+
+
+class SetModel:
+    """Ordered set: ``insert(k) -> bool``, ``delete(k) -> bool``,
+    ``contains(k) -> bool`` (the return is "did it change / was it there")."""
+
+    def __init__(self, prefill: Iterable[Any] = ()) -> None:
+        self._items = set(prefill)
+
+    def apply(self, op: str, args: tuple) -> Any:
+        key = args[0]
+        if op == "insert":
+            if key in self._items:
+                return False
+            self._items.add(key)
+            return True
+        if op == "delete":
+            if key in self._items:
+                self._items.discard(key)
+                return True
+            return False
+        if op == "contains":
+            return key in self._items
+        raise ModelError(f"set model: unknown op {op!r}")
+
+    def copy(self) -> "SetModel":
+        m = SetModel()
+        m._items = set(self._items)
+        return m
+
+    def snapshot(self) -> frozenset:
+        return frozenset(self._items)

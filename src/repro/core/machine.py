@@ -32,11 +32,17 @@ from .thread import Ctx, ThreadHandle
 class Machine:
     """A simulated tiled multicore with Lease/Release support."""
 
-    def __init__(self, config: MachineConfig | None = None) -> None:
+    def __init__(self, config: MachineConfig | None = None, *,
+                 schedule_strategy=None) -> None:
         self.config = config or MachineConfig()
         cfg = self.config
+        #: Optional schedule-perturbation strategy (see repro.check.perturb)
+        #: reordering same-timestamp events; None keeps the default
+        #: deterministic order.
+        self.schedule_strategy = schedule_strategy
         self.sim = Simulator(seed=cfg.seed, max_cycles=cfg.max_cycles,
-                             max_events=cfg.max_events)
+                             max_events=cfg.max_events,
+                             strategy=schedule_strategy)
         #: The instrumentation bus every layer emits trace events into.
         #: The default CountersTracer sink derives the classic flat
         #: counters; attach_tracer() adds further observers.

@@ -41,9 +41,20 @@ class Ctx:
         """Emit a trace event onto the machine's instrumentation bus."""
         self.machine.trace.emit(event)
 
-    def note_op(self) -> None:
-        """Record one completed data-structure operation by this thread."""
-        self.machine.trace.emit(OpCompleted(self.core_id))
+    def note_op(self, op: str | None = None, args: tuple = (),
+                result: Any = None, start: int | None = None) -> None:
+        """Record one completed data-structure operation by this thread.
+
+        ``op``/``args``/``result`` describe the operation for history-based
+        checking (see :mod:`repro.check`); ``start`` is the invocation
+        cycle (capture ``ctx.machine.now`` before issuing the operation).
+        The response cycle is stamped by the trace bus at emit time.
+        Emission is pure observation -- it never schedules events, so
+        recording histories cannot perturb the simulation.
+        """
+        self.machine.trace.emit(OpCompleted(
+            self.core_id, tid=self.tid, op=op, args=args, result=result,
+            start=self.machine.sim.now if start is None else start))
 
     # -- allocation ------------------------------------------------------
 

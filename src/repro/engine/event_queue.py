@@ -1,9 +1,17 @@
 """A cancellable, deterministic event queue.
 
-Events are ordered by ``(time, seq)`` where ``seq`` is a monotonically
-increasing insertion counter, so simultaneous events fire in the order they
-were scheduled.  This gives bit-for-bit reproducible simulations for a fixed
-seed, which the test suite relies on.
+Events are ordered by ``(time, pri, seq)`` where ``seq`` is a monotonically
+increasing insertion counter and ``pri`` is a perturbation priority
+(0 unless a schedule-exploration strategy is installed), so simultaneous
+events fire in the order they were scheduled.  This gives bit-for-bit
+reproducible simulations for a fixed seed, which the test suite relies on.
+
+A :class:`ScheduleStrategy` (see :mod:`repro.check.perturb`) may be
+installed to assign nonzero priorities to events at schedule time.  This
+reorders *same-timestamp* events only -- the primary ``time`` key is never
+touched -- so timing semantics are preserved while the tie-breaking order
+among simultaneous events is explored.  With no strategy installed every
+priority is 0 and the order is exactly the classic ``(time, seq)``.
 
 Cancellation is lazy: cancelled events stay in the heap and are skipped on
 pop (the standard idiom for heap-backed schedulers; O(1) cancel).  When
@@ -11,6 +19,9 @@ dead entries outnumber live ones (and there are enough of them to matter)
 the heap is compacted in place, so workloads that cancel heavily -- e.g.
 every lease acquisition schedules an expiry that a voluntary release
 cancels -- keep the heap linear in the number of *live* events.
+Compaction rebuilds the heap from the surviving events' stored
+``(time, pri, seq)`` keys, so a strategy's chosen order among equal-time
+events survives compaction unchanged.
 """
 
 from __future__ import annotations
@@ -21,42 +32,63 @@ from typing import Any, Callable
 from ..errors import SimulationError
 
 
+class ScheduleStrategy:
+    """Assigns a perturbation priority to each event at schedule time.
+
+    The default implementation returns 0 for every event, which reproduces
+    the classic ``(time, seq)`` order.  Subclasses (seeded random, PCT-style,
+    replay -- see :mod:`repro.check.perturb`) override :meth:`priority`;
+    smaller priorities fire earlier among events with the same timestamp.
+    Strategies must be deterministic functions of their own seed and the
+    events they have seen, never of wall-clock or global state.
+    """
+
+    def priority(self, ev: "Event") -> int:
+        return 0
+
+
 class Event:
     """A scheduled callback.  Returned by :meth:`EventQueue.schedule` so the
     caller can later :meth:`EventQueue.cancel` it."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "pri", "seq", "fn", "args", "cancelled")
 
     def __init__(self, time: int, seq: int,
                  fn: Callable[..., Any], args: tuple) -> None:
         self.time = time
+        self.pri = 0
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        return ((self.time, self.pri, self.seq)
+                < (other.time, other.pri, other.seq))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = " cancelled" if self.cancelled else ""
+        pri = f" p{self.pri}" if self.pri else ""
         name = getattr(self.fn, "__qualname__", repr(self.fn))
-        return f"<Event t={self.time} #{self.seq} {name}{state}>"
+        return f"<Event t={self.time}{pri} #{self.seq} {name}{state}>"
 
 
 class EventQueue:
-    """Min-heap of :class:`Event` ordered by ``(time, seq)``."""
+    """Min-heap of :class:`Event` ordered by ``(time, pri, seq)``."""
 
     #: Compact only once at least this many cancelled entries accumulate
     #: (avoids rebuilding tiny heaps over and over).
     COMPACT_MIN_DEAD = 64
 
-    __slots__ = ("_heap", "_seq", "_live")
+    __slots__ = ("_heap", "_seq", "_live", "strategy")
 
-    def __init__(self) -> None:
+    def __init__(self, strategy: ScheduleStrategy | None = None) -> None:
         self._heap: list[Event] = []
         self._seq = 0
         self._live = 0
+        #: Optional perturbation strategy consulted once per scheduled
+        #: event.  None means "no perturbation": every priority is 0.
+        self.strategy = strategy
 
     def __len__(self) -> int:
         """Number of live (non-cancelled) events."""
@@ -73,6 +105,8 @@ class EventQueue:
         if time < 0:
             raise SimulationError(f"cannot schedule event at t={time}")
         ev = Event(time, self._seq, fn, args)
+        if self.strategy is not None:
+            ev.pri = self.strategy.priority(ev)
         self._seq += 1
         self._live += 1
         heapq.heappush(self._heap, ev)
@@ -91,7 +125,8 @@ class EventQueue:
         """Drop cancelled entries and re-heapify.  O(n) in heap length --
         amortized O(1) per cancel, since at least half the heap is dead
         whenever this runs.  Ordering is untouched: surviving events keep
-        their (time, seq) keys, so determinism is preserved."""
+        their (time, pri, seq) keys -- including any strategy-assigned
+        priorities -- so determinism is preserved."""
         self._heap = [e for e in self._heap if not e.cancelled]
         heapq.heapify(self._heap)
 

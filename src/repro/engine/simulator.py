@@ -6,7 +6,7 @@ import random
 from typing import Any, Callable
 
 from ..errors import SimulationError, SimulationTimeout
-from .event_queue import Event, EventQueue
+from .event_queue import Event, EventQueue, ScheduleStrategy
 
 
 class Simulator:
@@ -17,12 +17,19 @@ class Simulator:
     budgets.  Higher layers register a *quiescence check* so that
     :meth:`run` can stop when all threads have finished even though idle
     events (e.g. never-fired lease expiries) may remain queued.
+
+    ``strategy`` installs a schedule-perturbation
+    :class:`~repro.engine.event_queue.ScheduleStrategy` that reorders
+    same-timestamp events (used by :mod:`repro.check` to explore
+    interleavings); the default ``None`` keeps the classic deterministic
+    ``(time, seq)`` order bit-for-bit.
     """
 
     def __init__(self, *, seed: int = 1,
                  max_cycles: int = 2_000_000_000,
-                 max_events: int = 200_000_000) -> None:
-        self.queue = EventQueue()
+                 max_events: int = 200_000_000,
+                 strategy: ScheduleStrategy | None = None) -> None:
+        self.queue = EventQueue(strategy)
         self.now: int = 0
         self.rng = random.Random(seed)
         self.max_cycles = max_cycles

@@ -9,10 +9,11 @@ target and EXPERIMENTS.md records the measured outcomes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Sequence
 
 from .. import workloads as w
+from ..config import MachineConfig
 from .runner import PAPER_THREAD_COUNTS, sweep
 
 
@@ -41,6 +42,13 @@ def run_experiment(exp_id: str,
                    *, jobs: int = 1, **overrides: Any):
     exp = EXPERIMENTS[exp_id]
     common = {**exp.common, **overrides}
+    # A bare ``seed=N`` override reseeds the whole sweep: it folds into the
+    # machine config every bench builds from, so the CLI's global --seed
+    # reaches Simulator(seed=...) without each bench knowing about it.
+    seed = common.pop("seed", None)
+    if seed is not None:
+        base = common.get("config") or MachineConfig()
+        common["config"] = replace(base, seed=seed)
     return sweep(exp.bench, exp.variants, thread_counts, jobs=jobs,
                  **common)
 

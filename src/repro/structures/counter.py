@@ -102,10 +102,13 @@ class LockedCounter:
     # -- worker -------------------------------------------------------------
 
     def update_worker(self, ctx: Ctx, ops: int) -> Generator:
-        """Benchmark body: ``ops`` lock-protected increments."""
+        """Benchmark body: ``ops`` lock-protected increments.  The
+        pre-increment value each increment observed is reported, so the
+        history is checkable against a sequential counter."""
         for _ in range(ops):
-            yield from self.increment(ctx)
-            ctx.note_op()
+            start = ctx.machine.now
+            before = yield from self.increment(ctx)
+            ctx.note_op("inc", (), before, start)
 
 
 class AtomicCounter:
@@ -120,5 +123,6 @@ class AtomicCounter:
 
     def update_worker(self, ctx: Ctx, ops: int) -> Generator:
         for _ in range(ops):
-            yield from self.increment(ctx)
-            ctx.note_op()
+            start = ctx.machine.now
+            before = yield from self.increment(ctx)
+            ctx.note_op("inc", (), before, start)

@@ -180,14 +180,19 @@ class HarrisList:
     def mixed_worker(self, ctx: Ctx, ops: int, key_range: int,
                      update_pct: int = 20) -> Generator:
         """The Section 7 low-contention mix: ``update_pct``/2 inserts,
-        ``update_pct``/2 deletes, rest searches, uniform random keys."""
+        ``update_pct``/2 deletes, rest searches, uniform random keys.
+        Every operation reports its boolean result so the run's history is
+        checkable against a sequential set model."""
         for _ in range(ops):
             key = ctx.rng.randrange(key_range)
             roll = ctx.rng.randrange(100)
+            start = ctx.machine.now
             if roll < update_pct // 2:
-                yield from self.insert(ctx, key)
+                added = yield from self.insert(ctx, key)
+                ctx.note_op("insert", (key,), added, start)
             elif roll < update_pct:
-                yield from self.delete(ctx, key)
+                removed = yield from self.delete(ctx, key)
+                ctx.note_op("delete", (key,), removed, start)
             else:
-                yield from self.contains(ctx, key)
-            ctx.note_op()
+                found = yield from self.contains(ctx, key)
+                ctx.note_op("contains", (key,), found, start)

@@ -164,12 +164,17 @@ class MichaelScottQueue:
 
     def update_worker(self, ctx: Ctx, ops: int,
                       local_work: int = 30) -> Generator:
-        """100%-update benchmark body: alternating enqueue/dequeue."""
+        """100%-update benchmark body: alternating enqueue/dequeue.  Each
+        operation is reported with its arguments and result so the run's
+        history is checkable (see :mod:`repro.check`)."""
         for i in range(ops):
+            start = ctx.machine.now
             if i % 2 == 0:
-                yield from self.enqueue(ctx, (ctx.tid << 32) | i)
+                value = (ctx.tid << 32) | i
+                yield from self.enqueue(ctx, value)
+                ctx.note_op("enqueue", (value,), None, start)
             else:
-                yield from self.dequeue(ctx)
+                taken = yield from self.dequeue(ctx)
+                ctx.note_op("dequeue", (), taken, start)
             if local_work:
                 yield Work(local_work)
-            ctx.note_op()

@@ -190,12 +190,18 @@ class MultiQueue:
 
     def update_worker(self, ctx: Ctx, ops: int, key_range: int = 1 << 20,
                       local_work: int = 20) -> Generator:
-        """Alternating insert / deleteMin (the Figure 4 workload)."""
+        """Alternating insert / deleteMin (the Figure 4 workload).  Each
+        operation is reported with arguments and result; MultiQueues are
+        *relaxed*, so checkers validate element conservation rather than
+        strict priority order."""
         for op in range(ops):
+            start = ctx.machine.now
             if op % 2 == 0:
-                yield from self.insert(ctx, ctx.rng.randrange(key_range))
+                key = ctx.rng.randrange(key_range)
+                yield from self.insert(ctx, key)
+                ctx.note_op("insert", (key,), None, start)
             else:
-                yield from self.delete_min(ctx)
+                taken = yield from self.delete_min(ctx)
+                ctx.note_op("delete_min", (), taken, start)
             if local_work:
                 yield Work(local_work)
-            ctx.note_op()

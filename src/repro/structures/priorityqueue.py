@@ -162,15 +162,20 @@ class GlobalLockPQ:
 
     def update_worker(self, ctx: Ctx, ops: int, key_range: int = 1 << 20,
                       local_work: int = 30) -> Generator:
-        """100%-update benchmark body: alternating insert/deleteMin."""
+        """100%-update benchmark body: alternating insert/deleteMin.  Each
+        operation is reported with arguments and result for history
+        checking (see :mod:`repro.check`)."""
         for i in range(ops):
+            start = ctx.machine.now
             if i % 2 == 0:
-                yield from self.insert(ctx, ctx.rng.randrange(key_range))
+                key = ctx.rng.randrange(key_range)
+                yield from self.insert(ctx, key)
+                ctx.note_op("insert", (key,), None, start)
             else:
-                yield from self.delete_min(ctx)
+                taken = yield from self.delete_min(ctx)
+                ctx.note_op("delete_min", (), taken, start)
             if local_work:
                 yield Work(local_work)
-            ctx.note_op()
 
 
 class PughLockPQ:
@@ -330,13 +335,16 @@ class PughLockPQ:
     def update_worker(self, ctx: Ctx, ops: int, key_range: int = 1 << 20,
                       local_work: int = 30) -> Generator:
         for i in range(ops):
+            start = ctx.machine.now
             if i % 2 == 0:
-                yield from self.insert(ctx, ctx.rng.randrange(key_range))
+                key = ctx.rng.randrange(key_range)
+                yield from self.insert(ctx, key)
+                ctx.note_op("insert", (key,), None, start)
             else:
-                yield from self.delete_min(ctx)
+                taken = yield from self.delete_min(ctx)
+                ctx.note_op("delete_min", (), taken, start)
             if local_work:
                 yield Work(local_work)
-            ctx.note_op()
 
 
 class LotanShavitPQ(PughLockPQ):

@@ -241,10 +241,13 @@ class LockFreeSkipList:
         for _ in range(ops):
             key = ctx.rng.randrange(key_range)
             roll = ctx.rng.randrange(100)
+            start = ctx.machine.now
             if roll < update_pct // 2:
-                yield from self.insert(ctx, key)
+                added = yield from self.insert(ctx, key)
+                ctx.note_op("insert", (key,), added, start)
             elif roll < update_pct:
-                yield from self.delete(ctx, key)
+                removed = yield from self.delete(ctx, key)
+                ctx.note_op("delete", (key,), removed, start)
             else:
-                yield from self.contains(ctx, key)
-            ctx.note_op()
+                found = yield from self.contains(ctx, key)
+                ctx.note_op("contains", (key,), found, start)

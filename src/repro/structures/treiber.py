@@ -97,12 +97,17 @@ class TreiberStack:
 
     def update_worker(self, ctx: Ctx, ops: int,
                       local_work: int = 30) -> Generator:
-        """100%-update benchmark body: alternating push/pop pairs."""
+        """100%-update benchmark body: alternating push/pop pairs.  Each
+        operation is reported with its arguments and result so the run's
+        history is checkable (see :mod:`repro.check`)."""
         for i in range(ops):
+            start = ctx.machine.now
             if i % 2 == 0:
-                yield from self.push(ctx, (ctx.tid << 32) | i)
+                value = (ctx.tid << 32) | i
+                yield from self.push(ctx, value)
+                ctx.note_op("push", (value,), None, start)
             else:
-                yield from self.pop(ctx)
+                popped = yield from self.pop(ctx)
+                ctx.note_op("pop", (), popped, start)
             if local_work:
                 yield Work(local_work)
-            ctx.note_op()

@@ -431,11 +431,26 @@ class StmOutcome(TraceEvent):
 
 
 class OpCompleted(TraceEvent):
-    """One data-structure operation completed (the throughput unit)."""
+    """One data-structure operation completed (the throughput unit).
 
-    __slots__ = ("core",)
+    When the worker reports its operation (all benchmark workers do), the
+    event doubles as one *history record* for the :mod:`repro.check`
+    linearizability checker: ``tid``/``op``/``args``/``result`` identify
+    the operation and its outcome, ``start`` is the invocation cycle and
+    the bus-stamped ``t`` is the response cycle.  A bare ``OpCompleted(
+    core)`` (op=None) still counts for throughput but carries no history.
+    """
+
+    __slots__ = ("core", "tid", "op", "args", "result", "start")
     kind = "op_completed"
 
-    def __init__(self, core: int) -> None:
+    def __init__(self, core: int, tid: int | None = None,
+                 op: str | None = None, args: tuple = (),
+                 result: Any = None, start: int | None = None) -> None:
         super().__init__()
         self.core = core
+        self.tid = tid
+        self.op = op
+        self.args = args
+        self.result = result
+        self.start = start

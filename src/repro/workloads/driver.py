@@ -35,10 +35,13 @@ def _config(num_threads: int, use_lease: bool,
 
 
 def _machine(cfg: MachineConfig,
-             sinks: Sequence[Tracer] | None) -> Machine:
+             sinks: Sequence[Tracer] | None,
+             schedule: Any = None) -> Machine:
     """Build the benchmark machine, attaching any extra trace sinks
-    (JSONL writers, heatmaps, invariant checkers) the caller supplied."""
-    m = Machine(cfg)
+    (JSONL writers, heatmaps, invariant checkers) the caller supplied and
+    installing an optional schedule-perturbation strategy (see
+    :mod:`repro.check.perturb`)."""
+    m = Machine(cfg, schedule_strategy=schedule)
     for sink in sinks or ():
         m.attach_tracer(sink)
     return m
@@ -62,14 +65,15 @@ def bench_stack(num_threads: int, *, ops_per_thread: int = 60,
                 variant: str = "base", prefill: int = 128,
                 config: MachineConfig | None = None,
                 max_lease_time: int | None = None,
-                sinks: Sequence[Tracer] | None = None) -> RunResult:
+                sinks: Sequence[Tracer] | None = None,
+                schedule: Any = None) -> RunResult:
     """``variant``: 'base', 'lease', or 'backoff' (the software-optimized
     comparison point of Section 7)."""
     kw = {}
     if max_lease_time is not None:
         kw["max_lease_time"] = max_lease_time
     cfg = _config(num_threads, variant == "lease", config, **kw)
-    m = _machine(cfg, sinks)
+    m = _machine(cfg, sinks, schedule)
     backoff = ExponentialBackoff() if variant == "backoff" else None
     stack = TreiberStack(m, backoff=backoff)
     stack.prefill(range(prefill))
@@ -85,12 +89,13 @@ def bench_stack(num_threads: int, *, ops_per_thread: int = 60,
 def bench_queue(num_threads: int, *, ops_per_thread: int = 60,
                 variant: str = "base", prefill: int = 128,
                 config: MachineConfig | None = None,
-                sinks: Sequence[Tracer] | None = None) -> RunResult:
+                sinks: Sequence[Tracer] | None = None,
+                schedule: Any = None) -> RunResult:
     """``variant``: 'base', 'lease' (Algorithm 3), 'multilease' (tail +
     next jointly), or 'backoff'."""
     use_lease = variant in ("lease", "multilease")
     cfg = _config(num_threads, use_lease, config)
-    m = _machine(cfg, sinks)
+    m = _machine(cfg, sinks, schedule)
     backoff = ExponentialBackoff() if variant == "backoff" else None
     q = MichaelScottQueue(
         m, variant="multi" if variant == "multilease" else "single",
@@ -110,14 +115,15 @@ def bench_counter(num_threads: int, *, ops_per_thread: int = 60,
                   misuse: bool = False,
                   config: MachineConfig | None = None,
                   max_lease_time: int | None = None,
-                  sinks: Sequence[Tracer] | None = None) -> RunResult:
+                  sinks: Sequence[Tracer] | None = None,
+                  schedule: Any = None) -> RunResult:
     """``variant``: lock kind ('tts', 'ticket', 'clh'); ``use_lease``
     applies the Section 6 lease pattern (only meaningful for 'tts')."""
     kw = {}
     if max_lease_time is not None:
         kw["max_lease_time"] = max_lease_time
     cfg = _config(num_threads, use_lease, config, **kw)
-    m = _machine(cfg, sinks)
+    m = _machine(cfg, sinks, schedule)
     counter = LockedCounter(m, lock=variant, misuse=misuse)
     for _ in range(num_threads):
         m.add_thread(counter.update_worker, ops_per_thread)
@@ -137,12 +143,13 @@ def bench_counter(num_threads: int, *, ops_per_thread: int = 60,
 def bench_pq(num_threads: int, *, ops_per_thread: int = 40,
              variant: str = "pugh", prefill: int = 1024,
              config: MachineConfig | None = None,
-             sinks: Sequence[Tracer] | None = None) -> RunResult:
+             sinks: Sequence[Tracer] | None = None,
+             schedule: Any = None) -> RunResult:
     """``variant``: 'pugh' (fine-grained-lock baseline), 'lotan' (the
     literal Lotan-Shavit logical-deletion algorithm), 'globallock' (global
     lock, no leases), or 'lease' (global lock + leases)."""
     cfg = _config(num_threads, variant == "lease", config)
-    m = _machine(cfg, sinks)
+    m = _machine(cfg, sinks, schedule)
     if variant == "pugh":
         pq = PughLockPQ(m)
     elif variant == "lotan":
@@ -163,11 +170,12 @@ def bench_multiqueue(num_threads: int, *, ops_per_thread: int = 40,
                      num_queues: int = 8, use_lease: bool = False,
                      prefill: int = 1024,
                      config: MachineConfig | None = None,
-                     sinks: Sequence[Tracer] | None = None) -> RunResult:
+                     sinks: Sequence[Tracer] | None = None,
+                     schedule: Any = None) -> RunResult:
     """MultiQueues (Figure 4a): alternating insert/deleteMin over
     ``num_queues`` heaps, with the Algorithm 4 lease placement."""
     cfg = _config(num_threads, use_lease, config)
-    m = _machine(cfg, sinks)
+    m = _machine(cfg, sinks, schedule)
     mq = MultiQueue(m, num_queues=num_queues)
     mq.prefill(range(0, 2 * prefill, 2))
     for _ in range(num_threads):
@@ -183,11 +191,12 @@ def bench_tl2(num_threads: int, *, txns_per_thread: int = 30,
               variant: str = "none", num_objects: int = 10,
               multilease_mode: str = "hardware",
               config: MachineConfig | None = None,
-              sinks: Sequence[Tracer] | None = None) -> RunResult:
+              sinks: Sequence[Tracer] | None = None,
+              schedule: Any = None) -> RunResult:
     """``variant``: 'none', 'single' (first object only), 'multi'."""
     cfg = _config(num_threads, variant != "none", config,
                   multilease_mode=multilease_mode)
-    m = _machine(cfg, sinks)
+    m = _machine(cfg, sinks, schedule)
     tl2 = TL2Objects(m, num_objects=num_objects, lease=variant)
     for _ in range(num_threads):
         m.add_thread(tl2.txn_worker, txns_per_thread)
@@ -208,11 +217,12 @@ def bench_tl2(num_threads: int, *, txns_per_thread: int = 30,
 def bench_pagerank(num_threads: int, *, num_pages: int = 128,
                    iterations: int = 2, use_lease: bool = False,
                    config: MachineConfig | None = None,
-                   sinks: Sequence[Tracer] | None = None) -> RunResult:
+                   sinks: Sequence[Tracer] | None = None,
+                   schedule: Any = None) -> RunResult:
     """Lock-based Pagerank (Figure 5 right): the contended dangling-mass
     lock is leased when ``use_lease`` is set."""
     cfg = _config(num_threads, use_lease, config)
-    m = _machine(cfg, sinks)
+    m = _machine(cfg, sinks, schedule)
     app = PagerankApp(m, num_pages=num_pages, num_threads=num_threads,
                       iterations=iterations)
     for tid in range(num_threads):
@@ -228,7 +238,8 @@ def bench_snapshot(num_threads: int, *, ops_per_thread: int = 15,
                    num_words: int = 6, writer_work: int = 150,
                    use_lease: bool = False,
                    config: MachineConfig | None = None,
-                   sinks: Sequence[Tracer] | None = None) -> RunResult:
+                   sinks: Sequence[Tracer] | None = None,
+                   schedule: Any = None) -> RunResult:
     """Half the threads write, half snapshot (lease-based vs
     double-collect).  Leases stay enabled in the machine either way; the
     flag selects the snapshot algorithm.  Prioritization must be off for
@@ -236,7 +247,7 @@ def bench_snapshot(num_threads: int, *, ops_per_thread: int = 15,
     leases and force a retry."""
     cfg = _config(num_threads, True, config,
                   prioritize_regular_requests=False)
-    m = _machine(cfg, sinks)
+    m = _machine(cfg, sinks, schedule)
     sr = SnapshotRegion(m, num_words)
     # One snapshotter vs an open-loop write load: cycles then measure the
     # time to complete ``ops_per_thread`` snapshots under interference.
@@ -258,9 +269,10 @@ def _bench_search_structure(cls, name: str, num_threads: int,
                             update_pct: int, use_lease: bool,
                             config: MachineConfig | None,
                             sinks: Sequence[Tracer] | None = None,
+                            schedule: Any = None,
                             **cls_kw: Any) -> RunResult:
     cfg = _config(num_threads, use_lease, config)
-    m = _machine(cfg, sinks)
+    m = _machine(cfg, sinks, schedule)
     s = cls(m, **cls_kw)
     s.prefill(range(0, key_range, 2))
     for _ in range(num_threads):
@@ -272,41 +284,49 @@ def bench_harris_list(num_threads: int, *, ops_per_thread: int = 40,
                       key_range: int = 128, update_pct: int = 20,
                       use_lease: bool = False,
                       config: MachineConfig | None = None,
-                      sinks: Sequence[Tracer] | None = None) -> RunResult:
+                      sinks: Sequence[Tracer] | None = None,
+                      schedule: Any = None) -> RunResult:
     """Harris lock-free list at 20% updates (Section 7 low contention)."""
     return _bench_search_structure(HarrisList, "list", num_threads,
                                    ops_per_thread, key_range, update_pct,
-                                   use_lease, config, sinks=sinks)
+                                   use_lease, config, sinks=sinks,
+                                   schedule=schedule)
 
 
 def bench_skiplist(num_threads: int, *, ops_per_thread: int = 40,
                    key_range: int = 512, update_pct: int = 20,
                    use_lease: bool = False,
                    config: MachineConfig | None = None,
-                   sinks: Sequence[Tracer] | None = None) -> RunResult:
+                   sinks: Sequence[Tracer] | None = None,
+                   schedule: Any = None) -> RunResult:
     """Lock-free skiplist at 20% updates (Section 7 low contention)."""
     return _bench_search_structure(LockFreeSkipList, "skiplist", num_threads,
                                    ops_per_thread, key_range, update_pct,
-                                   use_lease, config, sinks=sinks)
+                                   use_lease, config, sinks=sinks,
+                                   schedule=schedule)
 
 
 def bench_hashtable(num_threads: int, *, ops_per_thread: int = 40,
                     key_range: int = 512, update_pct: int = 20,
                     use_lease: bool = False,
                     config: MachineConfig | None = None,
-                    sinks: Sequence[Tracer] | None = None) -> RunResult:
+                    sinks: Sequence[Tracer] | None = None,
+                    schedule: Any = None) -> RunResult:
     """Lock-striped hash table at 20% updates (Section 7 low contention)."""
     return _bench_search_structure(LockedHashTable, "hashtable", num_threads,
                                    ops_per_thread, key_range, update_pct,
-                                   use_lease, config, sinks=sinks)
+                                   use_lease, config, sinks=sinks,
+                                   schedule=schedule)
 
 
 def bench_bst(num_threads: int, *, ops_per_thread: int = 40,
               key_range: int = 512, update_pct: int = 20,
               use_lease: bool = False,
               config: MachineConfig | None = None,
-              sinks: Sequence[Tracer] | None = None) -> RunResult:
+              sinks: Sequence[Tracer] | None = None,
+              schedule: Any = None) -> RunResult:
     """External BST at 20% updates (Section 7 low contention)."""
     return _bench_search_structure(LockedExternalBST, "bst", num_threads,
                                    ops_per_thread, key_range, update_pct,
-                                   use_lease, config, sinks=sinks)
+                                   use_lease, config, sinks=sinks,
+                                   schedule=schedule)

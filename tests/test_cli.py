@@ -147,3 +147,99 @@ def test_trace_unknown_experiment(capsys):
 
 def test_trace_rejects_bad_threads(capsys):
     assert main(["trace", "fig2_stack", "--threads", "nope"]) == 2
+
+
+# -- --seed validation and effect ---------------------------------------------
+
+@pytest.mark.parametrize("bad", ["x", "-1", "2.5", ""])
+def test_run_rejects_bad_seed(bad, capsys):
+    assert main(["run", "fig2_stack", "--threads", "2", "--seed", bad]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("--seed:")
+    assert err.count("\n") == 1
+
+
+def test_trace_rejects_bad_seed(tmp_path, capsys):
+    assert main(["trace", "fig2_stack", "--threads", "2",
+                 "--out", str(tmp_path / "t.jsonl"), "--seed", "zz"]) == 2
+    assert "--seed:" in capsys.readouterr().err
+
+
+def test_run_seed_changes_rng_driven_results(capsys):
+    """fig3_pq picks keys from the per-thread RNG, so the seed must alter
+    its numbers -- and the same seed must reproduce them exactly."""
+    def run(seed):
+        assert main(["run", "fig3_pq", "--threads", "2", "--seed", seed,
+                     "--metric", "mops_per_sec"]) == 0
+        return capsys.readouterr().out
+
+    a, b, a2 = run("5"), run("6"), run("5")
+    assert a == a2
+    assert a != b
+
+
+def test_trace_accepts_seed(tmp_path, capsys):
+    out = tmp_path / "t.jsonl"
+    assert main(["trace", "fig2_stack", "--threads", "2",
+                 "--out", str(out), "--seed", "9"]) == 0
+    assert "reconcile=ok" in capsys.readouterr().out
+
+
+# -- check command ------------------------------------------------------------
+
+def test_check_smoke(capsys):
+    assert main(["check", "treiber", "--budget", "4", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "explored 4 schedule(s)" in out
+    assert "no failures found" in out
+
+
+def test_check_accepts_experiment_alias(capsys):
+    assert main(["check", "fig2_stack", "--budget", "2"]) == 0
+    assert "check treiber" in capsys.readouterr().out
+
+
+def test_check_unknown_target(capsys):
+    assert main(["check", "bogus"]) == 2
+    assert "unknown check target" in capsys.readouterr().err
+
+
+def test_check_rejects_bad_budget(capsys):
+    assert main(["check", "treiber", "--budget", "0"]) == 2
+    assert "--budget" in capsys.readouterr().err
+
+
+def test_check_rejects_bad_seed(capsys):
+    assert main(["check", "treiber", "--seed", "nan"]) == 2
+    assert "--seed:" in capsys.readouterr().err
+
+
+def test_check_replay_requires_path(capsys):
+    assert main(["check", "replay"]) == 2
+    assert "missing repro file" in capsys.readouterr().err
+
+
+def test_check_replay_missing_file(tmp_path, capsys):
+    assert main(["check", "replay", str(tmp_path / "nope.json")]) == 2
+    assert "check replay:" in capsys.readouterr().err
+
+
+def test_check_injected_bug_exit_code_and_replay(tmp_path, monkeypatch,
+                                                 capsys):
+    """End to end: a seeded campaign finds the injected linearizability
+    bug, exits nonzero, writes a repro file, and `check replay` on that
+    file reproduces the failure deterministically."""
+    import repro.check.campaign as campaign
+    from test_check_campaign import _BrokenTreiberStack
+
+    monkeypatch.setattr(campaign, "TreiberStack", _BrokenTreiberStack)
+    repro_path = tmp_path / "r.json"
+    rc = main(["check", "treiber", "--budget", "200", "--seed", "7",
+               "--save", str(repro_path)])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "FAILURE [linearizability]" in out
+    assert repro_path.exists()
+
+    assert main(["check", "replay", str(repro_path)]) == 0
+    assert "reproduced the failure" in capsys.readouterr().out

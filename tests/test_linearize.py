@@ -1,0 +1,183 @@
+"""Wing&Gong linearizability checker + sequential models."""
+
+import pytest
+
+from repro.check.history import OpRecord
+from repro.check.linearize import check_history
+from repro.check.models import (CounterModel, ModelError, PQModel,
+                                QueueModel, SetModel, StackModel)
+
+_IDX = [0]
+
+
+def R(tid, op, args, result, inv, resp):
+    _IDX[0] += 1
+    return OpRecord(index=_IDX[0], tid=tid, core=tid, op=op, args=args,
+                    result=result, invoked=inv, responded=resp)
+
+
+# -- models -------------------------------------------------------------------
+
+def test_stack_model_lifo():
+    m = StackModel([1, 2])
+    assert m.apply("push", (3,)) is None
+    assert m.apply("pop", ()) == 3
+    assert m.apply("pop", ()) == 2
+    assert m.apply("pop", ()) == 1
+    assert m.apply("pop", ()) is None
+
+
+def test_queue_model_fifo():
+    m = QueueModel([1, 2])
+    m.apply("enqueue", (3,))
+    assert [m.apply("dequeue", ()) for _ in range(4)] == [1, 2, 3, None]
+
+
+def test_pq_model_min_order():
+    m = PQModel([5, 1])
+    m.apply("insert", (3,))
+    assert [m.apply("delete_min", ()) for _ in range(4)] == [1, 3, 5, None]
+
+
+def test_counter_model_returns_pre_increment():
+    m = CounterModel()
+    assert [m.apply("inc", ()) for _ in range(3)] == [0, 1, 2]
+    assert m.apply("read", ()) == 3
+
+
+def test_set_model_membership_results():
+    m = SetModel([4])
+    assert m.apply("insert", (4,)) is False
+    assert m.apply("insert", (5,)) is True
+    assert m.apply("contains", (5,)) is True
+    assert m.apply("delete", (5,)) is True
+    assert m.apply("delete", (5,)) is False
+
+
+def test_models_copy_is_independent():
+    m = StackModel([1])
+    m2 = m.copy()
+    m2.apply("pop", ())
+    assert m.snapshot() == (1,) and m2.snapshot() == ()
+
+
+def test_model_rejects_unknown_op():
+    with pytest.raises(ModelError):
+        StackModel().apply("dequeue", ())
+
+
+# -- checker: positives -------------------------------------------------------
+
+def test_empty_history_is_linearizable():
+    res = check_history([], StackModel)
+    assert res.ok and res.decided
+
+
+def test_sequential_history_linearizable():
+    recs = [R(0, "push", (1,), None, 0, 10),
+            R(0, "push", (2,), None, 20, 30),
+            R(0, "pop", (), 2, 40, 50),
+            R(0, "pop", (), 1, 60, 70)]
+    res = check_history(recs, StackModel)
+    assert res.ok and res.decided
+    assert [r.op for r in res.order] == ["push", "push", "pop", "pop"]
+
+
+def test_concurrent_reorder_found():
+    """pop()->2 overlapping push(2) is only legal if the push linearizes
+    first; the checker must find that order."""
+    recs = [R(0, "push", (1,), None, 0, 10),
+            R(1, "push", (2,), None, 20, 40),
+            R(0, "pop", (), 2, 20, 40)]
+    res = check_history(recs, StackModel)
+    assert res.ok
+    assert [r.args or r.result for r in res.order][:2] == [(1,), (2,)]
+
+
+# -- checker: negatives -------------------------------------------------------
+
+def test_duplicate_pop_not_linearizable():
+    recs = [R(0, "push", (7,), None, 0, 10),
+            R(0, "pop", (), 7, 20, 30),
+            R(1, "pop", (), 7, 20, 30)]
+    res = check_history(recs, StackModel)
+    assert not res.ok and res.decided
+
+
+def test_real_time_order_enforced():
+    """Non-overlapping ops cannot be reordered: pop()->1 after push(2)
+    completed is a LIFO violation even though pop()->1 would have been
+    legal earlier."""
+    recs = [R(0, "push", (1,), None, 0, 10),
+            R(0, "push", (2,), None, 20, 30),
+            R(1, "pop", (), 1, 40, 50)]
+    res = check_history(recs, StackModel)
+    assert not res.ok and res.decided
+
+
+def test_fifo_violation_rejected():
+    recs = [R(0, "enqueue", (1,), None, 0, 10),
+            R(0, "enqueue", (2,), None, 20, 30),
+            R(1, "dequeue", (), 2, 40, 50)]
+    res = check_history(recs, QueueModel)
+    assert not res.ok
+
+
+def test_counter_duplicate_ticket_rejected():
+    recs = [R(0, "inc", (), 0, 0, 10),
+            R(1, "inc", (), 0, 0, 10)]
+    assert not check_history(recs, CounterModel).ok
+    recs = [R(0, "inc", (), 0, 0, 10),
+            R(1, "inc", (), 1, 0, 10)]
+    assert check_history(recs, CounterModel).ok
+
+
+def test_value_from_nowhere_rejected():
+    recs = [R(0, "pop", (), 42, 0, 10)]
+    res = check_history(recs, StackModel)
+    assert not res.ok
+    assert "pop" in res.reason
+
+
+# -- final-state observation --------------------------------------------------
+
+def test_final_state_catches_lost_update():
+    """A pop that returned a value but never removed it: the history alone
+    linearizes, the final-state observation refutes it."""
+    recs = [R(0, "push", (1,), None, 0, 10),
+            R(0, "pop", (), 1, 20, 30)]
+    assert check_history(recs, StackModel).ok
+    assert check_history(recs, StackModel, final_state=()).ok
+    res = check_history(recs, StackModel, final_state=(1,))
+    assert not res.ok and res.decided
+    assert "final state" in res.reason
+
+
+def test_final_state_disambiguates_witness():
+    """Two overlapping pushes: the final stack order reveals which
+    linearization actually happened, and both are acceptable histories."""
+    recs = [R(0, "push", (1,), None, 0, 10),
+            R(1, "push", (2,), None, 0, 10)]
+    assert check_history(recs, StackModel, final_state=(1, 2)).ok
+    assert check_history(recs, StackModel, final_state=(2, 1)).ok
+    assert not check_history(recs, StackModel, final_state=(1,)).ok
+
+
+def test_empty_history_with_wrong_final_state():
+    assert not check_history([], lambda: StackModel([1]),
+                             final_state=()).ok
+
+
+# -- budget -------------------------------------------------------------------
+
+def test_state_budget_yields_inconclusive():
+    recs = [R(t, "contains", (5,), False, 0, 100) for t in range(12)]
+    res = check_history(recs, SetModel, max_states=5)
+    assert res.ok and not res.decided
+    assert "budget" in res.reason
+
+
+def test_overlong_history_is_inconclusive():
+    recs = [R(0, "inc", (), i, 2 * i, 2 * i + 1) for i in range(70)]
+    res = check_history(recs, CounterModel)
+    assert res.ok and not res.decided

@@ -1,0 +1,95 @@
+"""Model-based testing of the search structures.
+
+Two layers, both against the plain-Python sequential set model:
+
+* single-threaded: a random operation sequence must return exactly what
+  the model returns, op for op, and ``keys_direct()`` must equal the
+  model's contents after the run;
+* concurrent: 4 threads of the stock mixed workload produce a history
+  that must linearize against :class:`~repro.check.models.SetModel`,
+  with the structure's final ``keys_direct()`` as the observed final
+  state.
+"""
+
+import random
+
+import pytest
+from conftest import make_machine
+
+from repro.check import HistoryRecorder, SetModel, check_history
+from repro.structures.bst import LockedExternalBST
+from repro.structures.harris_list import HarrisList
+from repro.structures.hashtable import LockedHashTable
+from repro.structures.skiplist import LockFreeSkipList
+
+STRUCTURES = {
+    "harris": HarrisList,
+    "skiplist": LockFreeSkipList,
+    "hashtable": LockedHashTable,
+    "bst": LockedExternalBST,
+}
+
+PREFILL = [2, 5, 8, 11]
+
+
+def _build(name, machine):
+    s = STRUCTURES[name](machine)
+    s.prefill(PREFILL)
+    return s
+
+
+# -- single-threaded model equivalence ---------------------------------------
+
+def _model_driver(ctx, structure, ops, seed, mismatches):
+    model = set(PREFILL)
+    rng = random.Random(seed)
+    for step in range(ops):
+        key = rng.randrange(16)
+        roll = rng.random()
+        if roll < 0.4:
+            got = yield from structure.insert(ctx, key)
+            want = key not in model
+            model.add(key)
+        elif roll < 0.7:
+            got = yield from structure.delete(ctx, key)
+            want = key in model
+            model.discard(key)
+        else:
+            got = yield from structure.contains(ctx, key)
+            want = key in model
+        if got is not want:
+            mismatches.append((step, key, got, want))
+    mismatches.append(("final_model", sorted(model)))
+
+
+@pytest.mark.parametrize("name", sorted(STRUCTURES))
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_sequential_ops_match_set_model(name, seed):
+    m = make_machine(1)
+    s = _build(name, m)
+    log = []
+    m.add_thread(_model_driver, s, 60, seed, log)
+    m.run()
+    final_model = log.pop()[1]
+    assert log == [], f"{name}: op results diverged from the model: {log}"
+    assert sorted(s.keys_direct()) == final_model
+
+
+# -- concurrent linearizability ----------------------------------------------
+
+@pytest.mark.parametrize("name", sorted(STRUCTURES))
+@pytest.mark.parametrize("leases", [False, True])
+def test_concurrent_history_linearizes(name, leases):
+    m = make_machine(4, leases=leases)
+    hist = m.attach_tracer(HistoryRecorder())
+    s = _build(name, m)
+    for _ in range(4):
+        m.add_thread(s.mixed_worker, 8, 12, 60)   # 60% updates, keys 0..11
+    m.run()
+    m.check_coherence_invariants()
+    hist.validate()
+    assert len(hist.records) == 32
+    res = check_history(hist.records, lambda: SetModel(PREFILL),
+                        final_state=frozenset(s.keys_direct()))
+    assert res.decided, f"{name}: checker ran out of budget"
+    assert res.ok, f"{name}: {res.reason}"
