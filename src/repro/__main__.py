@@ -18,6 +18,14 @@ Commands:
                             the lease properties; on failure, shrink the
                             schedule and write a replayable repro file.
                             ``check replay repro.json`` re-runs one.
+* ``bench [targets...]`` -- time the simulator's hot loops and write one
+                            ``BENCH_<name>.json`` per target.  ``--quick``
+                            shrinks the workloads for CI; ``--baseline
+                            FILE`` diffs normalized scores against a
+                            committed baseline and fails (exit 1) on any
+                            regression beyond ``--tolerance``;
+                            ``--write-baseline FILE`` records a new one;
+                            ``--profile`` prints a cProfile summary.
 * ``config``             -- print the Table-1 machine configuration.
 
 ``run`` and ``trace`` accept a global ``--seed N`` that reseeds the
@@ -32,6 +40,8 @@ Examples::
     python -m repro trace fig2_stack --threads 4 --heatmap
     python -m repro check treiber --budget 200 --seed 7
     python -m repro check replay repro.treiber.json
+    python -m repro bench --quick --baseline benchmarks/baseline.json
+    python -m repro bench trace_fastpath --profile
 """
 
 from __future__ import annotations
@@ -71,6 +81,17 @@ def _parse_threads(spec: str) -> tuple[int, ...]:
     return tuple(counts)
 
 
+def _parse_jobs(spec: str) -> int:
+    """Parse a ``--jobs`` value; positive integers only."""
+    try:
+        n = int(spec)
+    except ValueError:
+        raise _CliError(f"--jobs: {spec!r} is not an integer") from None
+    if n < 1:
+        raise _CliError(f"--jobs: {n} is not a positive job count")
+    return n
+
+
 def _parse_seed(spec: str) -> int:
     """Parse a ``--seed`` value; non-negative integers only."""
     try:
@@ -100,19 +121,18 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     exp = _get_experiment(args.experiment)
     threads = _parse_threads(args.threads)
-    if args.jobs < 1:
-        raise _CliError(f"--jobs: {args.jobs} is not a positive job count")
+    jobs = _parse_jobs(args.jobs)
     overrides = {}
     if args.seed is not None:
         overrides["seed"] = _parse_seed(args.seed)
     if args.invariants:
-        if args.jobs > 1:
+        if jobs > 1:
             raise _CliError("--invariants requires --jobs 1 (trace sinks "
                             "cannot cross process boundaries)")
         overrides["sinks"] = [InvariantTracer()]
     print(f"{exp.id}: {exp.title}")
     res = run_experiment(args.experiment, thread_counts=threads,
-                         jobs=args.jobs, **overrides)
+                         jobs=jobs, **overrides)
     for metric, label in (("mops_per_sec", "throughput (Mops/s)"),
                           ("nj_per_op", "energy (nJ/op)")):
         if args.metric in ("all", metric):
@@ -249,6 +269,64 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from . import bench
+
+    jobs = _parse_jobs(args.jobs)
+    if args.repeats < 1:
+        raise _CliError(f"--repeats: {args.repeats} is not a positive "
+                        "repeat count")
+    if not 0.0 < args.tolerance < 1.0:
+        raise _CliError(f"--tolerance: {args.tolerance} is not a fraction "
+                        "in (0, 1)")
+    names = args.targets or bench.default_target_names()
+    for name in names:
+        if name not in bench.TARGETS:
+            known = ", ".join(bench.TARGETS)
+            raise _CliError(f"bench: unknown target {name!r} "
+                            f"(known: {known})")
+
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = bench.load_baseline(args.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as err:
+            raise _CliError(f"--baseline: {err}") from None
+
+    mode = "quick" if args.quick else "full"
+    print(f"bench ({mode}, repeats={args.repeats}, jobs={jobs}): "
+          f"{', '.join(names)}")
+    results = bench.run_many(names, quick=args.quick, jobs=jobs,
+                             repeats=args.repeats)
+    for name in names:
+        print("  " + bench.record_summary_line(results[name]))
+    paths = bench.write_results(results, args.out_dir)
+    print(f"wrote {len(paths)} record(s) to "
+          f"{args.out_dir or '.'}/BENCH_<name>.json")
+
+    if args.profile:
+        print()
+        for name in names:
+            bench.profile_target(name, quick=args.quick)
+
+    if args.write_baseline:
+        bench.write_baseline(results, args.write_baseline)
+        print(f"wrote baseline to {args.write_baseline}")
+
+    if baseline is not None:
+        rows = bench.diff_results(results, baseline,
+                                  tolerance=args.tolerance)
+        print(f"\n-- vs baseline {args.baseline} "
+              f"(tolerance {args.tolerance:.0%}) --")
+        print(bench.format_diff(rows))
+        regressed = [r["name"] for r in rows if r["regressed"]]
+        if regressed:
+            print(f"perf regression in: {', '.join(regressed)}",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
 def _cmd_config(_args: argparse.Namespace) -> int:
     cfg = MachineConfig()
     print("Table 1 machine configuration (defaults):")
@@ -284,7 +362,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated thread counts (default: the paper's axis)")
     run_p.add_argument("--metric", default="all",
                        choices=["all", "mops_per_sec", "nj_per_op"])
-    run_p.add_argument("--jobs", type=int, default=1, metavar="N",
+    run_p.add_argument("--jobs", default="1", metavar="N",
                        help="run sweep cells on N worker processes")
     run_p.add_argument("--save", metavar="OUT.json",
                        help="write the raw results as JSON")
@@ -334,13 +412,45 @@ def build_parser() -> argparse.ArgumentParser:
     check_p.add_argument("--save", metavar="REPRO.json", default=None,
                          help="where to write the repro on failure "
                               "(default: repro.<target>.json)")
+
+    bench_p = sub.add_parser(
+        "bench", help="time the simulator's hot loops; gate against a "
+                      "perf baseline")
+    bench_p.add_argument("targets", nargs="*", metavar="TARGET",
+                         help="bench targets (default: all; see "
+                              "repro.bench.TARGETS)")
+    bench_p.add_argument("--quick", action="store_true",
+                         help="shrunk workloads for CI smoke runs")
+    bench_p.add_argument("--jobs", default="1", metavar="N",
+                         help="run targets on N worker processes (timing "
+                              "fidelity drops; baselines should use 1)")
+    bench_p.add_argument("--repeats", type=int, default=3, metavar="N",
+                         help="timing repetitions per target; best-of-N "
+                              "is recorded (default 3)")
+    bench_p.add_argument("--profile", action="store_true",
+                         help="also print a cProfile summary per target")
+    bench_p.add_argument("--baseline", metavar="FILE.json", default=None,
+                         help="diff normalized scores against this "
+                              "baseline; exit 1 on regression")
+    bench_p.add_argument("--tolerance", type=float, default=0.30,
+                         metavar="F",
+                         help="allowed fractional score drop before a "
+                              "target counts as regressed (default 0.30)")
+    bench_p.add_argument("--out-dir", default=".", metavar="DIR",
+                         help="where BENCH_<name>.json records go "
+                              "(default: current directory)")
+    bench_p.add_argument("--write-baseline", metavar="FILE.json",
+                         default=None,
+                         help="bundle this run's records into a new "
+                              "baseline file")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {"list": _cmd_list, "run": _cmd_run, "trace": _cmd_trace,
-               "check": _cmd_check, "config": _cmd_config}[args.command]
+               "check": _cmd_check, "bench": _cmd_bench,
+               "config": _cmd_config}[args.command]
     try:
         return handler(args)
     except _CliError as err:

@@ -1,0 +1,267 @@
+"""The microbenchmark targets: one per simulator hot loop.
+
+Each target is a plain function ``fn(quick: bool) -> dict`` that performs
+one complete iteration of its workload and reports::
+
+    {"ops": <units of work>,            # denominator of ops/sec
+     "events": <simulator events> | None,
+     "extra": {...},                    # target-specific findings
+     "wall_seconds": <float>}           # optional: self-timed targets only
+
+The :mod:`~repro.bench.runner` repeats the call, times it (unless the
+target self-times, like the fast/slow A/B below), measures peak heap on a
+separate pass, and normalizes against a per-machine calibration loop.
+
+Targets cover the loops that dominate figure-reproduction wall-clock:
+
+* ``event_queue``      -- raw schedule/cancel/pop/peek churn (the
+  ``Event.__lt__`` + heap-compaction hot path);
+* ``coherence_storm``  -- every core storing to one line: maximal
+  invalidation/message traffic through directory + network;
+* ``treiber``          -- the paper's contended Treiber stack run;
+* ``counter``          -- the contended TTS+lease lock counter;
+* ``sweep_cell``       -- one full fig2-style sweep cell (both variants),
+  the unit every figure reproduction multiplies;
+* ``trace_fastpath``   -- the counters-only emit hot loop, fast vs slow
+  path, asserting bit-identical counters and ``RunResult``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Callable
+
+from ..config import MachineConfig
+from ..core.machine import Machine
+from ..engine.event_queue import EventQueue
+
+
+def _lease_config(num_cores: int, **lease_kw: Any) -> MachineConfig:
+    cfg = MachineConfig(num_cores=num_cores)
+    return replace(cfg, lease=replace(cfg.lease, enabled=True, **lease_kw))
+
+
+# ---------------------------------------------------------------------------
+# Raw event-queue churn
+# ---------------------------------------------------------------------------
+
+def bench_event_queue(quick: bool) -> dict:
+    """Schedule/cancel/pop/peek churn on a bare :class:`EventQueue` --
+    no machine, pure scheduler cost (``__lt__``, heap ops, compaction)."""
+    n = 30_000 if quick else 150_000
+    q = EventQueue()
+    fn = lambda: None  # noqa: E731 - payload is irrelevant here
+    ops = 0
+    state = 0x2545F491
+    pending = []
+    for i in range(n):
+        # Deterministic xorshift times: spread, with plenty of ties.
+        state ^= (state << 13) & 0xFFFFFFFF
+        state ^= state >> 17
+        state ^= (state << 5) & 0xFFFFFFFF
+        ev = q.schedule(state % 4096, fn)
+        pending.append(ev)
+        ops += 1
+        if i % 3 == 2:                 # cancel every third event (lease-
+            q.cancel(pending[-2])      # expiry churn pattern); exercises
+            ops += 1                   # lazy-dead-entry compaction
+        if i % 64 == 0:
+            q.peek_time()
+            ops += 1
+    while q.pop() is not None:
+        ops += 1
+    return {"ops": ops, "events": n, "extra": {"final_heap": q.heap_size}}
+
+
+# ---------------------------------------------------------------------------
+# Coherence message storm
+# ---------------------------------------------------------------------------
+
+def bench_coherence_storm(quick: bool) -> dict:
+    """Every core stores to the same line in a tight loop: maximal
+    invalidation + directory-queue traffic (the paper's worst case)."""
+    from ..core.isa import Store
+
+    cores = 4 if quick else 8
+    rounds = 150 if quick else 300
+    m = Machine(MachineConfig(num_cores=cores))
+    addr = m.alloc_var(0, label="storm.line")
+
+    def body(ctx):
+        for i in range(rounds):
+            yield Store(addr, i)
+        ctx.note_op()
+
+    for _ in range(cores):
+        m.add_thread(body)
+    m.run()
+    return {"ops": cores * rounds, "events": m.sim.events_processed,
+            "extra": {"messages": m.counters.messages,
+                      "invalidations": m.counters.invalidations_sent}}
+
+
+# ---------------------------------------------------------------------------
+# Contended structure runs
+# ---------------------------------------------------------------------------
+
+def bench_treiber(quick: bool) -> dict:
+    """The paper's headline workload: a contended lease-enabled Treiber
+    stack at high thread count."""
+    from ..structures import TreiberStack
+
+    threads = 8 if quick else 16
+    ops_per_thread = 25 if quick else 60
+    m = Machine(_lease_config(threads))
+    stack = TreiberStack(m)
+    stack.prefill(range(128))
+    for _ in range(threads):
+        m.add_thread(stack.update_worker, ops_per_thread)
+    m.run()
+    res = m.result("treiber")
+    return {"ops": res.ops, "events": m.sim.events_processed,
+            "extra": {"cycles": res.cycles,
+                      "messages_per_op": round(res.messages_per_op, 2)}}
+
+
+def bench_counter_lock(quick: bool) -> dict:
+    """The contended TTS+lease lock-based counter (Figure 3a's biggest
+    winner -- and the densest emit stream per simulated cycle)."""
+    from ..structures import LockedCounter
+
+    threads = 8 if quick else 16
+    ops_per_thread = 25 if quick else 60
+    m = Machine(_lease_config(threads))
+    counter = LockedCounter(m, lock="tts")
+    for _ in range(threads):
+        m.add_thread(counter.update_worker, ops_per_thread)
+    m.run()
+    res = m.result("counter")
+    return {"ops": res.ops, "events": m.sim.events_processed,
+            "extra": {"cycles": res.cycles}}
+
+
+def bench_sweep_cell(quick: bool) -> dict:
+    """One full fig2-style sweep cell (base + lease variants at one thread
+    count) through the real harness path -- the unit of work every figure
+    reproduction repeats dozens of times."""
+    from ..harness.runner import sweep
+    from ..workloads.driver import bench_stack
+
+    threads = 4 if quick else 8
+    ops_per_thread = 15 if quick else 40
+    res = sweep(bench_stack,
+                {"base": {"variant": "base"}, "lease": {"variant": "lease"}},
+                (threads,), ops_per_thread=ops_per_thread)
+    total_ops = sum(r.ops for series in res.values() for r in series)
+    return {"ops": total_ops, "events": None,
+            "extra": {"variants": len(res), "threads": threads}}
+
+
+# ---------------------------------------------------------------------------
+# Trace-bus fast path A/B
+# ---------------------------------------------------------------------------
+
+#: One representative event mix per loop iteration (mirrors the dominant
+#: kinds in a contended run: cache activity, a message, a CAS, queueing).
+_FASTPATH_EVENTS_PER_ITER = 5
+
+
+def _emit_mix(bus, iters: int) -> float:
+    """The counters-only hot loop: emit the mix through the per-type
+    slots; returns wall seconds.  Identical slot calls serve both paths --
+    ``set_fast_path(False)`` turns every slot into construct-and-emit."""
+    l1_hit, l1_miss = bus.l1_hit, bus.l1_miss
+    message, cas, req_queued = bus.message, bus.cas, bus.req_queued
+    t0 = time.perf_counter()
+    for i in range(iters):
+        l1_hit(0, i & 1023)
+        l1_miss(1, i & 1023)
+        message(0, 1, "GetS", 2, False)
+        cas(0, 64, True)
+        req_queued(1, i & 1023, 3)
+    return time.perf_counter() - t0
+
+
+def _counter_run_result(fast: bool):
+    """A small real machine run with the fast path toggled -- the
+    byte-identity half of the A/B."""
+    from ..structures import LockedCounter
+
+    m = Machine(_lease_config(4))
+    m.trace.set_fast_path(fast)
+    counter = LockedCounter(m, lock="tts")
+    for _ in range(4):
+        m.add_thread(counter.update_worker, 30)
+    m.run()
+    return m.result("counter")
+
+
+def bench_trace_fastpath(quick: bool) -> dict:
+    """Fast vs slow emit path on the counters-only hot loop (self-timed).
+
+    Asserts the two paths are bit-identical -- equal :class:`Counters`
+    from the raw emit storm AND equal :class:`RunResult` from a real
+    machine run -- then reports the wall-clock improvement the fast path
+    buys.  This is the regression guard for the optimization the whole
+    bench subsystem exists to protect.
+    """
+    from ..trace import CountersTracer, TraceBus
+
+    iters = 60_000 if quick else 200_000
+
+    fast_bus = TraceBus(sinks=(CountersTracer(),))
+    slow_bus = TraceBus(sinks=(CountersTracer(),))
+    slow_bus.set_fast_path(False)
+    fast_s = _emit_mix(fast_bus, iters)
+    slow_s = _emit_mix(slow_bus, iters)
+    if fast_bus.sinks[0].counters != slow_bus.sinks[0].counters:
+        raise AssertionError(
+            "fast/slow emit paths diverged on the raw counter storm")
+
+    res_fast = _counter_run_result(True)
+    res_slow = _counter_run_result(False)
+    if res_fast != res_slow:
+        raise AssertionError(
+            "fast/slow emit paths produced different RunResults")
+
+    events = iters * _FASTPATH_EVENTS_PER_ITER
+    improvement = (1.0 - fast_s / slow_s) * 100.0 if slow_s > 0 else 0.0
+    return {
+        "ops": events, "events": events,
+        "wall_seconds": fast_s,
+        "extra": {
+            "slow_wall_seconds": round(slow_s, 6),
+            "improvement_pct": round(improvement, 1),
+            "run_result_identical": True,
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BenchTarget:
+    name: str
+    title: str
+    fn: Callable[[bool], dict]
+
+
+TARGETS: dict[str, BenchTarget] = {
+    t.name: t for t in (
+        BenchTarget("event_queue", "raw EventQueue schedule/cancel/pop "
+                    "churn", bench_event_queue),
+        BenchTarget("coherence_storm", "all cores storing one line "
+                    "(message storm)", bench_coherence_storm),
+        BenchTarget("treiber", "contended lease-enabled Treiber stack",
+                    bench_treiber),
+        BenchTarget("counter", "contended TTS+lease lock counter",
+                    bench_counter_lock),
+        BenchTarget("sweep_cell", "one fig2-style sweep cell (base + "
+                    "lease)", bench_sweep_cell),
+        BenchTarget("trace_fastpath", "counters-only emit hot loop, fast "
+                    "vs slow path", bench_trace_fastpath),
+    )
+}

@@ -64,6 +64,11 @@ class HistoryRecorder(Tracer):
     def bind(self, machine: "Machine") -> None:
         self.records = []
 
+    def interests(self):
+        """Only ``op_completed`` carries history; every other event type
+        stays on the bus's allocation-free fast path during campaigns."""
+        return frozenset((OpCompleted,))
+
     def on_event(self, ev: TraceEvent) -> None:
         if type(ev) is not OpCompleted or ev.op is None:
             return

@@ -14,7 +14,6 @@ from collections import OrderedDict
 
 from ..errors import ProtocolError
 from ..trace import TraceBus
-from ..trace.events import L1Evicted
 from .states import LineState
 
 
@@ -100,10 +99,10 @@ class L1Cache:
                     break
             if victim is not None:
                 del s[victim[0]]
-                self.trace.emit(L1Evicted(self.core_id, victim[0],
-                                          overflow=False))
+                self.trace.l1_evicted(self.core_id, victim[0],
+                                          overflow=False)
             else:
                 # Every way pinned by leases/queued probes: over-fill.
-                self.trace.emit(L1Evicted(self.core_id, line, overflow=True))
+                self.trace.l1_evicted(self.core_id, line, overflow=True)
         s[line] = state
         return victim

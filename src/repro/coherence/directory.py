@@ -38,8 +38,6 @@ from ..engine import Simulator
 from ..errors import ProtocolError
 from ..mem import AddressMap
 from ..trace import TraceBus
-from ..trace.events import (EvictionApplied, EvictionIssued, ProbeSent,
-                            ReqGranted, ReqIssued, ReqQueued)
 from .l2 import SharedL2
 from .messages import MessageKind
 from .network import MeshNetwork
@@ -121,15 +119,15 @@ class Directory:
 
     def issue(self, req: Request) -> None:
         """Send ``req`` from its core to the line's home tile."""
-        self.trace.emit(ReqIssued(req.core_id, req.line, req.kind.value,
-                                  req.is_lease))
+        self.trace.req_issued(req.core_id, req.line, req.kind.value,
+                                  req.is_lease)
         home = self.amap.home_tile(req.line)
         self.network.send(req.core_id, home, req.kind, self._arrive, req)
 
     def issue_eviction(self, kind: MessageKind, line: int,
                        core_id: int) -> None:
         """Send a PutM/PutS notice from ``core_id`` to the home tile."""
-        self.trace.emit(EvictionIssued(core_id, line, kind.value))
+        self.trace.eviction_issued(core_id, line, kind.value)
         home = self.amap.home_tile(line)
         ev = _Eviction(kind, line, core_id)
         self.network.send(core_id, home, kind, self._arrive, ev)
@@ -138,7 +136,7 @@ class Directory:
         e = self._entry(req.line)
         if e.busy:
             e.queue.append(req)
-            self.trace.emit(ReqQueued(req.core_id, req.line, len(e.queue)))
+            self.trace.req_queued(req.core_id, req.line, len(e.queue))
             return
         self._start(req)
 
@@ -166,7 +164,7 @@ class Directory:
         # Drop stale notices: only apply if the core still does not hold the
         # line (it may have re-acquired it since evicting).
         applied = core_l1.state_of(ev.line) == LineState.I
-        self.trace.emit(EvictionApplied(ev.core_id, ev.line, applied))
+        self.trace.eviction_applied(ev.core_id, ev.line, applied)
         if applied:
             if ev.kind is MessageKind.PUTM:
                 if e.state == DirState.MODIFIED and e.owner == ev.core_id:
@@ -270,7 +268,7 @@ class Directory:
         core's reply arrives back at the home tile."""
         from .memunit import Probe  # local import to avoid cycle
 
-        self.trace.emit(ProbeSent(target_core, req.line, kind.value))
+        self.trace.probe_sent(target_core, req.line, kind.value)
         home = self.amap.home_tile(req.line)
 
         def reply(carries_data: bool) -> None:
@@ -299,7 +297,7 @@ class Directory:
         # L1 tags update now so directory and caches never disagree...
         unit = self.mem_units[req.core_id]
         unit.fill_granted(req, state)
-        self.trace.emit(ReqGranted(req.core_id, req.line, state.name, fetch))
+        self.trace.req_granted(req.core_id, req.line, state.name, fetch)
         # ...but the thread resumes when the data message arrives.
         lat = self.l2.fetch_latency(req.line) if fetch else 0
         home = self.amap.home_tile(req.line)

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from ..config import MachineConfig
 from ..trace import TraceBus
-from ..trace.events import L2Access, Writeback
 
 
 class SharedL2:
@@ -35,10 +34,10 @@ class SharedL2:
     def fetch_latency(self, line: int) -> int:
         """Latency to produce the line's data at the home tile."""
         if line in self._seen:
-            self.trace.emit(L2Access(line, dram=False))
+            self.trace.l2_access(line, dram=False)
             return self.data_latency
         self._seen.add(line)
-        self.trace.emit(L2Access(line, dram=True))
+        self.trace.l2_access(line, dram=True)
         return self.data_latency + self.dram_latency
 
     def mark_warm(self, line: int) -> None:
@@ -48,5 +47,5 @@ class SharedL2:
 
     def writeback(self, line: int) -> None:
         """Account a dirty writeback into the L2 slice."""
-        self.trace.emit(Writeback(line))
+        self.trace.writeback(line)
         self._seen.add(line)

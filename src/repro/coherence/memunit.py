@@ -16,8 +16,6 @@ from ..engine import Simulator
 from ..errors import ProtocolError
 from ..mem import AddressMap
 from ..trace import TraceBus
-from ..trace.events import (L1Hit, L1Miss, MesiUpgrade, ProbeDeferred,
-                            ProbeServiced)
 from .cache import L1Cache
 from .directory import Directory, Request
 from .messages import MessageKind
@@ -101,12 +99,12 @@ class MemUnit:
                 # MESI silent upgrade: first write to an exclusive-clean
                 # line dirties it without any coherence traffic.
                 self.l1.set_state(line, LineState.M)
-                self.trace.emit(MesiUpgrade(self.core_id, line))
-            self.trace.emit(L1Hit(self.core_id, line))
+                self.trace.mesi_upgrade(self.core_id, line)
+            self.trace.l1_hit(self.core_id, line)
             self.l1.touch(line)
             self.sim.after(self.config.l1_latency, callback)
             return
-        self.trace.emit(L1Miss(self.core_id, line))
+        self.trace.l1_miss(self.core_id, line)
         kind = MessageKind.GETX if need_exclusive else MessageKind.GETS
         req = Request(kind, line, self.core_id, is_lease, callback)
         self._outstanding = _Outstanding(req, callback)
@@ -153,7 +151,7 @@ class MemUnit:
                     f"core {self.core_id}: two probes deferred on line "
                     f"{probe.line}")
             out.deferred_probe = probe
-            self.trace.emit(ProbeDeferred(self.core_id, probe.line))
+            self.trace.probe_deferred(self.core_id, probe.line)
             return
         self._route_probe(probe)
 
@@ -167,29 +165,29 @@ class MemUnit:
         """Service a probe now: downgrade/invalidate the L1 line, reply."""
         st = self.l1.state_of(probe.line)
         if st == LineState.I:
-            self.trace.emit(ProbeServiced(self.core_id, probe.line,
+            self.trace.probe_serviced(self.core_id, probe.line,
                                           probe.kind.value, stale=True,
-                                          data=False))
+                                          data=False)
             probe.reply(False)
             return
         if probe.kind is MessageKind.INV:
             self.l1.invalidate(probe.line)
             # Only a dirty line's ack carries data back home.
-            self.trace.emit(ProbeServiced(self.core_id, probe.line,
+            self.trace.probe_serviced(self.core_id, probe.line,
                                           probe.kind.value, stale=False,
-                                          data=st == LineState.M))
+                                          data=st == LineState.M)
             probe.reply(st == LineState.M)
         elif probe.kind is MessageKind.DOWNGRADE:
             if st == LineState.M or st == LineState.E:
                 self.l1.set_state(probe.line, LineState.S)
-                self.trace.emit(ProbeServiced(self.core_id, probe.line,
+                self.trace.probe_serviced(self.core_id, probe.line,
                                               probe.kind.value, stale=False,
-                                              data=st == LineState.M))
+                                              data=st == LineState.M)
                 probe.reply(st == LineState.M)
             else:
-                self.trace.emit(ProbeServiced(self.core_id, probe.line,
+                self.trace.probe_serviced(self.core_id, probe.line,
                                               probe.kind.value, stale=True,
-                                              data=False))
+                                              data=False)
                 probe.reply(False)
         else:  # pragma: no cover - defensive
             raise ProtocolError(f"unexpected probe kind {probe.kind}")

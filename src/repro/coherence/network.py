@@ -15,7 +15,6 @@ from typing import Any, Callable
 from ..config import NetworkConfig
 from ..engine import Simulator
 from ..trace import TraceBus
-from ..trace.events import MessageSent
 from .messages import MessageKind
 
 
@@ -59,7 +58,7 @@ class MeshNetwork:
              fn: Callable[..., Any], *args: Any) -> None:
         """Trace one ``kind`` message from tile ``src`` to ``dst`` and
         schedule ``fn(*args)`` at its delivery time."""
-        self.trace.emit(MessageSent(src, dst, kind.value,
+        self.trace.message(src, dst, kind.value,
                                     self._hops[src][dst],
-                                    kind.carries_data))
+                                    kind.carries_data)
         self.sim.after(self.latency(src, dst, kind), fn, *args)

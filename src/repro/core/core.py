@@ -13,7 +13,6 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Generator
 
 from ..errors import SimulationError
-from ..trace.events import CasOutcome
 from . import isa
 from .thread import ThreadHandle
 
@@ -169,7 +168,7 @@ class Core:
 
     def _do_cas(self, instr: isa.CAS) -> None:
         ok = self.memory.cas(instr.addr, instr.expected, instr.new)
-        self.trace.emit(CasOutcome(self.core_id, instr.addr, ok))
+        self.trace.cas(self.core_id, instr.addr, ok)
         self._resume(ok)
 
     def _do_rmw(self, fn, addr: int, operand: Any) -> None:

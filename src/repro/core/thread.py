@@ -12,9 +12,10 @@ import random
 from typing import TYPE_CHECKING, Any, Iterable
 
 from ..config import WORD_SIZE
-from ..trace.events import OpCompleted, TraceEvent
+from ..trace.events import TraceEvent
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..trace.bus import TraceBus
     from .machine import Machine
 
 
@@ -37,6 +38,12 @@ class Ctx:
 
     # -- instrumentation ---------------------------------------------------
 
+    @property
+    def trace(self) -> "TraceBus":
+        """The machine's instrumentation bus (per-type emit slots live
+        here: ``ctx.trace.lock_attempt(ctx.core_id)`` and friends)."""
+        return self.machine.trace
+
     def emit(self, event: TraceEvent) -> None:
         """Emit a trace event onto the machine's instrumentation bus."""
         self.machine.trace.emit(event)
@@ -52,9 +59,9 @@ class Ctx:
         Emission is pure observation -- it never schedules events, so
         recording histories cannot perturb the simulation.
         """
-        self.machine.trace.emit(OpCompleted(
-            self.core_id, tid=self.tid, op=op, args=args, result=result,
-            start=self.machine.sim.now if start is None else start))
+        self.machine.trace.op_completed(
+            self.core_id, self.tid, op, args, result,
+            self.machine.sim.now if start is None else start)
 
     # -- allocation ------------------------------------------------------
 

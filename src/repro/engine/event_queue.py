@@ -63,8 +63,16 @@ class Event:
         self.cancelled = False
 
     def __lt__(self, other: "Event") -> bool:
-        return ((self.time, self.pri, self.seq)
-                < (other.time, other.pri, other.seq))
+        # Ordered by (time, pri, seq), compared field-by-field: this runs
+        # once per heap sift step, and building two key tuples per
+        # comparison dominated schedule/pop cost.  Ties on all three keys
+        # cannot happen (seq is unique), so the final seq comparison
+        # decides every remaining case.
+        if self.time != other.time:
+            return self.time < other.time
+        if self.pri != other.pri:
+            return self.pri < other.pri
+        return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = " cancelled" if self.cancelled else ""

@@ -61,24 +61,30 @@ class Simulator:
 
     def run(self, until: int | None = None) -> int:
         """Process events until quiescence, the optional ``until`` cycle, or
-        a budget is exhausted.  Returns the final simulation time."""
+        a budget is exhausted.  Returns the final simulation time.
+
+        Clock rule: when ``until`` is given, the clock always advances to
+        ``until`` unless quiescence stopped the run first -- whether the
+        horizon was reached because the next event lies beyond it or
+        because the queue drained entirely.  (The clock never moves
+        backwards: ``run(until=past)`` leaves it where it was.)  At
+        quiescence, or when the queue drains with no horizon, the clock
+        stays at the last processed event's time.
+        """
         if self._running:
             raise SimulationError("Simulator.run is not reentrant")
         self._running = True
         try:
             queue = self.queue
-            while True:
-                if self.quiescent():
-                    break
+            while not self.quiescent():
                 if until is not None:
                     # Peek first so a deferred event keeps its place in the
                     # (time, seq) order when the run resumes later.
                     t = queue.peek_time()
-                    if t is None:
-                        break
-                    if t > until:
-                        self.now = until
-                        break
+                    if t is None or t > until:
+                        if until > self.now:
+                            self.now = until
+                        return self.now
                 ev = queue.pop()
                 if ev is None:
                     break
@@ -94,8 +100,8 @@ class Simulator:
                         " (livelocked workload?)",
                         cycle=self.now, events=self.events_processed)
                 ev.fn(*ev.args)
-            if until is not None and self.now < until and self.quiescent():
-                pass  # stopped early at quiescence; clock stays put
+            # Quiescence (or a drained queue with no horizon): the clock
+            # stays at the last processed event's time.
             return self.now
         finally:
             self._running = False

@@ -29,7 +29,11 @@ def sweep(bench: Callable[..., RunResult],
     processes (same results, reassembled deterministically)."""
     cells = [(name, n) for name in variants for n in thread_counts]
     if jobs > 1 and len(cells) > 1:
-        if common.get("sinks"):
+        # Sinks hide in two places: the sweep-wide common kwargs and each
+        # variant's own kwargs.  Both would be silently pickled into (or
+        # fail to reach) worker processes, so both are rejected alike.
+        if common.get("sinks") or any(
+                kw.get("sinks") for kw in variants.values()):
             raise ValueError(
                 "trace sinks cannot cross process boundaries; run a traced "
                 "sweep with jobs=1")

@@ -21,9 +21,6 @@ from ..config import LeaseConfig
 from ..engine import Simulator
 from ..errors import LeaseError
 from ..trace import TraceBus
-from ..trace.events import (LeaseIgnored, LeaseNoop, LeaseProbeQueued,
-                            LeaseReleased, LeaseRequested, LeaseStarted,
-                            MultiLeaseIssued)
 from .table import LeaseEntry, LeaseGroup, LeaseTable
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -66,25 +63,25 @@ class LeaseManager:
                 "concurrent single- and multi-location leases are not "
                 "allowed (Section 4)")
         line = self.amap.line_of(addr)
-        self.trace.emit(LeaseRequested(self.core_id, line, site))
+        self.trace.lease_requested(self.core_id, line, site)
         if self._predictor_rejects(site):
             # Section 5 speculative mechanism: this site's leases keep
             # ending involuntarily, so stop honouring them (lease usage is
             # advisory; skipping is always correct).
-            self.trace.emit(LeaseIgnored(self.core_id, line, site))
+            self.trace.lease_ignored(self.core_id, line, site)
             done()
             return
         if line in self.table:
             # No extension of an already-leased address (footnote 1: this
             # could break the MAX_LEASE_TIME bound).
-            self.trace.emit(LeaseNoop(self.core_id, line))
+            self.trace.lease_noop(self.core_id, line)
             done()
             return
         duration = min(time, self.config.max_lease_time)
         if self.table.full:
             oldest = self.table.oldest()
             assert oldest is not None
-            self.trace.emit(LeaseReleased(self.core_id, oldest.line, "fifo"))
+            self.trace.lease_released(self.core_id, oldest.line, "fifo")
             self._release_entry(oldest, voluntary=True)
         entry = LeaseEntry(line, duration, site=site)
         self.table.add(entry)
@@ -144,8 +141,8 @@ class LeaseManager:
     def _start_timer(self, entry: LeaseEntry) -> None:
         assert entry.granted and not entry.started
         entry.started = True
-        self.trace.emit(LeaseStarted(self.core_id, entry.line,
-                                     entry.duration))
+        self.trace.lease_started(self.core_id, entry.line,
+                                     entry.duration)
         entry.expiry_event = self.sim.after(entry.duration,
                                             self._expire, entry)
 
@@ -161,7 +158,7 @@ class LeaseManager:
         if entry.group is not None:
             self._release_group(entry.group, voluntary=True)
         else:
-            self.trace.emit(LeaseReleased(self.core_id, line, "voluntary"))
+            self.trace.lease_released(self.core_id, line, "voluntary")
             self._release_entry(entry, voluntary=True)
         return True
 
@@ -176,8 +173,8 @@ class LeaseManager:
                 self.sim.cancel(entry.expiry_event)
                 entry.expiry_event = None
             if entry.started:
-                self.trace.emit(LeaseReleased(self.core_id, entry.line,
-                                              "voluntary"))
+                self.trace.lease_released(self.core_id, entry.line,
+                                              "voluntary")
                 self._predictor_note(entry, involuntary=False)
             self.memunit.l1.unpin(entry.line)
         for entry in entries:
@@ -208,7 +205,7 @@ class LeaseManager:
         """ZERO-COUNTER event: involuntary release."""
         if entry.dead or entry.line not in self.table:
             return
-        self.trace.emit(LeaseReleased(self.core_id, entry.line, "expired"))
+        self.trace.lease_released(self.core_id, entry.line, "expired")
         if entry.group is not None:
             self._release_group(entry.group, voluntary=False,
                                 count_involuntary=False)
@@ -229,8 +226,8 @@ class LeaseManager:
         if (not probe.requester_is_lease
                 and self.config.prioritize_regular_requests):
             # Section 5 prioritization: a regular request breaks the lease.
-            self.trace.emit(LeaseReleased(self.core_id, probe.line,
-                                          "broken"))
+            self.trace.lease_released(self.core_id, probe.line,
+                                          "broken")
             if entry.group is not None:
                 self._release_group(entry.group, voluntary=False,
                                     count_involuntary=False)
@@ -244,7 +241,7 @@ class LeaseManager:
                 f"core {self.core_id}: second probe queued on leased line "
                 f"{probe.line}")
         entry.queued_probe = probe
-        self.trace.emit(LeaseProbeQueued(self.core_id, probe.line))
+        self.trace.lease_probe_queued(self.core_id, probe.line)
         return True
 
     # ------------------------------------------------------------------
@@ -259,7 +256,7 @@ class LeaseManager:
         self.release_all()
         lines = sorted({self.amap.line_of(a) for a in addrs})
         ignored = len(lines) > self.config.max_num_leases
-        self.trace.emit(MultiLeaseIssued(self.core_id, len(lines), ignored))
+        self.trace.multilease(self.core_id, len(lines), ignored)
         if ignored:
             done()
             return
@@ -345,11 +342,11 @@ class LeaseManager:
                     entry.expiry_event = None
                 if entry.started:
                     if voluntary:
-                        self.trace.emit(LeaseReleased(
-                            self.core_id, entry.line, "voluntary"))
+                        self.trace.lease_released(
+                            self.core_id, entry.line, "voluntary")
                     elif count_involuntary:
-                        self.trace.emit(LeaseReleased(
-                            self.core_id, entry.line, "expired"))
+                        self.trace.lease_released(
+                            self.core_id, entry.line, "expired")
                 self.memunit.l1.unpin(entry.line)
                 released.append(entry)
         for entry in released:

@@ -28,7 +28,6 @@ from typing import Any, Generator
 from ..config import WORD_SIZE
 from ..core.isa import (Lease, Load, MultiLease, Release, ReleaseAll, Store,
                         TestAndSet, Work)
-from ..trace.events import StmOutcome
 from ..core.machine import Machine
 from ..core.thread import Ctx
 from ..sync.locks import SPIN_PAUSE
@@ -98,13 +97,13 @@ class TL2Objects:
             yield Lease(obj_a, self.single_lease_time)
         ok_a = yield from self._try_lock(ctx, obj_a)
         if not ok_a:
-            ctx.emit(StmOutcome(ctx.core_id, committed=False))
+            ctx.trace.stm(ctx.core_id, committed=False)
             yield from self._drop_leases(obj_a, obj_b)
             return False
         ok_b = yield from self._try_lock(ctx, obj_b)
         if not ok_b:
             yield from self._unlock(ctx, obj_a)
-            ctx.emit(StmOutcome(ctx.core_id, committed=False))
+            ctx.trace.stm(ctx.core_id, committed=False)
             yield from self._drop_leases(obj_a, obj_b)
             return False
         # Both locks held: read, compute, write, bump versions (TL2 commit).
@@ -121,7 +120,7 @@ class TL2Objects:
         yield from self._unlock(ctx, obj_b)
         yield from self._unlock(ctx, obj_a)
         yield from self._drop_leases(obj_a, obj_b)
-        ctx.emit(StmOutcome(ctx.core_id, committed=True))
+        ctx.trace.stm(ctx.core_id, committed=True)
         return True
 
     def _drop_leases(self, obj_a: int, obj_b: int) -> Generator:

@@ -22,7 +22,6 @@ from ..core.thread import Ctx
 from ..sync.locks import (CLHLock, HTicketLock, SPIN_PAUSE, TTSLock,
                           TicketLock, lease_lock_acquire,
                           lease_lock_release)
-from ..trace.events import LockAttempt, LockFailed
 
 _LOCKS = {"tts": TTSLock, "ticket": TicketLock, "clh": CLHLock,
           "hticket": HTicketLock}
@@ -75,7 +74,7 @@ class LockedCounter:
             # The site tag lets the Section 5 predictor identify (and, when
             # enabled, neutralize) this repeatedly-expiring lease site.
             yield Lease(lock_addr, site="counter.misuse_spin")
-            ctx.emit(LockAttempt(ctx.core_id))
+            ctx.trace.lock_attempt(ctx.core_id)
             v = yield Load(lock_addr)
             if v == 0:
                 old = yield TestAndSet(lock_addr)
@@ -84,7 +83,7 @@ class LockedCounter:
                     # lock, so others can observe the locked line.
                     yield Release(lock_addr)
                     break
-            ctx.emit(LockFailed(ctx.core_id))
+            ctx.trace.lock_failed(ctx.core_id)
             # BUG (deliberate): no Release on failure; spin while leasing
             # the lock line, reading our own stale exclusive copy until
             # the lease expires or is broken.

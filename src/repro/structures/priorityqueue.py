@@ -24,7 +24,6 @@ from ..core.machine import Machine
 from ..core.thread import Ctx
 from ..sync.locks import SPIN_PAUSE, TTSLock, lease_lock_acquire, \
     lease_lock_release
-from ..trace.events import LockAttempt, LockFailed
 
 NIL = 0
 MAX_HEIGHT = 5
@@ -227,13 +226,13 @@ class PughLockPQ:
     # -- per-node locks -----------------------------------------------------
 
     def _try_lock(self, ctx: Ctx, node: int) -> Generator[Any, Any, bool]:
-        ctx.emit(LockAttempt(ctx.core_id))
+        ctx.trace.lock_attempt(ctx.core_id)
         v = yield Load(node + P_LOCK_OFF)
         if v == 0:
             old = yield TestAndSet(node + P_LOCK_OFF)
             if old == 0:
                 return True
-        ctx.emit(LockFailed(ctx.core_id))
+        ctx.trace.lock_failed(ctx.core_id)
         return False
 
     def _unlock(self, ctx: Ctx, node: int) -> Generator:

@@ -23,7 +23,6 @@ from ..core.isa import (FetchAdd, Lease, Load, Release, Store, TestAndSet,
                         Work, Swap)
 from ..core.thread import Ctx
 from ..core.machine import Machine
-from ..trace.events import LockAttempt, LockFailed
 
 #: Compute cycles modeling one spin-loop iteration's instruction overhead
 #: (keeps simulated spin loops from degenerating into per-cycle polling).
@@ -37,11 +36,11 @@ class TASLock:
         self.addr = machine.alloc_var(0, label="lock.tas")
 
     def try_acquire(self, ctx: Ctx) -> Generator[Any, Any, bool]:
-        ctx.emit(LockAttempt(ctx.core_id))
+        ctx.trace.lock_attempt(ctx.core_id)
         old = yield TestAndSet(self.addr)
         if old == 0:
             return True
-        ctx.emit(LockFailed(ctx.core_id))
+        ctx.trace.lock_failed(ctx.core_id)
         return False
 
     def acquire(self, ctx: Ctx) -> Generator[Any, Any, Any]:
@@ -62,24 +61,24 @@ class TTSLock:
         self.addr = machine.alloc_var(0, label="lock.tts")
 
     def try_acquire(self, ctx: Ctx) -> Generator[Any, Any, bool]:
-        ctx.emit(LockAttempt(ctx.core_id))
+        ctx.trace.lock_attempt(ctx.core_id)
         v = yield Load(self.addr)
         if v == 0:
             old = yield TestAndSet(self.addr)
             if old == 0:
                 return True
-        ctx.emit(LockFailed(ctx.core_id))
+        ctx.trace.lock_failed(ctx.core_id)
         return False
 
     def acquire(self, ctx: Ctx) -> Generator[Any, Any, Any]:
         while True:
             v = yield Load(self.addr)
             if v == 0:
-                ctx.emit(LockAttempt(ctx.core_id))
+                ctx.trace.lock_attempt(ctx.core_id)
                 old = yield TestAndSet(self.addr)
                 if old == 0:
                     return None
-                ctx.emit(LockFailed(ctx.core_id))
+                ctx.trace.lock_failed(ctx.core_id)
             yield Work(SPIN_PAUSE)
 
     def release(self, ctx: Ctx, token: Any = None) -> Generator:
@@ -99,7 +98,7 @@ class TicketLock:
         self.backoff_step = backoff_step
 
     def acquire(self, ctx: Ctx) -> Generator[Any, Any, int]:
-        ctx.emit(LockAttempt(ctx.core_id))
+        ctx.trace.lock_attempt(ctx.core_id)
         my = yield FetchAdd(self.next_ticket, 1)
         while True:
             s = yield Load(self.now_serving)
@@ -128,7 +127,7 @@ class CLHLock:
         self.tail = machine.alloc_var(dummy)
 
     def acquire(self, ctx: Ctx) -> Generator[Any, Any, int]:
-        ctx.emit(LockAttempt(ctx.core_id))
+        ctx.trace.lock_attempt(ctx.core_id)
         my_node = ctx.alloc_cached(1, [1])
         pred = yield Swap(self.tail, my_node)
         while True:
@@ -180,7 +179,7 @@ class HTicketLock:
         return ctx.core_id // self.cluster_size
 
     def acquire(self, ctx: Ctx) -> Generator[Any, Any, tuple[int, int]]:
-        ctx.emit(LockAttempt(ctx.core_id))
+        ctx.trace.lock_attempt(ctx.core_id)
         c = self._cluster(ctx)
         my = yield FetchAdd(self.l_ticket[c], 1)
         while True:                          # local ticket queue

@@ -6,13 +6,23 @@ refactor: it folds the event stream back into the flat
 suite consume.  Because the counters are now *derived* from the same events
 a trace captures, any written trace reconciles with the run's counter
 totals by construction -- :func:`reconcile` checks exactly that.
+
+``CountersTracer`` additionally provides *fast handlers* (see
+:meth:`~repro.trace.bus.Tracer.fast_handlers`): payload-level callables
+that update the same counters by the same arithmetic without an event
+object ever being built.  When it is the only consumer of an event type --
+the default machine configuration -- the bus routes that type through
+these handlers and the per-event allocation disappears from the hot loop.
+Capture sinks (``JsonlTracer``, ``RingBufferTracer``) consume every type
+as objects, so attaching one restores the full construct-and-fan-out path;
+``ContentionHeatmap`` declares interest in just the four kinds it reads.
 """
 
 from __future__ import annotations
 
 import json
 from collections import deque
-from typing import IO, TYPE_CHECKING, Any, Callable, Mapping
+from typing import IO, TYPE_CHECKING, Any, Callable, Collection, Mapping
 
 from ..stats import Counters
 from ..stats.report import format_table
@@ -151,6 +161,132 @@ class CountersTracer(Tracer):
         if handler is not None:
             handler(event)
 
+    def interests(self) -> Collection[type]:
+        return frozenset(self._handlers)
+
+    def fast_handlers(self) -> Mapping[type, Callable[..., None]]:
+        """Payload-level counter updates, bit-identical to the event-object
+        handlers above (the test suite asserts equality across both paths).
+        Parameter names mirror each event constructor so keyword call sites
+        work on either path."""
+        k = self.counters
+        release_fields = self._release_fields
+
+        def l1_hit(core, line):
+            k.l1_hits += 1
+
+        def l1_miss(core, line):
+            k.l1_misses += 1
+
+        def l1_evicted(core, line, overflow):
+            if overflow:
+                k.l1_eviction_overflows += 1
+            else:
+                k.l1_evictions += 1
+
+        def mesi_upgrade(core, line):
+            k.mesi_silent_upgrades += 1
+
+        def l2_access(line, dram):
+            k.l2_accesses += 1
+            if dram:
+                k.dram_accesses += 1
+
+        def writeback(line):
+            k.l2_accesses += 1
+            k.writebacks += 1
+
+        def message(src, dst, msg, hops, data):
+            k.messages += 1
+            k.hops += hops
+            if data:
+                k.data_messages += 1
+
+        def req_issued(core, line, req, is_lease):
+            if req == "GetS":
+                k.gets_requests += 1
+            else:
+                k.getx_requests += 1
+
+        def req_queued(core, line, depth):
+            k.dir_queued_requests += 1
+            if depth > k.dir_max_queue_depth:
+                k.dir_max_queue_depth = depth
+
+        def probe_sent(target, line, probe):
+            if probe == "Inv":
+                k.invalidations_sent += 1
+            else:
+                k.downgrades_sent += 1
+
+        def probe_serviced(core, line, probe, stale, data):
+            if stale:
+                k.stale_probes += 1
+
+        def probe_deferred(core, line):
+            k.probes_deferred_mid_access += 1
+
+        def lease_probe_queued(core, line):
+            k.probes_queued_at_core += 1
+
+        def lease_requested(core, line, site):
+            k.leases_requested += 1
+
+        def lease_noop(core, line):
+            k.leases_noop_already_held += 1
+
+        def lease_ignored(core, line, site):
+            k.leases_ignored_by_predictor += 1
+
+        def lease_started(core, line, duration):
+            k.leases_granted += 1
+
+        def lease_released(core, line, mode):
+            f = release_fields[mode]
+            setattr(k, f, getattr(k, f) + 1)
+
+        def multilease(core, n, ignored):
+            k.multilease_calls += 1
+            if ignored:
+                k.multilease_ignored += 1
+
+        def cas(core, addr, ok):
+            k.cas_attempts += 1
+            if not ok:
+                k.cas_failures += 1
+
+        def lock_attempt(core):
+            k.lock_acquire_attempts += 1
+
+        def lock_failed(core):
+            k.lock_acquire_failures += 1
+
+        def stm(core, committed):
+            if committed:
+                k.stm_commits += 1
+            else:
+                k.stm_aborts += 1
+
+        def op_completed(core, tid=None, op=None, args=(), result=None,
+                         start=None):
+            k.note_op(core)
+
+        return {
+            ev.L1Hit: l1_hit, ev.L1Miss: l1_miss, ev.L1Evicted: l1_evicted,
+            ev.MesiUpgrade: mesi_upgrade, ev.L2Access: l2_access,
+            ev.Writeback: writeback, ev.MessageSent: message,
+            ev.ReqIssued: req_issued, ev.ReqQueued: req_queued,
+            ev.ProbeSent: probe_sent, ev.ProbeServiced: probe_serviced,
+            ev.ProbeDeferred: probe_deferred,
+            ev.LeaseProbeQueued: lease_probe_queued,
+            ev.LeaseRequested: lease_requested, ev.LeaseNoop: lease_noop,
+            ev.LeaseIgnored: lease_ignored, ev.LeaseStarted: lease_started,
+            ev.LeaseReleased: lease_released,
+            ev.MultiLeaseIssued: multilease, ev.CasOutcome: cas,
+            ev.LockAttempt: lock_attempt, ev.LockFailed: lock_failed,
+            ev.StmOutcome: stm, ev.OpCompleted: op_completed,
+        }
+
 
 class RingBufferTracer(Tracer):
     """Keeps the last ``capacity`` events in memory (bounded), while
@@ -284,6 +420,12 @@ class ContentionHeatmap(Tracer):
             self._rec(event.line).probes += 1
         elif t is ev.LeaseProbeQueued or t is ev.ProbeDeferred:
             self._rec(event.line).deferrals += 1
+
+    def interests(self) -> Collection[type]:
+        """Only the four contention kinds: every other event type stays on
+        the bus's allocation-free fast path while a heatmap is attached."""
+        return frozenset((ev.ReqQueued, ev.ProbeSent, ev.LeaseProbeQueued,
+                          ev.ProbeDeferred))
 
     def rows(self, top: int | None = None) -> list[dict[str, Any]]:
         """Hottest allocations first (by directory queueing, then probes)."""

@@ -64,9 +64,23 @@ def test_run_accepts_padded_threads(capsys):
                  "--metric", "mops_per_sec"]) == 0
 
 
-def test_run_rejects_bad_jobs(capsys):
-    assert main(["run", "fig2_stack", "--threads", "2", "--jobs", "0"]) == 2
-    assert "--jobs" in capsys.readouterr().err
+# -- --jobs validation -------------------------------------------------------
+
+@pytest.mark.parametrize("bad", ["0", "-2", "x", "1.5", ""])
+def test_run_rejects_bad_jobs(bad, capsys):
+    assert main(["run", "fig2_stack", "--threads", "2", "--jobs", bad]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("--jobs:")
+    assert err.count("\n") == 1      # exactly one line
+
+
+def test_bad_jobs_rejected_before_any_work(capsys):
+    # Validation fires before the sweep starts: even with the full
+    # default thread axis the command exits immediately.
+    assert main(["run", "fig2_stack", "--jobs", "-1"]) == 2
+    out, err = capsys.readouterr()
+    assert err == "--jobs: -1 is not a positive job count\n"
+    assert "fig2_stack:" not in out   # header never printed
 
 
 # -- parallel + save ----------------------------------------------------------

@@ -107,6 +107,53 @@ def test_property_cancellation_filters(entries):
     assert out == expected
 
 
+@given(st.lists(st.one_of(
+    st.tuples(st.just("schedule"), st.integers(0, 50)),
+    st.tuples(st.just("cancel"), st.integers(0, 200)),
+    st.tuples(st.just("pop"), st.just(0)),
+    st.tuples(st.just("peek"), st.just(0)),
+), max_size=300))
+def test_property_interleaved_ops_stay_consistent(ops):
+    """Under any interleaving of schedule/cancel/pop/peek the queue agrees
+    with a naive model: len() counts live events, heap_size never lies
+    below it, pops come out in (time, seq) order, and peek_time always
+    names the next live event's time."""
+    q = EventQueue()
+    live: dict[int, int] = {}         # seq -> time
+    pending = []                      # scheduled, not yet popped
+    for op, arg in ops:
+        if op == "schedule":
+            ev = q.schedule(arg, lambda: None)
+            pending.append(ev)
+            live[ev.seq] = arg
+        elif op == "cancel" and pending:
+            ev = pending[arg % len(pending)]
+            q.cancel(ev)              # double cancels must be no-ops...
+            live.pop(ev.seq, None)    # ...so the model only forgets once
+        elif op == "pop":
+            ev = q.pop()
+            if ev is None:
+                assert not live
+            else:
+                # The pop must be the (time, seq)-minimal live event.
+                assert (ev.time, ev.seq) == min(
+                    (t, s) for s, t in live.items())
+                del live[ev.seq]
+                pending.remove(ev)
+        elif op == "peek":
+            t = q.peek_time()
+            assert t == (min(live.values()) if live else None)
+        assert len(q) == len(live)
+        assert q.heap_size >= len(q)
+    # Drain: whatever is still live comes out in (time, seq) order.
+    drained = []
+    while (ev := q.pop()) is not None:
+        assert live.pop(ev.seq) == ev.time
+        drained.append((ev.time, ev.seq))
+    assert not live
+    assert drained == sorted(drained)
+
+
 # -- lazy-cancel compaction -------------------------------------------------
 
 def test_compaction_keeps_heap_bounded():

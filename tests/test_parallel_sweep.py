@@ -41,6 +41,24 @@ def test_sweep_rejects_sinks_with_jobs():
               sinks=[RingBufferTracer()])
 
 
+def test_sweep_rejects_sinks_hidden_in_variant_kwargs():
+    # Sinks smuggled into one variant's kwargs (not the sweep-wide common
+    # kwargs) must hit the same clear error, not a pickling failure.
+    variants = {"base": {"variant": "base"},
+                "traced": {"variant": "lease",
+                           "sinks": [RingBufferTracer()]}}
+    with pytest.raises(ValueError, match="sinks"):
+        sweep(bench_stack, variants, (2, 4), jobs=2, ops_per_thread=10)
+
+
+def test_sweep_allows_empty_sinks_with_jobs():
+    # An explicit empty/None sinks entry is harmless and must not trip
+    # the guard.
+    variants = {"base": {"variant": "base", "sinks": None}}
+    res = sweep(bench_stack, variants, (2, 4), jobs=2, ops_per_thread=10)
+    assert [r.num_threads for r in res["base"]] == [2, 4]
+
+
 def test_single_cell_sweep_stays_serial():
     # One cell: nothing to parallelize; sinks are allowed even with jobs>1.
     ring = RingBufferTracer()

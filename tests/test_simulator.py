@@ -54,6 +54,74 @@ def test_until_stops_and_preserves_pending():
     assert seen == ["a", "b"]
 
 
+def test_until_advances_clock_when_queue_drains():
+    """The queue emptying before the horizon must not strand the clock at
+    the last event: run(until=N) means 'simulate N cycles'."""
+    sim = Simulator()
+    sim.at(10, lambda: None)
+    assert sim.run(until=50) == 50
+    assert sim.now == 50
+
+
+def test_until_on_empty_queue_advances_clock():
+    sim = Simulator()
+    assert sim.run(until=30) == 30
+    assert sim.now == 30
+
+
+def test_until_in_the_past_never_moves_clock_backwards():
+    sim = Simulator()
+    sim.at(40, lambda: None)
+    sim.run()
+    assert sim.now == 40
+    assert sim.run(until=10) == 40
+    assert sim.now == 40
+
+
+def test_quiescence_beats_until_horizon():
+    """Quiescence stops the run first: the clock stays at the last
+    processed event, not the horizon."""
+    sim = Simulator()
+    done = []
+    sim.quiescent = lambda: bool(done)
+    sim.at(5, lambda: done.append(True))
+    sim.run(until=100)
+    assert sim.now == 5
+
+
+def test_deferred_event_fires_after_resume():
+    """An event beyond the horizon keeps its (time, seq) slot: scheduling
+    more work before resuming must not reorder same-time events."""
+    sim = Simulator()
+    seen = []
+    sim.at(100, lambda: seen.append("first"))
+    sim.run(until=50)
+    assert sim.now == 50 and seen == []
+    sim.at(100, lambda: seen.append("second"))
+    sim.run()
+    assert seen == ["first", "second"]
+    assert sim.now == 100
+
+
+def test_incremental_until_equals_single_run():
+    """Stepping the horizon forward in chunks processes the same events in
+    the same order as one uninterrupted run."""
+    def build():
+        sim = Simulator()
+        seen = []
+        for t in (3, 7, 7, 12, 30):
+            sim.at(t, lambda t=t: seen.append((sim.now, t)))
+        return sim, seen
+
+    sim_a, seen_a = build()
+    sim_a.run()
+    sim_b, seen_b = build()
+    for horizon in (5, 7, 10, 29, 31, 40):
+        sim_b.run(until=horizon)
+        assert sim_b.now == horizon
+    assert seen_a == seen_b
+
+
 def test_max_events_budget():
     sim = Simulator(max_events=100)
 

@@ -91,6 +91,88 @@ def test_counters_sink_rebuilds_classic_counters():
     assert k.ops_completed == 1 and k.per_core_ops == {1: 1}
 
 
+# -- the fast path ----------------------------------------------------------
+
+def test_counters_only_bus_skips_event_objects():
+    # With only fast-handler sinks attached, no type needs the object...
+    bus = TraceBus(sinks=(CountersTracer(),))
+    assert bus.fast_path_enabled
+    assert not bus.wants(ev.L1Hit)
+    assert not bus.wants(ev.MessageSent)
+    # ...yet the slots still feed the counters.
+    bus.l1_hit(0, 1)
+    bus.message(0, 3, "GetS", 2, False)
+    k = bus.sinks[0].counters
+    assert k.l1_hits == 1 and k.messages == 1 and k.hops == 2
+
+
+def test_fast_and_slow_slots_build_identical_counters():
+    def storm(bus):
+        for i in range(50):
+            bus.l1_hit(0, i)
+            bus.l1_miss(1, i)
+            bus.message(0, 1, "GetX", 3, True)
+            bus.req_queued(1, i, i % 7)
+            bus.cas(0, 64, i % 3 == 0)
+            bus.lease_released(0, i, "voluntary")
+            bus.op_completed(i % 4)
+
+    fast, slow = TraceBus(sinks=(CountersTracer(),)), \
+        TraceBus(sinks=(CountersTracer(),))
+    slow.set_fast_path(False)
+    assert slow.wants(ev.L1Hit)     # slow path constructs every object
+    storm(fast)
+    storm(slow)
+    assert fast.sinks[0].counters == slow.sinks[0].counters
+
+
+def test_object_sink_forces_slow_slot_for_its_types_only():
+    heat = ContentionHeatmap()
+    bus = TraceBus(sinks=(CountersTracer(), heat))
+    # The heatmap wants objects for its four kinds; everything else stays
+    # on the allocation-free path.
+    assert bus.wants(ev.ReqQueued) and bus.wants(ev.ProbeDeferred)
+    assert not bus.wants(ev.L1Hit) and not bus.wants(ev.MessageSent)
+    # Through the slow slot both sinks still see the event exactly once.
+    bus.req_queued(1, 2, 5)
+    assert bus.sinks[0].counters.dir_queued_requests == 1
+    (row,) = heat.rows()
+    assert row["dir_queued"] == 1 and row["max_queue_depth"] == 5
+    bus.detach(heat)
+    assert not bus.wants(ev.ReqQueued)
+
+
+def test_ring_buffer_keeps_every_type_on_slow_path():
+    ring = RingBufferTracer()
+    bus = TraceBus(clock=lambda: 42, sinks=(ring,))
+    # interests() is None -> all types delivered as objects, clock-stamped.
+    assert bus.wants(ev.L1Hit) and bus.wants(ev.CasOutcome)
+    bus.l1_hit(0, 9)
+    (e,) = ring.events()
+    assert isinstance(e, ev.L1Hit) and e.t == 42 and e.line == 9
+
+
+def test_run_result_identical_across_fast_path_toggle():
+    def run(fast):
+        from repro.structures import LockedCounter
+        m = Machine(MachineConfig(num_cores=4))
+        m.trace.set_fast_path(fast)
+        counter = LockedCounter(m, lock="tts")
+        for _ in range(4):
+            m.add_thread(counter.update_worker, 20)
+        m.run()
+        return m.result("c")
+
+    assert run(True) == run(False)
+
+
+def test_every_event_kind_has_a_bus_slot():
+    from repro.trace.bus import EVENT_TYPES
+    bus = TraceBus()
+    for cls in EVENT_TYPES:
+        assert callable(getattr(bus, cls.kind)), cls
+
+
 # -- observation does not perturb the run -----------------------------------
 
 def _run_stack(sinks):
