@@ -34,6 +34,7 @@ from .core import (CAS, Ctx, Fence, FetchAdd, Lease, Load, Machine,
                    ThreadHandle, Work)
 from .errors import (AllocationError, ConfigError, LeaseError, ProtocolError,
                      ReproError, SimulationError, SimulationTimeout)
+from .faults import FaultPlan, FaultSpec, build_plan, parse_fault_spec
 from .stats import Counters, EnergyModel, RunResult
 from .trace import (ContentionHeatmap, CountersTracer, InvariantTracer,
                     JsonlTracer, NullTracer, RingBufferTracer, TraceBus,
@@ -53,5 +54,6 @@ __all__ = [
     "InvariantTracer",
     "ReproError", "ConfigError", "SimulationError", "SimulationTimeout",
     "ProtocolError", "LeaseError", "AllocationError",
+    "FaultSpec", "FaultPlan", "parse_fault_spec", "build_plan",
     "__version__",
 ]

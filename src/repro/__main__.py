@@ -30,6 +30,11 @@ Commands:
 
 ``run`` and ``trace`` accept a global ``--seed N`` that reseeds the
 simulated machine (and thereby every workload RNG) for the whole sweep.
+``run``/``trace``/``check``/``bench`` accept ``--faults SPEC``, a
+semicolon-separated fault-injection spec (see :mod:`repro.faults`), e.g.
+``"net_jitter:p=0.01,max=200;dir_nack:p=0.005;timer_skew:±8"``.  Faults
+are deterministic per seed: the same seed + spec replays byte-identically,
+serial or under ``--jobs``.
 
 Examples::
 
@@ -37,8 +42,10 @@ Examples::
     python -m repro run fig2_stack --threads 2,8,32
     python -m repro run fig2_stack --jobs 4 --save stack.json --seed 7
     python -m repro run fig4_tl2 --metric nj_per_op
+    python -m repro run fig2_stack --faults "dir_nack:p=0.01" --seed 7
     python -m repro trace fig2_stack --threads 4 --heatmap
     python -m repro check treiber --budget 200 --seed 7
+    python -m repro check treiber --budget 50 --faults "timer_skew:±8"
     python -m repro check replay repro.treiber.json
     python -m repro bench --quick --baseline benchmarks/baseline.json
     python -m repro bench trace_fastpath --profile
@@ -103,6 +110,30 @@ def _parse_seed(spec: str) -> int:
     return n
 
 
+def _parse_metric(spec: str, *, allow_all: bool = True) -> str:
+    """Validate a ``--metric`` name against the RunResult metrics."""
+    from .harness.runner import valid_metrics
+
+    choices = (("all",) if allow_all else ()) + valid_metrics()
+    if spec not in choices:
+        raise _CliError(f"--metric: unknown metric {spec!r} "
+                        f"(choose from: {', '.join(choices)})")
+    return spec
+
+
+def _parse_faults(spec: str) -> str:
+    """Validate a ``--faults`` spec string (grammar only; per-machine
+    range checks like slow-core ids happen in MachineConfig.validate)."""
+    from .errors import ConfigError
+    from .faults import parse_fault_spec
+
+    try:
+        parse_fault_spec(spec)
+    except ConfigError as err:
+        raise _CliError(f"--faults: {err}") from None
+    return spec
+
+
 def _get_experiment(exp_id: str):
     if exp_id not in EXPERIMENTS:
         raise _CliError(f"unknown experiment {exp_id!r}; "
@@ -122,9 +153,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     exp = _get_experiment(args.experiment)
     threads = _parse_threads(args.threads)
     jobs = _parse_jobs(args.jobs)
+    metric = _parse_metric(args.metric)
     overrides = {}
     if args.seed is not None:
         overrides["seed"] = _parse_seed(args.seed)
+    if args.faults:
+        overrides["faults"] = _parse_faults(args.faults)
     if args.invariants:
         if jobs > 1:
             raise _CliError("--invariants requires --jobs 1 (trace sinks "
@@ -133,11 +167,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"{exp.id}: {exp.title}")
     res = run_experiment(args.experiment, thread_counts=threads,
                          jobs=jobs, **overrides)
-    for metric, label in (("mops_per_sec", "throughput (Mops/s)"),
-                          ("nj_per_op", "energy (nJ/op)")):
-        if args.metric in ("all", metric):
-            print(f"\n-- {label} --")
-            print(series_table(res, metric=metric))
+    labels = {"mops_per_sec": "throughput (Mops/s)",
+              "nj_per_op": "energy (nJ/op)"}
+    shown = (tuple(labels) if metric == "all" else (metric,))
+    for m in shown:
+        print(f"\n-- {labels.get(m, m)} --")
+        print(series_table(res, metric=m))
     if args.invariants:
         checker = overrides["sinks"][0]
         print(f"\ninvariants: OK ({checker.checks_run} checks)")
@@ -162,6 +197,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     exp = _get_experiment(args.experiment)
     threads = _parse_threads(args.threads)
     seed = _parse_seed(args.seed) if args.seed is not None else None
+    faults = _parse_faults(args.faults) if args.faults else None
     out_path = args.out or f"{args.experiment}.trace.jsonl"
     sinks = [JsonlTracer(out_path, max_events=args.limit)]
     jsonl = sinks[0]
@@ -178,9 +214,13 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                 jsonl.annotate(variant=name, threads=n)
                 before = dict(jsonl.counts)
                 merged = {**exp.common, **kw, "sinks": sinks}
-                if seed is not None:
-                    merged["config"] = dataclasses.replace(
-                        merged.get("config") or MachineConfig(), seed=seed)
+                if seed is not None or faults is not None:
+                    base = merged.get("config") or MachineConfig()
+                    if seed is not None:
+                        base = dataclasses.replace(base, seed=seed)
+                    if faults is not None:
+                        base = dataclasses.replace(base, fault_spec=faults)
+                    merged["config"] = base
                 res = exp.bench(n, **merged)
                 delta = {k: v - before.get(k, 0)
                          for k, v in jsonl.counts.items()}
@@ -217,6 +257,9 @@ def _cmd_check(args: argparse.Namespace) -> int:
         if not args.repro:
             raise _CliError("check replay: missing repro file "
                             "(usage: python -m repro check replay FILE)")
+        if args.faults:
+            raise _CliError("check replay: --faults is recorded in the "
+                            "repro file; it cannot be overridden on replay")
         try:
             repro = load_repro(args.repro)
         except (OSError, ValueError, ReproError) as err:
@@ -237,9 +280,13 @@ def _cmd_check(args: argparse.Namespace) -> int:
     if args.budget < 1:
         raise _CliError(f"--budget: {args.budget} is not a positive "
                         "schedule count")
+    faults = _parse_faults(args.faults) if args.faults else ""
+    if faults:
+        print(f"fault campaign: {faults}")
     try:
         report = run_campaign(args.target, budget=args.budget, seed=seed,
                               shrink=not args.no_shrink,
+                              fault_spec=faults,
                               progress=lambda msg: print(f"  {msg}"))
     except ReproError as err:
         raise _CliError(str(err)) from None
@@ -271,8 +318,10 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from . import bench
+    from .errors import ConfigError
 
     jobs = _parse_jobs(args.jobs)
+    fault_spec = _parse_faults(args.faults) if args.faults else ""
     if args.repeats < 1:
         raise _CliError(f"--repeats: {args.repeats} is not a positive "
                         "repeat count")
@@ -294,10 +343,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             raise _CliError(f"--baseline: {err}") from None
 
     mode = "quick" if args.quick else "full"
-    print(f"bench ({mode}, repeats={args.repeats}, jobs={jobs}): "
+    extras = f", faults={fault_spec!r}" if fault_spec else ""
+    print(f"bench ({mode}, repeats={args.repeats}, jobs={jobs}{extras}): "
           f"{', '.join(names)}")
-    results = bench.run_many(names, quick=args.quick, jobs=jobs,
-                             repeats=args.repeats)
+    try:
+        results = bench.run_many(names, quick=args.quick, jobs=jobs,
+                                 repeats=args.repeats,
+                                 fault_spec=fault_spec)
+    except ConfigError as err:
+        raise _CliError(f"bench: {err}") from None
     for name in names:
         print("  " + bench.record_summary_line(results[name]))
     paths = bench.write_results(results, args.out_dir)
@@ -360,8 +414,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--threads", default=",".join(map(str, PAPER_THREAD_COUNTS)),
         help="comma-separated thread counts (default: the paper's axis)")
-    run_p.add_argument("--metric", default="all",
-                       choices=["all", "mops_per_sec", "nj_per_op"])
+    run_p.add_argument("--metric", default="all", metavar="METRIC",
+                       help="'all' or any numeric RunResult metric "
+                            "(mops_per_sec, nj_per_op, messages_per_op, "
+                            "...); validated against the full list")
     run_p.add_argument("--jobs", default="1", metavar="N",
                        help="run sweep cells on N worker processes")
     run_p.add_argument("--save", metavar="OUT.json",
@@ -372,6 +428,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--seed", default=None, metavar="N",
                        help="reseed the simulated machine for the whole "
                             "sweep (default: the config's seed)")
+    run_p.add_argument("--faults", default=None, metavar="SPEC",
+                       help="fault-injection spec, e.g. "
+                            "'net_jitter:p=0.01,max=200;dir_nack:p=0.005' "
+                            "(deterministic per seed)")
 
     trace_p = sub.add_parser(
         "trace", help="run one experiment with the JSONL event tracer")
@@ -391,6 +451,9 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--seed", default=None, metavar="N",
                          help="reseed the simulated machine (default: the "
                               "config's seed)")
+    trace_p.add_argument("--faults", default=None, metavar="SPEC",
+                         help="fault-injection spec; fault events appear "
+                              "in the JSONL stream")
 
     check_p = sub.add_parser(
         "check", help="fuzz schedules and check linearizability + lease "
@@ -412,6 +475,10 @@ def build_parser() -> argparse.ArgumentParser:
     check_p.add_argument("--save", metavar="REPRO.json", default=None,
                          help="where to write the repro on failure "
                               "(default: repro.<target>.json)")
+    check_p.add_argument("--faults", default=None, metavar="SPEC",
+                         help="fuzz schedules under this fault spec; the "
+                              "spec is recorded in repro files so replay "
+                              "reproduces the same faults")
 
     bench_p = sub.add_parser(
         "bench", help="time the simulator's hot loops; gate against a "
@@ -443,6 +510,10 @@ def build_parser() -> argparse.ArgumentParser:
                          default=None,
                          help="bundle this run's records into a new "
                               "baseline file")
+    bench_p.add_argument("--faults", default=None, metavar="SPEC",
+                         help="run the machine-building targets under "
+                              "this fault spec (don't gate faulty runs "
+                              "against a fault-free baseline)")
     return parser
 
 

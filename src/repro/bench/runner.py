@@ -85,20 +85,25 @@ def machine_fingerprint() -> dict:
     return {**info, "id": digest}
 
 
-def run_target(name: str, *, quick: bool = False, repeats: int = 3) -> dict:
-    """Run one bench target through the full protocol; returns its record."""
+def run_target(name: str, *, quick: bool = False, repeats: int = 3,
+               fault_spec: str = "") -> dict:
+    """Run one bench target through the full protocol; returns its record.
+
+    ``fault_spec`` threads a fault-injection spec into the machine-building
+    targets (pure-scheduler targets ignore it); faulty records carry the
+    spec so they are never mistaken for clean baselines."""
     target = TARGETS[name]
     best_wall = float("inf")
     report: dict = {}
     for _ in range(max(1, repeats)):
         t0 = time.perf_counter()
-        report = target.fn(quick)
+        report = target.fn(quick, fault_spec)
         wall = report.get("wall_seconds", time.perf_counter() - t0)
         best_wall = min(best_wall, wall)
 
     tracemalloc.start()
     try:
-        target.fn(quick)
+        target.fn(quick, fault_spec)
         _, peak_heap = tracemalloc.get_traced_memory()
     finally:
         tracemalloc.stop()
@@ -122,18 +127,21 @@ def run_target(name: str, *, quick: bool = False, repeats: int = 3) -> dict:
         "peak_heap_bytes": peak_heap,
         "calibration_ops_per_sec": round(calib, 1),
         "score": round(ops_per_sec / calib, 6) if calib else 0.0,
+        "fault_spec": fault_spec,
         "extra": report.get("extra", {}),
         "machine": machine_fingerprint(),
     }
 
 
-def _run_target_worker(name: str, quick: bool, repeats: int) -> dict:
+def _run_target_worker(name: str, quick: bool, repeats: int,
+                       fault_spec: str) -> dict:
     """Module-level wrapper so parallel runs pickle cleanly."""
-    return run_target(name, quick=quick, repeats=repeats)
+    return run_target(name, quick=quick, repeats=repeats,
+                      fault_spec=fault_spec)
 
 
 def run_many(names: Sequence[str], *, quick: bool = False, jobs: int = 1,
-             repeats: int = 3) -> dict[str, dict]:
+             repeats: int = 3, fault_spec: str = "") -> dict[str, dict]:
     """Run several targets, optionally on worker processes.
 
     Note ``jobs > 1`` trades timing fidelity for wall-clock: concurrent
@@ -147,11 +155,13 @@ def run_many(names: Sequence[str], *, quick: bool = False, jobs: int = 1,
         from concurrent.futures import ProcessPoolExecutor
 
         with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as ex:
-            futs = [ex.submit(_run_target_worker, n, quick, repeats)
+            futs = [ex.submit(_run_target_worker, n, quick, repeats,
+                              fault_spec)
                     for n in names]
             records = [f.result() for f in futs]
     else:
-        records = [run_target(n, quick=quick, repeats=repeats)
+        records = [run_target(n, quick=quick, repeats=repeats,
+                              fault_spec=fault_spec)
                    for n in names]
     return {name: rec for name, rec in zip(names, records)}
 

@@ -1,7 +1,8 @@
 """The microbenchmark targets: one per simulator hot loop.
 
-Each target is a plain function ``fn(quick: bool) -> dict`` that performs
-one complete iteration of its workload and reports::
+Each target is a plain function ``fn(quick: bool, fault_spec: str = "")
+-> dict`` that performs one complete iteration of its workload and
+reports::
 
     {"ops": <units of work>,            # denominator of ops/sec
      "events": <simulator events> | None,
@@ -23,7 +24,14 @@ Targets cover the loops that dominate figure-reproduction wall-clock:
 * ``sweep_cell``       -- one full fig2-style sweep cell (both variants),
   the unit every figure reproduction multiplies;
 * ``trace_fastpath``   -- the counters-only emit hot loop, fast vs slow
-  path, asserting bit-identical counters and ``RunResult``.
+  path, asserting bit-identical counters and ``RunResult``;
+* ``fault_degradation`` -- contended Treiber stack throughput under an
+  escalating fault-rate grid, reporting simulated-throughput degradation
+  relative to the fault-free run.
+
+``fault_spec`` threads a :mod:`repro.faults` spec into the targets that
+build a machine; the pure-scheduler targets (``event_queue``,
+``trace_fastpath``) accept and ignore it.
 """
 
 from __future__ import annotations
@@ -37,8 +45,9 @@ from ..core.machine import Machine
 from ..engine.event_queue import EventQueue
 
 
-def _lease_config(num_cores: int, **lease_kw: Any) -> MachineConfig:
-    cfg = MachineConfig(num_cores=num_cores)
+def _lease_config(num_cores: int, fault_spec: str = "",
+                  **lease_kw: Any) -> MachineConfig:
+    cfg = MachineConfig(num_cores=num_cores, fault_spec=fault_spec)
     return replace(cfg, lease=replace(cfg.lease, enabled=True, **lease_kw))
 
 
@@ -46,9 +55,10 @@ def _lease_config(num_cores: int, **lease_kw: Any) -> MachineConfig:
 # Raw event-queue churn
 # ---------------------------------------------------------------------------
 
-def bench_event_queue(quick: bool) -> dict:
+def bench_event_queue(quick: bool, fault_spec: str = "") -> dict:
     """Schedule/cancel/pop/peek churn on a bare :class:`EventQueue` --
-    no machine, pure scheduler cost (``__lt__``, heap ops, compaction)."""
+    no machine, pure scheduler cost (``__lt__``, heap ops, compaction).
+    No machine, so ``fault_spec`` is ignored."""
     n = 30_000 if quick else 150_000
     q = EventQueue()
     fn = lambda: None  # noqa: E731 - payload is irrelevant here
@@ -78,14 +88,14 @@ def bench_event_queue(quick: bool) -> dict:
 # Coherence message storm
 # ---------------------------------------------------------------------------
 
-def bench_coherence_storm(quick: bool) -> dict:
+def bench_coherence_storm(quick: bool, fault_spec: str = "") -> dict:
     """Every core stores to the same line in a tight loop: maximal
     invalidation + directory-queue traffic (the paper's worst case)."""
     from ..core.isa import Store
 
     cores = 4 if quick else 8
     rounds = 150 if quick else 300
-    m = Machine(MachineConfig(num_cores=cores))
+    m = Machine(MachineConfig(num_cores=cores, fault_spec=fault_spec))
     addr = m.alloc_var(0, label="storm.line")
 
     def body(ctx):
@@ -105,14 +115,14 @@ def bench_coherence_storm(quick: bool) -> dict:
 # Contended structure runs
 # ---------------------------------------------------------------------------
 
-def bench_treiber(quick: bool) -> dict:
+def bench_treiber(quick: bool, fault_spec: str = "") -> dict:
     """The paper's headline workload: a contended lease-enabled Treiber
     stack at high thread count."""
     from ..structures import TreiberStack
 
     threads = 8 if quick else 16
     ops_per_thread = 25 if quick else 60
-    m = Machine(_lease_config(threads))
+    m = Machine(_lease_config(threads, fault_spec))
     stack = TreiberStack(m)
     stack.prefill(range(128))
     for _ in range(threads):
@@ -124,14 +134,14 @@ def bench_treiber(quick: bool) -> dict:
                       "messages_per_op": round(res.messages_per_op, 2)}}
 
 
-def bench_counter_lock(quick: bool) -> dict:
+def bench_counter_lock(quick: bool, fault_spec: str = "") -> dict:
     """The contended TTS+lease lock-based counter (Figure 3a's biggest
     winner -- and the densest emit stream per simulated cycle)."""
     from ..structures import LockedCounter
 
     threads = 8 if quick else 16
     ops_per_thread = 25 if quick else 60
-    m = Machine(_lease_config(threads))
+    m = Machine(_lease_config(threads, fault_spec))
     counter = LockedCounter(m, lock="tts")
     for _ in range(threads):
         m.add_thread(counter.update_worker, ops_per_thread)
@@ -141,7 +151,7 @@ def bench_counter_lock(quick: bool) -> dict:
             "extra": {"cycles": res.cycles}}
 
 
-def bench_sweep_cell(quick: bool) -> dict:
+def bench_sweep_cell(quick: bool, fault_spec: str = "") -> dict:
     """One full fig2-style sweep cell (base + lease variants at one thread
     count) through the real harness path -- the unit of work every figure
     reproduction repeats dozens of times."""
@@ -150,12 +160,70 @@ def bench_sweep_cell(quick: bool) -> dict:
 
     threads = 4 if quick else 8
     ops_per_thread = 15 if quick else 40
+    common: dict[str, Any] = {"ops_per_thread": ops_per_thread}
+    if fault_spec:
+        common["config"] = replace(MachineConfig(), fault_spec=fault_spec)
     res = sweep(bench_stack,
                 {"base": {"variant": "base"}, "lease": {"variant": "lease"}},
-                (threads,), ops_per_thread=ops_per_thread)
+                (threads,), **common)
     total_ops = sum(r.ops for series in res.values() for r in series)
     return {"ops": total_ops, "events": None,
             "extra": {"variants": len(res), "threads": threads}}
+
+
+# ---------------------------------------------------------------------------
+# Throughput degradation vs fault rate
+# ---------------------------------------------------------------------------
+
+#: Escalating fault-rate grid for the degradation curve.  The first row is
+#: the fault-free baseline every other row is normalized against.
+_DEGRADATION_GRID: tuple[tuple[str, str], ...] = (
+    ("none", ""),
+    ("mild", "net_jitter:p=0.01,max=60;dir_nack:p=0.005"),
+    ("heavy", "net_jitter:p=0.05,max=200;dir_nack:p=0.02;timer_skew:8"),
+    ("hostile", "net_jitter:p=0.10,max=400;dir_nack:p=0.05;timer_skew:16;"
+                "slow_core:0@4x"),
+)
+
+
+def bench_fault_degradation(quick: bool, fault_spec: str = "") -> dict:
+    """Contended Treiber stack across an escalating fault-rate grid.
+
+    Reports each rung's *simulated* throughput relative to the fault-free
+    run (``<label>_relative`` in ``extra``) plus the fault counters of the
+    harshest rung -- the ISSUE's "throughput degradation vs fault rate"
+    curve in one record.  A caller-supplied ``fault_spec`` is appended as
+    an extra ``cli`` rung rather than replacing the grid.
+    """
+    from ..structures import TreiberStack
+
+    threads = 4 if quick else 8
+    ops_per_thread = 15 if quick else 40
+    grid = list(_DEGRADATION_GRID)
+    if fault_spec:
+        grid.append(("cli", fault_spec))
+    total_ops = 0
+    events = 0
+    base_tput = None
+    extra: dict[str, Any] = {}
+    for label, spec in grid:
+        m = Machine(replace(_lease_config(threads), fault_spec=spec))
+        stack = TreiberStack(m)
+        stack.prefill(range(128))
+        for _ in range(threads):
+            m.add_thread(stack.update_worker, ops_per_thread)
+        m.run()
+        res = m.result("treiber")
+        total_ops += res.ops
+        events += m.sim.events_processed
+        tput = res.throughput_ops_per_sec
+        if base_tput is None:
+            base_tput = tput
+        extra[f"{label}_relative"] = (round(tput / base_tput, 3)
+                                      if base_tput else 0.0)
+        extra[f"{label}_faults"] = (m.counters.faults_injected
+                                    + m.counters.dir_nacks)
+    return {"ops": total_ops, "events": events, "extra": extra}
 
 
 # ---------------------------------------------------------------------------
@@ -197,8 +265,10 @@ def _counter_run_result(fast: bool):
     return m.result("counter")
 
 
-def bench_trace_fastpath(quick: bool) -> dict:
+def bench_trace_fastpath(quick: bool, fault_spec: str = "") -> dict:
     """Fast vs slow emit path on the counters-only hot loop (self-timed).
+    Pure emit-path A/B with a fixed fault-free machine run, so
+    ``fault_spec`` is ignored.
 
     Asserts the two paths are bit-identical -- equal :class:`Counters`
     from the raw emit storm AND equal :class:`RunResult` from a real
@@ -246,7 +316,7 @@ def bench_trace_fastpath(quick: bool) -> dict:
 class BenchTarget:
     name: str
     title: str
-    fn: Callable[[bool], dict]
+    fn: Callable[..., dict]  # (quick: bool, fault_spec: str = "") -> dict
 
 
 TARGETS: dict[str, BenchTarget] = {
@@ -263,5 +333,7 @@ TARGETS: dict[str, BenchTarget] = {
                     "lease)", bench_sweep_cell),
         BenchTarget("trace_fastpath", "counters-only emit hot loop, fast "
                     "vs slow path", bench_trace_fastpath),
+        BenchTarget("fault_degradation", "Treiber throughput vs "
+                    "escalating fault rate", bench_fault_degradation),
     )
 }

@@ -356,15 +356,20 @@ class CampaignReport:
 
 def run_campaign(target_name: str, *, budget: int = 100, seed: int = 1,
                  shrink: bool = True, shrink_runs: int = 160,
+                 fault_spec: str = "",
                  progress: Callable[[str], None] | None = None
                  ) -> CampaignReport:
     """Explore ``budget`` schedules of ``target_name``; stop at the first
-    failure (shrinking it to a minimal replayable repro)."""
+    failure (shrinking it to a minimal replayable repro).  ``fault_spec``
+    (see :mod:`repro.faults`) fuzzes the schedules *under faults*: every
+    machine runs with the seeded fault plan installed, and the same
+    linearizability + property checks must still hold."""
     target = resolve_target(target_name)
     report = CampaignReport(target=target.name, seed=seed, budget=budget)
     for i in range(budget):
         variant, base_cfg = target.configs[i % len(target.configs)]
-        cfg = replace(base_cfg, seed=_machine_seed(seed, i))
+        cfg = replace(base_cfg, seed=_machine_seed(seed, i),
+                      fault_spec=fault_spec)
         out = run_once(target, variant, cfg, _strategy_for(seed, i))
         report.schedules_run += 1
         report.histories_checked += 1
@@ -397,6 +402,7 @@ def run_campaign(target_name: str, *, budget: int = 100, seed: int = 1,
             "campaign_seed": seed,
             "schedule_index": i,
             "machine_seed": cfg.seed,
+            "fault_spec": fault_spec,
             "strategy": out.strategy,
             "decisions": {str(k): v for k, v in sorted(decisions.items())},
             "failure": {"kind": report.failure.kind,
@@ -423,7 +429,8 @@ def replay_repro(repro: dict) -> RunOutcome:
     deterministically and return the outcome of the checks."""
     target = resolve_target(repro["target"])
     cfg = replace(target.config_for(repro["variant"]),
-                  seed=int(repro["machine_seed"]))
+                  seed=int(repro["machine_seed"]),
+                  fault_spec=repro.get("fault_spec", ""))
     decisions = {int(k): int(v)
                  for k, v in repro.get("decisions", {}).items()}
     return run_once(target, repro["variant"], cfg,

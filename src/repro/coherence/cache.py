@@ -30,7 +30,11 @@ class L1Cache:
         self._sets: list[OrderedDict[int, LineState]] = [
             OrderedDict() for _ in range(num_sets)
         ]
-        self._pinned: set[int] = set()
+        # line -> pin refcount.  A line may be pinned more than once (a
+        # granted lease AND a queued probe each hold a reference); the
+        # refcount catches unbalanced unpins that a plain set would
+        # silently absorb.
+        self._pinned: dict[int, int] = {}
         self.trace = trace
         self.core_id = core_id
 
@@ -54,13 +58,30 @@ class L1Cache:
     # -- pinning (leases) -----------------------------------------------------
 
     def pin(self, line: int) -> None:
-        self._pinned.add(line)
+        """Take one pin reference on ``line`` (lease grant, queued probe)."""
+        self._pinned[line] = self._pinned.get(line, 0) + 1
 
     def unpin(self, line: int) -> None:
-        self._pinned.discard(line)
+        """Drop one pin reference; underflow is a protocol bug, not a
+        no-op (it would mean some release path double-counted)."""
+        n = self._pinned.get(line, 0)
+        if n <= 0:
+            raise ProtocolError(
+                f"core {self.core_id}: unpin underflow on line {line}")
+        if n == 1:
+            del self._pinned[line]
+        else:
+            self._pinned[line] = n - 1
 
     def is_pinned(self, line: int) -> bool:
         return line in self._pinned
+
+    def pin_count(self, line: int) -> int:
+        return self._pinned.get(line, 0)
+
+    def pinned_lines(self) -> dict[int, int]:
+        """Copy of the line -> refcount map (invariant checker)."""
+        return dict(self._pinned)
 
     # -- mutation -------------------------------------------------------------
 
@@ -74,9 +95,11 @@ class L1Cache:
         s[line] = state
 
     def invalidate(self, line: int) -> None:
-        """Drop a line (probe-induced; not an eviction)."""
+        """Drop a line (probe-induced; not an eviction).  Clears every
+        pin reference: invalidation only reaches a pinned line once the
+        lease machinery has let the probe through."""
         self._set_of(line).pop(line, None)
-        self._pinned.discard(line)
+        self._pinned.pop(line, None)
 
     def fill(self, line: int, state: LineState
              ) -> tuple[int, LineState] | None:

@@ -51,7 +51,7 @@ class Request:
     """One coherence request from a core, queued per line at the directory."""
 
     __slots__ = ("kind", "line", "core_id", "is_lease", "callback",
-                 "had_shared", "probe_carried_data")
+                 "had_shared", "probe_carried_data", "attempts")
 
     def __init__(self, kind: MessageKind, line: int, core_id: int,
                  is_lease: bool, callback: Callable[[], None]) -> None:
@@ -64,6 +64,8 @@ class Request:
         self.had_shared = False
         #: The owner's probe reply carried dirty data (writeback needed).
         self.probe_carried_data = False
+        #: Times this request was NACKed by fault injection (see _arrive).
+        self.attempts = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<Req {self.kind.value} line={self.line} core={self.core_id}"
@@ -97,7 +99,7 @@ class Directory:
 
     def __init__(self, amap: AddressMap, network: MeshNetwork,
                  l2: SharedL2, sim: Simulator, trace: TraceBus,
-                 *, mesi: bool = False) -> None:
+                 *, mesi: bool = False, faults=None) -> None:
         self.amap = amap
         self.network = network
         self.l2 = l2
@@ -105,6 +107,9 @@ class Directory:
         self.trace = trace
         #: Grant exclusive-clean (E) on read misses to uncached lines.
         self.mesi = mesi
+        #: Optional :class:`~repro.faults.FaultPlan`; when set, arriving
+        #: requests may be NACKed and retried with exponential backoff.
+        self.faults = faults
         self.entries: dict[int, DirEntry] = {}
         #: Wired by the Machine after cores are built.
         self.mem_units: list["MemUnit"] = []
@@ -133,12 +138,32 @@ class Directory:
         self.network.send(core_id, home, kind, self._arrive, ev)
 
     def _arrive(self, req) -> None:
+        # Fault injection: NACK the arrival before it touches the entry
+        # (so no directory state needs undoing).  Evictions are never
+        # NACKed -- they carry no response path to retry from.
+        if self.faults is not None and not isinstance(req, _Eviction) \
+                and self.faults.should_nack(req.attempts):
+            req.attempts += 1
+            self.trace.dir_nack(req.core_id, req.line, req.attempts)
+            delay = self.faults.retry_delay(req.attempts)
+            self.trace.retry_scheduled(req.core_id, req.line,
+                                       req.attempts, delay)
+            home = self.amap.home_tile(req.line)
+            self.network.send(home, req.core_id, MessageKind.NACK,
+                              self._retry_after, req, delay)
+            return
         e = self._entry(req.line)
         if e.busy:
             e.queue.append(req)
             self.trace.req_queued(req.core_id, req.line, len(e.queue))
             return
         self._start(req)
+
+    def _retry_after(self, req: Request, delay: int) -> None:
+        """NACK arrived back at the requesting core: back off, re-issue.
+        The *same* Request object travels again, so the MemUnit's
+        outstanding-access bookkeeping still matches on completion."""
+        self.sim.after(delay, self.issue, req)
 
     def _start(self, req) -> None:
         e = self._entry(req.line)

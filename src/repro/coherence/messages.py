@@ -16,6 +16,7 @@ class MessageKind(Enum):
     DATA = "Data"          # dir -> core: grant with line payload
     PUTM = "PutM"          # core -> dir: dirty eviction (writeback)
     PUTS = "PutS"          # core -> dir: clean shared eviction notice
+    NACK = "Nack"          # dir -> core: retry later (fault injection)
 
     #: Kinds that carry a cache-line data payload.
     @property

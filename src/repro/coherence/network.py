@@ -22,11 +22,14 @@ class MeshNetwork:
     """Computes message latencies, traces traffic, and schedules delivery."""
 
     def __init__(self, config: NetworkConfig, num_tiles: int,
-                 sim: Simulator, trace: TraceBus) -> None:
+                 sim: Simulator, trace: TraceBus, faults=None) -> None:
         self.config = config
         self.num_tiles = num_tiles
         self.sim = sim
         self.trace = trace
+        #: Optional :class:`~repro.faults.FaultPlan`; when set, each send
+        #: may suffer extra (seeded) latency at the hop-latency point.
+        self.faults = faults
         self.dim = 1
         while self.dim * self.dim < num_tiles:
             self.dim += 1
@@ -58,7 +61,13 @@ class MeshNetwork:
              fn: Callable[..., Any], *args: Any) -> None:
         """Trace one ``kind`` message from tile ``src`` to ``dst`` and
         schedule ``fn(*args)`` at its delivery time."""
+        lat = self.latency(src, dst, kind)
+        if self.faults is not None:
+            extra = self.faults.net_extra()
+            if extra:
+                lat += extra
+                self.trace.fault_injected("net_jitter", dst, extra)
         self.trace.message(src, dst, kind.value,
                                     self._hops[src][dst],
                                     kind.carries_data)
-        self.sim.after(self.latency(src, dst, kind), fn, *args)
+        self.sim.after(lat, fn, *args)

@@ -171,6 +171,13 @@ class MachineConfig:
     #: Deterministic seed for all randomness in the machine and workloads.
     seed: int = 1
 
+    #: Fault-injection spec (see :mod:`repro.faults`), e.g.
+    #: ``"net_jitter:p=0.01,max=200;dir_nack:p=0.005"``.  Empty string =
+    #: no fault plan installed; behaviour is bit-identical to a build
+    #: without the fault subsystem.  Kept as the raw string (not a parsed
+    #: object) so configs stay picklable across ``--jobs`` workers.
+    fault_spec: str = ""
+
     #: Safety budgets: the simulation aborts with SimulationTimeout when
     #: either is exceeded (catches livelocked workloads).
     max_cycles: int = 2_000_000_000
@@ -196,6 +203,16 @@ class MachineConfig:
             raise ConfigError("L1 size must be divisible by assoc*line_size")
         if self.protocol not in ("msi", "mesi"):
             raise ConfigError(f"unknown protocol {self.protocol!r}")
+        if self.fault_spec:
+            # Lazy import: faults depends on errors/sync only, but config
+            # must stay importable first.
+            from .faults.spec import parse_fault_spec
+            spec = parse_fault_spec(self.fault_spec)
+            for core, _mult in spec.slow_cores:
+                if core >= self.num_cores:
+                    raise ConfigError(
+                        f"fault spec: slow_core {core} out of range for "
+                        f"{self.num_cores} cores")
         self.lease.validate()
         self.network.validate()
         self.energy.validate()

@@ -37,11 +37,16 @@ class Core:
                                machine.trace)
         self.lease_mgr = LeaseManager(core_id, machine.config.lease,
                                       machine.amap, self.memunit,
-                                      machine.sim, machine.trace)
+                                      machine.sim, machine.trace,
+                                      faults=machine.faults)
         self.memunit.lease_mgr = self.lease_mgr
         self._gen: Generator | None = None
         self._handle: ThreadHandle | None = None
         self._leases_enabled = machine.config.lease.enabled
+        #: Fault-injected IPC throttle: retire latencies are multiplied by
+        #: this factor (1 on a healthy core).
+        self._work_scale = (machine.faults.core_scale(core_id)
+                            if machine.faults is not None else 1)
 
     @property
     def idle(self) -> bool:
@@ -93,8 +98,9 @@ class Core:
 
     def _dispatch(self, instr: isa.Instr) -> None:
         t = type(instr)
+        scale = self._work_scale
         if t is isa.Work:
-            self.sim.after(max(1, instr.cycles), self._resume, None)
+            self.sim.after(max(1, instr.cycles) * scale, self._resume, None)
         elif t is isa.Load:
             self.memunit.access(False, instr.addr, is_lease=False,
                                 callback=lambda: self._do_load(instr.addr))
@@ -121,7 +127,7 @@ class Core:
                 callback=lambda: self._do_rmw(
                     self.memory.swap, instr.addr, 1))
         elif t is isa.Fence:
-            self.sim.after(1, self._resume, None)
+            self.sim.after(scale, self._resume, None)
         elif t is isa.Lease:
             if not self._leases_enabled:
                 self.sim.after(0, self._resume, None)
@@ -138,7 +144,7 @@ class Core:
                 self.sim.after(0, self._resume, False)
             else:
                 voluntary = self.lease_mgr.release(instr.addr)
-                self.sim.after(1, self._resume, voluntary)
+                self.sim.after(scale, self._resume, voluntary)
         elif t is isa.MultiLease:
             if not self._leases_enabled:
                 self.sim.after(0, self._resume, None)
@@ -151,7 +157,7 @@ class Core:
                 self.sim.after(0, self._resume, None)
             else:
                 self.lease_mgr.release_all()
-                self.sim.after(1, self._resume, None)
+                self.sim.after(scale, self._resume, None)
         else:
             raise SimulationError(
                 f"core {self.core_id}: thread yielded non-instruction "

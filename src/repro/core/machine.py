@@ -22,6 +22,7 @@ from ..coherence.l2 import SharedL2
 from ..coherence.network import MeshNetwork
 from ..engine import Simulator
 from ..errors import SimulationError
+from ..faults import build_plan
 from ..mem import AddressMap, Allocator, Memory
 from ..stats import EnergyModel, RunResult
 from ..trace import CountersTracer, TraceBus, Tracer
@@ -53,13 +54,22 @@ class Machine:
         self.amap = AddressMap(cfg.line_size, cfg.num_cores)
         self.memory = Memory()
         self.alloc = Allocator(self.amap)
+        #: Seeded fault plan (repro.faults), or None for the fault-free
+        #: default (no hooks consulted; bit-identical to a plan-less build).
+        self.faults = build_plan(cfg.fault_spec, cfg.seed)
         self.network = MeshNetwork(cfg.network, cfg.num_cores, self.sim,
-                                   self.trace)
+                                   self.trace, faults=self.faults)
         self.l2 = SharedL2(cfg, self.trace)
         self.directory = Directory(self.amap, self.network, self.l2,
                                    self.sim, self.trace,
-                                   mesi=cfg.protocol == "mesi")
+                                   mesi=cfg.protocol == "mesi",
+                                   faults=self.faults)
         self.cores = [Core(i, self) for i in range(cfg.num_cores)]
+        if self.faults is not None:
+            # Announce each straggler core once (the per-instruction
+            # slowdown itself is folded into retire latencies).
+            for core_id, mult in self.faults.spec.slow_cores:
+                self.trace.fault_injected("slow_core", core_id, mult)
         self.directory.mem_units = [c.memunit for c in self.cores]
         self.energy_model = EnergyModel(cfg.energy, cfg.num_cores)
         self.threads: list[ThreadHandle] = []

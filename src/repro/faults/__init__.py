@@ -1,0 +1,13 @@
+"""Deterministic, seed-reproducible fault injection (DESIGN §11).
+
+``parse_fault_spec`` turns a ``--faults`` string into a frozen
+:class:`FaultSpec`; ``build_plan`` seeds a :class:`FaultPlan` whose
+per-hook ``random.Random`` streams drive latency jitter, directory
+NACKs, lease-timer skew, and straggler cores -- byte-identically per
+``(seed, spec)`` pair.
+"""
+
+from .plan import FaultPlan, build_plan
+from .spec import FaultSpec, parse_fault_spec
+
+__all__ = ["FaultSpec", "FaultPlan", "parse_fault_spec", "build_plan"]

@@ -1,0 +1,109 @@
+"""Seeded fault plans: deterministic *when* for a parsed *what*.
+
+A :class:`FaultPlan` owns one dedicated ``random.Random`` stream **per
+hook site** (network jitter, directory NACK, NACK-retry backoff, timer
+skew), each seeded from ``f"{seed}:{hook}"``.  String seeding goes
+through SHA-512, so the streams are stable across platforms and
+``PYTHONHASHSEED`` values, and independent of each other: enabling one
+fault kind never perturbs another kind's draw sequence, and the machine's
+own workload RNGs are untouched.  Same ``(seed, spec)`` -> byte-identical
+run, serial or under ``--jobs``, which is what makes fault campaigns
+replayable through the existing ``repro-check/1`` files.
+
+The hooks are pull-based: the network, directory, and lease manager ask
+the plan ("extra latency for this message?", "NACK this arrival?") at
+their injection points.  A machine with no plan (``fault_spec == ""``)
+skips every hook entirely -- zero draws, zero behaviour change.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .spec import FaultSpec, parse_fault_spec
+
+__all__ = ["FaultPlan", "build_plan"]
+
+#: backoff window for NACK retries (cycles), built lazily -- importing
+#: repro.sync at module load would close an import cycle through
+#: repro.core.machine.  Matches the software contention-management
+#: baseline's defaults closely enough to exercise the same retry
+#: dynamics the paper's Section 7 compares against.
+_nack_backoff = None
+
+
+def _backoff():
+    global _nack_backoff
+    if _nack_backoff is None:
+        from ..sync.backoff import ExponentialBackoff
+        _nack_backoff = ExponentialBackoff(min_delay=16, max_delay=2048)
+    return _nack_backoff
+
+
+class FaultPlan:
+    """Deterministic fault schedule for one machine run."""
+
+    __slots__ = ("spec", "seed", "_net_rng", "_nack_rng", "_retry_rng",
+                 "_skew_rng", "_core_scale")
+
+    def __init__(self, spec: FaultSpec, seed: int) -> None:
+        self.spec = spec
+        self.seed = seed
+        self._net_rng = random.Random(f"{seed}:net_jitter")
+        self._nack_rng = random.Random(f"{seed}:dir_nack")
+        self._retry_rng = random.Random(f"{seed}:nack_retry")
+        self._skew_rng = random.Random(f"{seed}:timer_skew")
+        self._core_scale = dict(spec.slow_cores)
+
+    # -- network hop latency ------------------------------------------------
+
+    def net_extra(self) -> int:
+        """Extra cycles to add to one message's latency (0 = no fault)."""
+        spec = self.spec
+        if spec.net_jitter_p <= 0.0:
+            return 0
+        if self._net_rng.random() >= spec.net_jitter_p:
+            return 0
+        return self._net_rng.randint(1, spec.net_jitter_max)
+
+    # -- directory request queue --------------------------------------------
+
+    def should_nack(self, attempts: int) -> bool:
+        """NACK a directory arrival?  ``attempts`` = NACKs already taken
+        by this request; capped so a request always gets through."""
+        spec = self.spec
+        if spec.dir_nack_p <= 0.0 or attempts >= spec.dir_nack_retries:
+            return False
+        return self._nack_rng.random() < spec.dir_nack_p
+
+    def retry_delay(self, attempt: int) -> int:
+        """Backoff before re-issuing a NACKed request (attempt >= 1)."""
+        return _backoff().delay(self._retry_rng, attempt - 1)
+
+    # -- lease expiry timer -------------------------------------------------
+
+    def timer_skew(self) -> int:
+        """Signed skew (cycles) for one lease expiry timer; the caller
+        clamps the effective duration into ``[1, max_lease_time]``."""
+        bound = self.spec.timer_skew
+        if bound <= 0:
+            return 0
+        return self._skew_rng.randint(-bound, bound)
+
+    # -- per-core IPC throttling --------------------------------------------
+
+    def core_scale(self, core_id: int) -> int:
+        """Retire-latency multiplier for ``core_id`` (1 = full speed)."""
+        return self._core_scale.get(core_id, 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan(seed={self.seed}, spec={self.spec.raw!r})"
+
+
+def build_plan(fault_spec: str, seed: int) -> FaultPlan | None:
+    """Parse ``fault_spec`` and return a seeded plan, or ``None`` when
+    the spec is empty (the fault-free fast path: no hooks consulted)."""
+    spec = parse_fault_spec(fault_spec)
+    if spec.empty:
+        return None
+    return FaultPlan(spec, seed)

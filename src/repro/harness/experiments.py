@@ -49,6 +49,13 @@ def run_experiment(exp_id: str,
     if seed is not None:
         base = common.get("config") or MachineConfig()
         common["config"] = replace(base, seed=seed)
+    # A ``faults=SPEC`` override folds in the same way: the spec string
+    # rides inside the (picklable) config, so it reaches every sweep cell
+    # identically whether cells run serially or on --jobs workers.
+    faults = common.pop("faults", None)
+    if faults is not None:
+        base = common.get("config") or MachineConfig()
+        common["config"] = replace(base, fault_spec=faults)
     return sweep(exp.bench, exp.variants, thread_counts, jobs=jobs,
                  **common)
 

@@ -61,10 +61,26 @@ def _run_cell(bench: Callable[..., RunResult], num_threads: int,
     return bench(num_threads, **variant_kw, **common)
 
 
+def valid_metrics() -> tuple[str, ...]:
+    """Metric names accepted by :func:`series_table` (and the ``--metric``
+    CLI flag): the numeric ``RunResult`` fields plus the two display
+    aliases."""
+    from dataclasses import fields
+
+    numeric = tuple(f.name for f in fields(RunResult)
+                    if f.type in ("int", "float", int, float))
+    return ("mops_per_sec", "nj_per_op") + numeric
+
+
 def series_table(results: dict[str, list[RunResult]],
                  metric: str = "mops_per_sec") -> str:
     """Format sweep results as one row per variant, one column per thread
     count -- the textual equivalent of a paper figure."""
+    choices = valid_metrics()
+    if metric not in choices:
+        raise ValueError(
+            f"unknown metric {metric!r}; valid metrics: "
+            f"{', '.join(choices)}")
     rows = []
     for name, series in results.items():
         row: dict[str, Any] = {"variant": name}

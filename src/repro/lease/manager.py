@@ -33,13 +33,15 @@ class LeaseManager:
 
     def __init__(self, core_id: int, config: LeaseConfig,
                  amap: "AddressMap", memunit: "MemUnit",
-                 sim: Simulator, trace: TraceBus) -> None:
+                 sim: Simulator, trace: TraceBus, faults=None) -> None:
         self.core_id = core_id
         self.config = config
         self.amap = amap
         self.memunit = memunit
         self.sim = sim
         self.trace = trace
+        #: Optional :class:`~repro.faults.FaultPlan`: skews expiry timers.
+        self.faults = faults
         self.table = LeaseTable(config.max_num_leases)
         #: Currently active MultiLease group, if any (at most one; the paper
         #: forbids concurrent single- and multi-location leases).
@@ -81,7 +83,11 @@ class LeaseManager:
         if self.table.full:
             oldest = self.table.oldest()
             assert oldest is not None
-            self.trace.lease_released(self.core_id, oldest.line, "fifo")
+            if oldest.started:
+                # Same guard as every other release path: a lease that
+                # never started (still in flight) is not a release for
+                # trace/counter purposes.
+                self.trace.lease_released(self.core_id, oldest.line, "fifo")
             self._release_entry(oldest, voluntary=True)
         entry = LeaseEntry(line, duration, site=site)
         self.table.add(entry)
@@ -133,7 +139,10 @@ class LeaseManager:
         entry.granted = True
         if entry.dead:
             # Released while in flight: never start; drop immediately.
-            self.table.remove(entry.line)
+            # Remove by *identity*: the release already evicted this entry,
+            # and if the core has since re-leased the same line, removing
+            # by line number would delete the new tenant.
+            self.table.remove_entry(entry)
             self._drain_probe(entry)
         else:
             self.memunit.l1.pin(entry.line)
@@ -141,10 +150,17 @@ class LeaseManager:
     def _start_timer(self, entry: LeaseEntry) -> None:
         assert entry.granted and not entry.started
         entry.started = True
-        self.trace.lease_started(self.core_id, entry.line,
-                                     entry.duration)
-        entry.expiry_event = self.sim.after(entry.duration,
-                                            self._expire, entry)
+        duration = entry.duration
+        if self.faults is not None:
+            skew = self.faults.timer_skew()
+            if skew:
+                # Clamp into [1, MAX_LEASE_TIME] so the Proposition-1
+                # deferral bound survives the injected skew.
+                duration = max(1, min(duration + skew,
+                                      self.config.max_lease_time))
+                self.trace.fault_injected("timer_skew", self.core_id, skew)
+        self.trace.lease_started(self.core_id, entry.line, duration)
+        entry.expiry_event = self.sim.after(duration, self._expire, entry)
 
     def release(self, addr: int) -> bool:
         """``Release(addr)``: returns True iff the release was voluntary
@@ -167,32 +183,41 @@ class LeaseManager:
         are deleted first, then outstanding probes serviced (Algorithm 2)."""
         entries = self.table.entries()
         for entry in entries:
-            self.table.remove(entry.line)
-            entry.dead = True
-            if entry.expiry_event is not None:
-                self.sim.cancel(entry.expiry_event)
-                entry.expiry_event = None
+            self._unlink_entry(entry)
             if entry.started:
                 self.trace.lease_released(self.core_id, entry.line,
                                               "voluntary")
                 self._predictor_note(entry, involuntary=False)
-            self.memunit.l1.unpin(entry.line)
         for entry in entries:
             self._drain_probe(entry)
         if self.active_group is not None:
             self.active_group.dead = True
             self.active_group = None
 
-    def _release_entry(self, entry: LeaseEntry, *, voluntary: bool) -> None:
-        """Remove one entry and service its queued probe."""
-        self.table.remove(entry.line)
+    def _unlink_entry(self, entry: LeaseEntry) -> None:
+        """Common release bookkeeping: detach ``entry`` from the table,
+        cancel its timer, and drop exactly the pin references it holds --
+        one for a granted live lease, one for a queued probe.  A lease
+        still in flight (never granted) holds no pin, so none is dropped.
+        All state is consistent before any subsequent trace emit (the
+        invariant checker audits pin counts synchronously on every event).
+        """
+        self.table.remove_entry(entry)
+        was_held = entry.holds_line
         entry.dead = True
         if entry.expiry_event is not None:
             self.sim.cancel(entry.expiry_event)
             entry.expiry_event = None
+        if was_held:
+            self.memunit.l1.unpin(entry.line)
+        if entry.queued_probe is not None:
+            self.memunit.l1.unpin(entry.line)
+
+    def _release_entry(self, entry: LeaseEntry, *, voluntary: bool) -> None:
+        """Remove one entry and service its queued probe."""
+        self._unlink_entry(entry)
         if entry.started:
             self._predictor_note(entry, involuntary=not voluntary)
-        self.memunit.l1.unpin(entry.line)
         self._drain_probe(entry)
 
     def _drain_probe(self, entry: LeaseEntry) -> None:
@@ -241,6 +266,9 @@ class LeaseManager:
                 f"core {self.core_id}: second probe queued on leased line "
                 f"{probe.line}")
         entry.queued_probe = probe
+        # The queued probe takes its own pin reference: the line must stay
+        # resident until the probe is applied at release time.
+        self.memunit.l1.pin(probe.line)
         self.trace.lease_probe_queued(self.core_id, probe.line)
         return True
 
@@ -335,11 +363,7 @@ class LeaseManager:
         for line in group.lines:
             entry = self.table.get(line)
             if entry is not None and entry.group is group:
-                self.table.remove(line)
-                entry.dead = True
-                if entry.expiry_event is not None:
-                    self.sim.cancel(entry.expiry_event)
-                    entry.expiry_event = None
+                self._unlink_entry(entry)
                 if entry.started:
                     if voluntary:
                         self.trace.lease_released(
@@ -347,7 +371,6 @@ class LeaseManager:
                     elif count_involuntary:
                         self.trace.lease_released(
                             self.core_id, entry.line, "expired")
-                self.memunit.l1.unpin(entry.line)
                 released.append(entry)
         for entry in released:
             self._drain_probe(entry)

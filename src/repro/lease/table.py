@@ -82,6 +82,17 @@ class LeaseTable:
     def remove(self, line: int) -> LeaseEntry | None:
         return self._entries.pop(line, None)
 
+    def remove_entry(self, entry: LeaseEntry) -> bool:
+        """Remove ``entry`` by identity: a no-op (returns False) when the
+        slot for its line is empty or occupied by a *different* entry.
+        Release paths racing with in-flight grants must use this -- after
+        release + re-lease of the same line, removing by line number
+        would delete the new tenant."""
+        if self._entries.get(entry.line) is entry:
+            del self._entries[entry.line]
+            return True
+        return False
+
     def oldest(self) -> LeaseEntry | None:
         """Oldest entry in FIFO (insertion) order."""
         if not self._entries:

@@ -48,6 +48,11 @@ class Counters:
     multilease_ignored: int = 0      # would exceed MAX_NUM_LEASES
     leases_ignored_by_predictor: int = 0   # Section 5 speculative skip
 
+    # -- fault injection -----------------------------------------------------
+    faults_injected: int = 0         # net_jitter / timer_skew / slow_core
+    dir_nacks: int = 0               # fault-injected directory NACKs
+    dir_retries: int = 0             # NACKed requests scheduled for retry
+
     # -- synchronization / workload -----------------------------------------
     cas_attempts: int = 0
     cas_failures: int = 0

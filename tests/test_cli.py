@@ -257,3 +257,81 @@ def test_check_injected_bug_exit_code_and_replay(tmp_path, monkeypatch,
 
     assert main(["check", "replay", str(repro_path)]) == 0
     assert "reproduced the failure" in capsys.readouterr().out
+
+
+# -- --metric validation ------------------------------------------------------
+
+def test_run_accepts_any_runresult_metric(capsys):
+    rc = main(["run", "fig2_stack", "--threads", "2",
+               "--metric", "messages_per_op"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "messages_per_op" in out
+    assert "t=2" in out
+
+
+def test_run_rejects_unknown_metric(capsys):
+    assert main(["run", "fig2_stack", "--threads", "2",
+                 "--metric", "bogus"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("--metric:")
+    assert "messages_per_op" in err      # the full list is offered
+
+
+def test_series_table_rejects_unknown_metric():
+    import pytest as _pytest
+
+    from repro.harness.runner import series_table
+
+    with _pytest.raises(ValueError, match="unknown metric 'bogus'"):
+        series_table({}, metric="bogus")
+
+
+# -- --faults -----------------------------------------------------------------
+
+@pytest.mark.parametrize("cmd", [
+    ["run", "fig2_stack", "--threads", "2"],
+    ["trace", "fig2_stack", "--threads", "2"],
+    ["check", "treiber", "--budget", "1"],
+    ["bench", "event_queue", "--quick", "--repeats", "1"],
+])
+def test_all_commands_reject_bad_fault_spec(cmd, capsys):
+    assert main(cmd + ["--faults", "nope:p=1"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("--faults:")
+    assert "unknown clause" in err
+
+
+def test_run_with_faults_changes_results(capsys):
+    argv = ["run", "fig2_stack", "--threads", "4",
+            "--metric", "cycles", "--seed", "7"]
+    assert main(argv) == 0
+    clean = capsys.readouterr().out
+    assert main(argv + ["--faults",
+                        "net_jitter:p=0.2,max=400;dir_nack:p=0.1"]) == 0
+    faulty = capsys.readouterr().out
+    assert clean != faulty
+
+
+def test_trace_with_faults_emits_fault_events(tmp_path, capsys):
+    out_path = tmp_path / "t.jsonl"
+    rc = main(["trace", "fig2_stack", "--threads", "2",
+               "--faults", "dir_nack:p=0.05", "--out", str(out_path)])
+    assert rc == 0
+    assert "reconcile=ok" in capsys.readouterr().out
+    assert '"kind":"dir_nack"' in out_path.read_text()
+
+
+def test_check_with_faults_passes_and_announces(capsys):
+    rc = main(["check", "counter", "--budget", "3", "--seed", "5",
+               "--faults", "timer_skew:4"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "fault campaign: timer_skew:4" in out
+    assert "no failures found" in out
+
+
+def test_check_replay_rejects_faults_flag(tmp_path, capsys):
+    assert main(["check", "replay", str(tmp_path / "r.json"),
+                 "--faults", "timer_skew:4"]) == 2
+    assert "recorded in the repro file" in capsys.readouterr().err
