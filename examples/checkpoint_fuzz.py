@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Seeded checkpoint-roundtrip fuzz: save / restore / compare.
+
+Each round draws a random cell from the feature grid -- workload,
+protocol, leases, fault spec, perturbation strategy, and a random cut
+cycle -- then runs the same simulation three ways:
+
+1. straight through (the reference `RunResult`);
+2. checkpointed: run to the cut, `state_dict()` through a full
+   ``repro-ckpt/1`` file on disk, then continue to the end;
+3. restored: a fresh machine, `restore_checkpoint()` from that file,
+   run to the end.
+
+All three `RunResult`s must be field-for-field identical. On a mismatch
+the offending checkpoint file and a description of the cell are kept
+under ``--artifact-dir`` (CI uploads them) and the script exits 1.
+
+Run:  python examples/checkpoint_fuzz.py --rounds 20 --seed 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import random
+import shutil
+import sys
+from dataclasses import replace
+
+from repro.check.perturb import PctStrategy, RandomStrategy
+from repro.config import MachineConfig
+from repro.core.machine import Machine
+from repro.state import load_checkpoint, restore_checkpoint, save_checkpoint
+from repro.structures import LockedCounter, MichaelScottQueue, TreiberStack
+
+FAULT_SPECS = (
+    "",
+    "net_jitter:p=0.1,max=40",
+    "dir_nack:p=0.05;timer_skew:4",
+    "net_jitter:p=0.02,max=120;dir_nack:p=0.01",
+)
+
+
+def build_machine(cell: dict, strategy_seed: int | None) -> Machine:
+    cfg = MachineConfig(num_cores=cell["threads"],
+                        protocol=cell["protocol"],
+                        fault_spec=cell["faults"],
+                        seed=cell["machine_seed"])
+    if cell["leases"]:
+        cfg = replace(cfg, lease=replace(cfg.lease, enabled=True))
+    strategy = None
+    if cell["strategy"] == "random":
+        strategy = RandomStrategy(strategy_seed)
+    elif cell["strategy"] == "pct":
+        strategy = PctStrategy(strategy_seed)
+    m = Machine(cfg, schedule_strategy=strategy)
+    if cell["workload"] == "treiber":
+        s = TreiberStack(m)
+        s.prefill(range(16))
+        for _ in range(cell["threads"]):
+            m.add_thread(s.update_worker, cell["ops"])
+    elif cell["workload"] == "msqueue":
+        q = MichaelScottQueue(m, variant="multi" if cell["leases"]
+                              else "single")
+        q.prefill(range(16))
+        for _ in range(cell["threads"]):
+            m.add_thread(q.update_worker, cell["ops"])
+    else:
+        c = LockedCounter(m, lock="tts")
+        for _ in range(cell["threads"]):
+            m.add_thread(c.update_worker, cell["ops"])
+    return m
+
+
+def draw_cell(rng: random.Random) -> dict:
+    leases = rng.random() < 0.7
+    return {
+        "workload": rng.choice(("treiber", "msqueue", "counter")),
+        "protocol": rng.choice(("msi", "mesi")),
+        "leases": leases,
+        "faults": rng.choice(FAULT_SPECS),
+        "strategy": rng.choice(("none", "random", "pct")),
+        "threads": rng.choice((2, 4)),
+        "ops": rng.randrange(8, 20),
+        "machine_seed": rng.randrange(1, 10_000),
+        "cut": rng.randrange(50, 2500),
+    }
+
+
+def run_round(i: int, cell: dict, strategy_seed: int,
+              artifact_dir: str) -> bool:
+    path = os.path.join(artifact_dir, f"ckpt-fuzz-{i}.json")
+
+    ref = build_machine(cell, strategy_seed)
+    ref.run()
+    r_ref = ref.result("fuzz")
+
+    m1 = build_machine(cell, strategy_seed)
+    m1.enable_checkpointing()
+    m1.run(until=cell["cut"])
+    save_checkpoint(m1, path, cell={"fuzz_round": i, **cell})
+    m1.run()
+    r_ckpt = m1.result("fuzz")
+
+    m2 = build_machine(cell, strategy_seed)
+    restore_checkpoint(m2, load_checkpoint(path),
+                       cell={"fuzz_round": i, **cell})
+    m2.run()
+    r_rest = m2.result("fuzz")
+
+    ok = (dataclasses.asdict(r_ckpt) == dataclasses.asdict(r_ref)
+          and dataclasses.asdict(r_rest) == dataclasses.asdict(r_ref))
+    if ok:
+        os.remove(path)     # keep artifacts only for failures
+    else:
+        with open(os.path.join(artifact_dir, f"ckpt-fuzz-{i}.cell.json"),
+                  "w") as f:
+            json.dump({"cell": cell, "strategy_seed": strategy_seed,
+                       "reference": dataclasses.asdict(r_ref),
+                       "checkpointed": dataclasses.asdict(r_ckpt),
+                       "restored": dataclasses.asdict(r_rest)},
+                      f, indent=2, sort_keys=True, default=str)
+        print(f"MISMATCH round {i}: {cell}", file=sys.stderr)
+    return ok
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--rounds", type=int, default=20)
+    ap.add_argument("--seed", type=int, default=1)
+    ap.add_argument("--artifact-dir", default="ckpt-fuzz-artifacts")
+    args = ap.parse_args()
+
+    rng = random.Random(args.seed)
+    os.makedirs(args.artifact_dir, exist_ok=True)
+    failures = 0
+    for i in range(args.rounds):
+        cell = draw_cell(rng)
+        if not run_round(i, cell, strategy_seed=rng.randrange(1, 10_000),
+                         artifact_dir=args.artifact_dir):
+            failures += 1
+        else:
+            print(f"ok round {i}: {cell['workload']}/{cell['protocol']} "
+                  f"leases={cell['leases']} strategy={cell['strategy']} "
+                  f"faults={bool(cell['faults'])} cut={cell['cut']}")
+    if not failures and not os.listdir(args.artifact_dir):
+        shutil.rmtree(args.artifact_dir)
+    print(f"{args.rounds - failures}/{args.rounds} roundtrips identical")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,12 @@ Commands:
                             processes; ``--save out.json`` writes the raw
                             results; ``--invariants`` checks coherence/
                             lease invariants continuously while running.
+                            ``--checkpoint-every N`` saves a
+                            ``repro-ckpt/1`` checkpoint per cell every N
+                            cycles into ``--checkpoint-dir``; ``--resume
+                            CKPT`` restores one cell from a saved file;
+                            ``--warm-start`` resumes every cell from its
+                            newest compatible checkpoint.
 * ``trace <experiment>`` -- run one experiment with the JSONL tracer
                             attached, writing every simulator event to a
                             file and reconciling the trace against the
@@ -43,11 +49,16 @@ Examples::
     python -m repro run fig2_stack --jobs 4 --save stack.json --seed 7
     python -m repro run fig4_tl2 --metric nj_per_op
     python -m repro run fig2_stack --faults "dir_nack:p=0.01" --seed 7
+    python -m repro run fig2_stack --checkpoint-every 5000
+    python -m repro run fig2_stack --warm-start
     python -m repro trace fig2_stack --threads 4 --heatmap
+    python -m repro check --list-targets
     python -m repro check treiber --budget 200 --seed 7
     python -m repro check treiber --budget 50 --faults "timer_skew:±8"
     python -m repro check replay repro.treiber.json
+    python -m repro bench --list
     python -m repro bench --quick --baseline benchmarks/baseline.json
+    python -m repro bench snapshot_roundtrip --seed 7
     python -m repro bench trace_fastpath --profile
 """
 
@@ -150,6 +161,8 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from .errors import CheckpointError, CheckpointMismatch
+
     exp = _get_experiment(args.experiment)
     threads = _parse_threads(args.threads)
     jobs = _parse_jobs(args.jobs)
@@ -164,9 +177,53 @@ def _cmd_run(args: argparse.Namespace) -> int:
             raise _CliError("--invariants requires --jobs 1 (trace sinks "
                             "cannot cross process boundaries)")
         overrides["sinks"] = [InvariantTracer()]
+
+    if args.checkpoint_every is not None and args.checkpoint_every < 1:
+        raise _CliError(f"--checkpoint-every: {args.checkpoint_every} is "
+                        "not a positive cycle count")
+    checkpointing = bool(args.checkpoint_every or args.resume
+                         or args.warm_start)
+    policy = None
+    if checkpointing:
+        if jobs > 1:
+            raise _CliError(
+                "--checkpoint-every/--resume/--warm-start require --jobs 1 "
+                "(the checkpoint hook is process-local)")
+        from .state import CheckpointPolicy
+
+        try:
+            policy = CheckpointPolicy(
+                every=args.checkpoint_every,
+                directory=args.checkpoint_dir,
+                resume_path=args.resume,
+                warm_start=args.warm_start)
+        except (OSError, CheckpointError) as err:
+            raise _CliError(f"--resume: {err}") from None
+
     print(f"{exp.id}: {exp.title}")
-    res = run_experiment(args.experiment, thread_counts=threads,
-                         jobs=jobs, **overrides)
+    from .state import hooks
+
+    if policy is not None:
+        hooks.run_hook = policy
+    try:
+        res = run_experiment(args.experiment, thread_counts=threads,
+                             jobs=jobs, **overrides)
+    except (CheckpointError, CheckpointMismatch) as err:
+        raise _CliError(f"checkpoint: {err}") from None
+    finally:
+        if policy is not None:
+            hooks.run_hook = None
+
+    if policy is not None:
+        for label, cycle in policy.restored:
+            print(f"restored {label} at cycle {cycle}")
+        if policy.saved:
+            print(f"saved {len(policy.saved)} checkpoint(s) to "
+                  f"{args.checkpoint_dir}")
+        if args.resume and not policy.resume_consumed:
+            detail = policy.last_mismatch or "no sweep cell ran"
+            raise _CliError(
+                f"--resume: {args.resume} matched no sweep cell ({detail})")
     labels = {"mops_per_sec": "throughput (Mops/s)",
               "nj_per_op": "energy (nJ/op)"}
     shown = (tuple(labels) if metric == "all" else (metric,))
@@ -253,6 +310,21 @@ def _cmd_check(args: argparse.Namespace) -> int:
     from .check import load_repro, replay_repro, run_campaign
     from .errors import ReproError
 
+    if args.list_targets:
+        from .check import EXPERIMENT_ALIASES
+        from .check.campaign import TARGETS
+
+        width = max(len(k) for k in TARGETS)
+        for name, target in TARGETS.items():
+            variants = ", ".join(v for v, _cfg in target.configs)
+            print(f"{name:<{width}}  {target.title} [{variants}]")
+        aliases = ", ".join(f"{a}->{t}"
+                            for a, t in sorted(EXPERIMENT_ALIASES.items()))
+        print(f"\nexperiment aliases: {aliases}")
+        return 0
+    if args.target is None:
+        raise _CliError("check: missing target "
+                        "(try: python -m repro check --list-targets)")
     if args.target == "replay":
         if not args.repro:
             raise _CliError("check replay: missing repro file "
@@ -307,6 +379,12 @@ def _cmd_check(args: argparse.Namespace) -> int:
     if report.shrink_runs:
         print(f"shrunk to {len(report.repro['decisions'])} schedule "
               f"decision(s) in {report.shrink_runs} replay run(s)")
+        if report.shrink_restores:
+            print(f"prefix-restore: {report.shrink_restores} replay(s) "
+                  f"resumed from checkpoints, saving "
+                  f"{report.shrink_cycles_saved} of "
+                  f"{report.shrink_cycles_replayed + report.shrink_cycles_saved} "
+                  "replayed cycles")
     out_path = args.save or f"repro.{report.target}.json"
     with open(out_path, "w", encoding="utf-8") as fp:
         json.dump(report.repro, fp, indent=2, sort_keys=True)
@@ -320,7 +398,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from . import bench
     from .errors import ConfigError
 
+    if args.list:
+        width = max(len(k) for k in bench.TARGETS)
+        for name, target in bench.TARGETS.items():
+            print(f"{name:<{width}}  {target.title}")
+        return 0
     jobs = _parse_jobs(args.jobs)
+    seed = _parse_seed(args.seed) if args.seed is not None else None
     fault_spec = _parse_faults(args.faults) if args.faults else ""
     if args.repeats < 1:
         raise _CliError(f"--repeats: {args.repeats} is not a positive "
@@ -344,12 +428,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     mode = "quick" if args.quick else "full"
     extras = f", faults={fault_spec!r}" if fault_spec else ""
+    if seed is not None:
+        extras += f", seed={seed}"
     print(f"bench ({mode}, repeats={args.repeats}, jobs={jobs}{extras}): "
           f"{', '.join(names)}")
     try:
         results = bench.run_many(names, quick=args.quick, jobs=jobs,
                                  repeats=args.repeats,
-                                 fault_spec=fault_spec)
+                                 fault_spec=fault_spec, seed=seed)
     except ConfigError as err:
         raise _CliError(f"bench: {err}") from None
     for name in names:
@@ -432,6 +518,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fault-injection spec, e.g. "
                             "'net_jitter:p=0.01,max=200;dir_nack:p=0.005' "
                             "(deterministic per seed)")
+    run_p.add_argument("--checkpoint-every", type=int, default=None,
+                       metavar="N",
+                       help="save a repro-ckpt/1 checkpoint every N "
+                            "simulated cycles per sweep cell (implies "
+                            "--jobs 1)")
+    run_p.add_argument("--checkpoint-dir", default="checkpoints",
+                       metavar="DIR",
+                       help="where checkpoint files go and where "
+                            "--warm-start looks (default: checkpoints/)")
+    run_p.add_argument("--resume", default=None, metavar="CKPT.json",
+                       help="restore the matching sweep cell from this "
+                            "checkpoint instead of running it from cycle "
+                            "0; refuses mismatched configs")
+    run_p.add_argument("--warm-start", action="store_true",
+                       help="restore every sweep cell from its newest "
+                            "compatible checkpoint in --checkpoint-dir, "
+                            "when one exists")
 
     trace_p = sub.add_parser(
         "trace", help="run one experiment with the JSONL event tracer")
@@ -459,9 +562,12 @@ def build_parser() -> argparse.ArgumentParser:
         "check", help="fuzz schedules and check linearizability + lease "
                       "properties")
     check_p.add_argument(
-        "target", help="check target (treiber, msqueue, multilease, "
-                       "counter, pq, harris), an experiment id that maps "
-                       "to one (e.g. fig2_stack), or 'replay'")
+        "target", nargs="?", default=None,
+        help="check target (see --list-targets), an experiment id that "
+             "maps to one (e.g. fig2_stack), or 'replay'")
+    check_p.add_argument("--list-targets", action="store_true",
+                         help="list the check targets, their variants and "
+                              "experiment aliases, then exit")
     check_p.add_argument("repro", nargs="?", default=None,
                          help="repro file path (with target 'replay')")
     check_p.add_argument("--budget", type=int, default=100, metavar="N",
@@ -486,8 +592,14 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("targets", nargs="*", metavar="TARGET",
                          help="bench targets (default: all; see "
                               "repro.bench.TARGETS)")
+    bench_p.add_argument("--list", action="store_true",
+                         help="list the bench targets and exit")
     bench_p.add_argument("--quick", action="store_true",
                          help="shrunk workloads for CI smoke runs")
+    bench_p.add_argument("--seed", default=None, metavar="N",
+                         help="reseed the simulated machines the targets "
+                              "build (recorded in the bench records; "
+                              "pure-scheduler targets ignore it)")
     bench_p.add_argument("--jobs", default="1", metavar="N",
                          help="run targets on N worker processes (timing "
                               "fidelity drops; baselines should use 1)")

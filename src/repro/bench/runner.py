@@ -86,24 +86,25 @@ def machine_fingerprint() -> dict:
 
 
 def run_target(name: str, *, quick: bool = False, repeats: int = 3,
-               fault_spec: str = "") -> dict:
+               fault_spec: str = "", seed: int | None = None) -> dict:
     """Run one bench target through the full protocol; returns its record.
 
     ``fault_spec`` threads a fault-injection spec into the machine-building
     targets (pure-scheduler targets ignore it); faulty records carry the
-    spec so they are never mistaken for clean baselines."""
+    spec so they are never mistaken for clean baselines.  ``seed`` reseeds
+    the simulated machines the same way and is recorded alongside."""
     target = TARGETS[name]
     best_wall = float("inf")
     report: dict = {}
     for _ in range(max(1, repeats)):
         t0 = time.perf_counter()
-        report = target.fn(quick, fault_spec)
+        report = target.fn(quick, fault_spec, seed)
         wall = report.get("wall_seconds", time.perf_counter() - t0)
         best_wall = min(best_wall, wall)
 
     tracemalloc.start()
     try:
-        target.fn(quick, fault_spec)
+        target.fn(quick, fault_spec, seed)
         _, peak_heap = tracemalloc.get_traced_memory()
     finally:
         tracemalloc.stop()
@@ -128,20 +129,22 @@ def run_target(name: str, *, quick: bool = False, repeats: int = 3,
         "calibration_ops_per_sec": round(calib, 1),
         "score": round(ops_per_sec / calib, 6) if calib else 0.0,
         "fault_spec": fault_spec,
+        "seed": seed,
         "extra": report.get("extra", {}),
         "machine": machine_fingerprint(),
     }
 
 
 def _run_target_worker(name: str, quick: bool, repeats: int,
-                       fault_spec: str) -> dict:
+                       fault_spec: str, seed: int | None) -> dict:
     """Module-level wrapper so parallel runs pickle cleanly."""
     return run_target(name, quick=quick, repeats=repeats,
-                      fault_spec=fault_spec)
+                      fault_spec=fault_spec, seed=seed)
 
 
 def run_many(names: Sequence[str], *, quick: bool = False, jobs: int = 1,
-             repeats: int = 3, fault_spec: str = "") -> dict[str, dict]:
+             repeats: int = 3, fault_spec: str = "",
+             seed: int | None = None) -> dict[str, dict]:
     """Run several targets, optionally on worker processes.
 
     Note ``jobs > 1`` trades timing fidelity for wall-clock: concurrent
@@ -156,12 +159,12 @@ def run_many(names: Sequence[str], *, quick: bool = False, jobs: int = 1,
 
         with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as ex:
             futs = [ex.submit(_run_target_worker, n, quick, repeats,
-                              fault_spec)
+                              fault_spec, seed)
                     for n in names]
             records = [f.result() for f in futs]
     else:
         records = [run_target(n, quick=quick, repeats=repeats,
-                              fault_spec=fault_spec)
+                              fault_spec=fault_spec, seed=seed)
                    for n in names]
     return {name: rec for name, rec in zip(names, records)}
 

@@ -1,8 +1,8 @@
 """The microbenchmark targets: one per simulator hot loop.
 
-Each target is a plain function ``fn(quick: bool, fault_spec: str = "")
--> dict`` that performs one complete iteration of its workload and
-reports::
+Each target is a plain function ``fn(quick: bool, fault_spec: str = "",
+seed: int | None = None) -> dict`` that performs one complete iteration
+of its workload and reports::
 
     {"ops": <units of work>,            # denominator of ops/sec
      "events": <simulator events> | None,
@@ -27,11 +27,14 @@ Targets cover the loops that dominate figure-reproduction wall-clock:
   path, asserting bit-identical counters and ``RunResult``;
 * ``fault_degradation`` -- contended Treiber stack throughput under an
   escalating fault-rate grid, reporting simulated-throughput degradation
-  relative to the fault-free run.
+  relative to the fault-free run;
+* ``snapshot_roundtrip`` -- mid-run checkpoint save + restore roundtrip
+  (``repro.state``), asserting restored runs stay bit-identical.
 
 ``fault_spec`` threads a :mod:`repro.faults` spec into the targets that
-build a machine; the pure-scheduler targets (``event_queue``,
-``trace_fastpath``) accept and ignore it.
+build a machine; ``seed`` reseeds those machines (CLI ``--seed``, for
+parity with run/trace/check).  The pure-scheduler targets
+(``event_queue``, ``trace_fastpath``) accept and ignore both.
 """
 
 from __future__ import annotations
@@ -46,8 +49,11 @@ from ..engine.event_queue import EventQueue
 
 
 def _lease_config(num_cores: int, fault_spec: str = "",
+                  seed: int | None = None,
                   **lease_kw: Any) -> MachineConfig:
     cfg = MachineConfig(num_cores=num_cores, fault_spec=fault_spec)
+    if seed is not None:
+        cfg = replace(cfg, seed=seed)
     return replace(cfg, lease=replace(cfg.lease, enabled=True, **lease_kw))
 
 
@@ -55,10 +61,11 @@ def _lease_config(num_cores: int, fault_spec: str = "",
 # Raw event-queue churn
 # ---------------------------------------------------------------------------
 
-def bench_event_queue(quick: bool, fault_spec: str = "") -> dict:
+def bench_event_queue(quick: bool, fault_spec: str = "",
+                      seed: int | None = None) -> dict:
     """Schedule/cancel/pop/peek churn on a bare :class:`EventQueue` --
     no machine, pure scheduler cost (``__lt__``, heap ops, compaction).
-    No machine, so ``fault_spec`` is ignored."""
+    No machine, so ``fault_spec`` and ``seed`` are ignored."""
     n = 30_000 if quick else 150_000
     q = EventQueue()
     fn = lambda: None  # noqa: E731 - payload is irrelevant here
@@ -88,14 +95,18 @@ def bench_event_queue(quick: bool, fault_spec: str = "") -> dict:
 # Coherence message storm
 # ---------------------------------------------------------------------------
 
-def bench_coherence_storm(quick: bool, fault_spec: str = "") -> dict:
+def bench_coherence_storm(quick: bool, fault_spec: str = "",
+                          seed: int | None = None) -> dict:
     """Every core stores to the same line in a tight loop: maximal
     invalidation + directory-queue traffic (the paper's worst case)."""
     from ..core.isa import Store
 
     cores = 4 if quick else 8
     rounds = 150 if quick else 300
-    m = Machine(MachineConfig(num_cores=cores, fault_spec=fault_spec))
+    cfg = MachineConfig(num_cores=cores, fault_spec=fault_spec)
+    if seed is not None:
+        cfg = replace(cfg, seed=seed)
+    m = Machine(cfg)
     addr = m.alloc_var(0, label="storm.line")
 
     def body(ctx):
@@ -115,14 +126,15 @@ def bench_coherence_storm(quick: bool, fault_spec: str = "") -> dict:
 # Contended structure runs
 # ---------------------------------------------------------------------------
 
-def bench_treiber(quick: bool, fault_spec: str = "") -> dict:
+def bench_treiber(quick: bool, fault_spec: str = "",
+                  seed: int | None = None) -> dict:
     """The paper's headline workload: a contended lease-enabled Treiber
     stack at high thread count."""
     from ..structures import TreiberStack
 
     threads = 8 if quick else 16
     ops_per_thread = 25 if quick else 60
-    m = Machine(_lease_config(threads, fault_spec))
+    m = Machine(_lease_config(threads, fault_spec, seed))
     stack = TreiberStack(m)
     stack.prefill(range(128))
     for _ in range(threads):
@@ -134,14 +146,15 @@ def bench_treiber(quick: bool, fault_spec: str = "") -> dict:
                       "messages_per_op": round(res.messages_per_op, 2)}}
 
 
-def bench_counter_lock(quick: bool, fault_spec: str = "") -> dict:
+def bench_counter_lock(quick: bool, fault_spec: str = "",
+                       seed: int | None = None) -> dict:
     """The contended TTS+lease lock-based counter (Figure 3a's biggest
     winner -- and the densest emit stream per simulated cycle)."""
     from ..structures import LockedCounter
 
     threads = 8 if quick else 16
     ops_per_thread = 25 if quick else 60
-    m = Machine(_lease_config(threads, fault_spec))
+    m = Machine(_lease_config(threads, fault_spec, seed))
     counter = LockedCounter(m, lock="tts")
     for _ in range(threads):
         m.add_thread(counter.update_worker, ops_per_thread)
@@ -151,7 +164,8 @@ def bench_counter_lock(quick: bool, fault_spec: str = "") -> dict:
             "extra": {"cycles": res.cycles}}
 
 
-def bench_sweep_cell(quick: bool, fault_spec: str = "") -> dict:
+def bench_sweep_cell(quick: bool, fault_spec: str = "",
+                     seed: int | None = None) -> dict:
     """One full fig2-style sweep cell (base + lease variants at one thread
     count) through the real harness path -- the unit of work every figure
     reproduction repeats dozens of times."""
@@ -161,8 +175,11 @@ def bench_sweep_cell(quick: bool, fault_spec: str = "") -> dict:
     threads = 4 if quick else 8
     ops_per_thread = 15 if quick else 40
     common: dict[str, Any] = {"ops_per_thread": ops_per_thread}
-    if fault_spec:
-        common["config"] = replace(MachineConfig(), fault_spec=fault_spec)
+    if fault_spec or seed is not None:
+        cfg = replace(MachineConfig(), fault_spec=fault_spec)
+        if seed is not None:
+            cfg = replace(cfg, seed=seed)
+        common["config"] = cfg
     res = sweep(bench_stack,
                 {"base": {"variant": "base"}, "lease": {"variant": "lease"}},
                 (threads,), **common)
@@ -186,7 +203,8 @@ _DEGRADATION_GRID: tuple[tuple[str, str], ...] = (
 )
 
 
-def bench_fault_degradation(quick: bool, fault_spec: str = "") -> dict:
+def bench_fault_degradation(quick: bool, fault_spec: str = "",
+                            seed: int | None = None) -> dict:
     """Contended Treiber stack across an escalating fault-rate grid.
 
     Reports each rung's *simulated* throughput relative to the fault-free
@@ -207,7 +225,8 @@ def bench_fault_degradation(quick: bool, fault_spec: str = "") -> dict:
     base_tput = None
     extra: dict[str, Any] = {}
     for label, spec in grid:
-        m = Machine(replace(_lease_config(threads), fault_spec=spec))
+        m = Machine(replace(_lease_config(threads, seed=seed),
+                            fault_spec=spec))
         stack = TreiberStack(m)
         stack.prefill(range(128))
         for _ in range(threads):
@@ -224,6 +243,64 @@ def bench_fault_degradation(quick: bool, fault_spec: str = "") -> dict:
         extra[f"{label}_faults"] = (m.counters.faults_injected
                                     + m.counters.dir_nacks)
     return {"ops": total_ops, "events": events, "extra": extra}
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint save/restore roundtrip
+# ---------------------------------------------------------------------------
+
+def bench_snapshot_roundtrip(quick: bool, fault_spec: str = "",
+                             seed: int | None = None) -> dict:
+    """Mid-run ``state_dict`` -> JSON -> ``load_state`` roundtrips on a
+    contended Treiber stack, asserting the restored run finishes with a
+    :class:`RunResult` identical to an uninterrupted one.
+
+    This times the whole checkpoint path -- codec encode, JSON
+    serialization, fresh-machine replay-restore, and the run to
+    quiescence -- which is what ``--checkpoint-every`` and prefix-restore
+    shrinking pay per snapshot.  ``ops`` counts save+restore pairs, so
+    the score is roundtrips/sec (machine-normalized).
+    """
+    import json as _json
+
+    from ..structures import TreiberStack
+
+    threads = 4 if quick else 8
+    ops_per_thread = 15 if quick else 40
+    rounds = 3 if quick else 6
+
+    def build() -> Machine:
+        m = Machine(_lease_config(threads, fault_spec, seed))
+        m.enable_checkpointing()
+        stack = TreiberStack(m)
+        stack.prefill(range(64))
+        for _ in range(threads):
+            m.add_thread(stack.update_worker, ops_per_thread)
+        return m
+
+    ref = build()
+    ref.run()
+    ref_res = ref.result("snapshot")
+
+    state_bytes = 0
+    events = ref.sim.events_processed
+    for i in range(rounds):
+        m = build()
+        # Staggered cut points so successive roundtrips snapshot different
+        # amounts of in-flight state.
+        m.run(until=(i + 1) * 300)
+        blob = _json.dumps(m.state_dict())
+        state_bytes += len(blob)
+        m2 = build()
+        m2.load_state(_json.loads(blob))
+        m2.run()
+        events += m2.sim.events_processed
+        if m2.result("snapshot") != ref_res:
+            raise AssertionError(
+                "snapshot roundtrip diverged from the straight-through run")
+    return {"ops": rounds, "events": events,
+            "extra": {"state_bytes": state_bytes // rounds,
+                      "run_result_identical": True}}
 
 
 # ---------------------------------------------------------------------------
@@ -265,10 +342,11 @@ def _counter_run_result(fast: bool):
     return m.result("counter")
 
 
-def bench_trace_fastpath(quick: bool, fault_spec: str = "") -> dict:
+def bench_trace_fastpath(quick: bool, fault_spec: str = "",
+                         seed: int | None = None) -> dict:
     """Fast vs slow emit path on the counters-only hot loop (self-timed).
     Pure emit-path A/B with a fixed fault-free machine run, so
-    ``fault_spec`` is ignored.
+    ``fault_spec`` and ``seed`` are ignored.
 
     Asserts the two paths are bit-identical -- equal :class:`Counters`
     from the raw emit storm AND equal :class:`RunResult` from a real
@@ -335,5 +413,7 @@ TARGETS: dict[str, BenchTarget] = {
                     "vs slow path", bench_trace_fastpath),
         BenchTarget("fault_degradation", "Treiber throughput vs "
                     "escalating fault rate", bench_fault_degradation),
+        BenchTarget("snapshot_roundtrip", "mid-run checkpoint save + "
+                    "restore roundtrip", bench_snapshot_roundtrip),
     )
 }

@@ -221,13 +221,24 @@ class RunOutcome:
     decisions: dict[int, int] = field(default_factory=dict)
     strategy: dict = field(default_factory=dict)
     properties: dict = field(default_factory=dict)
+    cycles: int = 0             #: final simulation cycle of the run
 
 
 def run_once(target: CheckTarget, variant: str, cfg: MachineConfig,
-             strategy: ReplayStrategy | Any) -> RunOutcome:
+             strategy: ReplayStrategy | Any, *,
+             checkpoint_every: int | None = None,
+             checkpoints: list | None = None,
+             restore_from: dict | None = None) -> RunOutcome:
     """Run one schedule of ``target`` and check everything we know how to
     check: lease properties during the run, coherence invariants at
-    quiescence, then history linearizability."""
+    quiescence, then history linearizability.
+
+    Checkpoint hooks (used by the prefix-restore shrinker): with
+    ``checkpoints`` (a list to fill) and ``checkpoint_every`` set, the run
+    is sliced and ``(queue-watermark, state_dict)`` pairs are appended
+    every interval; with ``restore_from`` (a state tree), the machine is
+    restored from it before running, skipping the already-explored prefix.
+    """
     m = Machine(cfg, schedule_strategy=strategy)
     hist = m.attach_tracer(HistoryRecorder())
     props = m.attach_tracer(LeasePropertyTracer())
@@ -238,9 +249,19 @@ def run_once(target: CheckTarget, variant: str, cfg: MachineConfig,
         return RunOutcome(
             ok=ok, kind=kind, detail=detail, ops=len(hist.records),
             decided=decided, decisions=dict(strategy.decisions),
-            strategy=strategy.describe(), properties=props.summary())
+            strategy=strategy.describe(), properties=props.summary(),
+            cycles=m.sim.now)
 
     try:
+        if restore_from is not None:
+            m.load_state(restore_from)
+        if checkpoints is not None and checkpoint_every:
+            m.enable_checkpointing()
+            while m._live_threads > 0:
+                m.run(until=m.now + checkpoint_every)
+                if m._live_threads == 0 or m.sim.queue.peek_time() is None:
+                    break
+                checkpoints.append((m.sim.queue.next_seq, m.state_dict()))
         m.run()
         m.check_coherence_invariants()
         hist.validate()
@@ -308,22 +329,76 @@ def _ddmin(items: list[tuple[int, int]],
 
 def shrink_failure(target: CheckTarget, variant: str, cfg: MachineConfig,
                    decisions: dict[int, int], *,
-                   max_runs: int = 160) -> tuple[dict[int, int], int]:
+                   max_runs: int = 160,
+                   checkpoint_every: int | None = 2048,
+                   stats: dict | None = None) -> tuple[dict[int, int], int]:
     """Minimize a failing decision map by replaying subsets.  Returns the
     shrunken map and how many replay runs were spent.  Any failure kind
     counts -- a subset that fails differently is still a bug, and keeping
-    the predicate loose lets ddmin cut much deeper."""
+    the predicate loose lets ddmin cut much deeper.
+
+    Prefix restore: decisions are keyed by event ``seq``, and a checkpoint
+    taken at queue watermark ``W`` precedes every scheduling decision with
+    seq >= W.  A replay whose decision map differs from the run that
+    recorded a checkpoint only at seqs >= ``W`` is *identical* to that run
+    up to the checkpoint, so instead of re-simulating from cycle 0 it
+    restores the checkpoint and replays only the suffix.  Because ddmin
+    narrows against its most recent *failing* subset (not the original
+    map), every probe records its own checkpoints; when a probe fails it
+    becomes the new baseline, carrying forward the still-valid prefix of
+    the old one.  ``stats`` (optional dict) collects the accounting:
+    ``cycles_replayed`` / ``cycles_saved`` / ``restores``.
+    """
     items = sorted(decisions.items())
     if not items:
         return {}, 0
+    track = stats if stats is not None else {}
+    track.setdefault("cycles_replayed", 0)
+    track.setdefault("cycles_saved", 0)
+    track.setdefault("restores", 0)
+    #: Keys of the last *failing* decision map (ddmin's current baseline)
+    #: and its ``(queue watermark, state tree)`` checkpoints, ascending.
+    base_keys = set(decisions)
+    prefix: list[tuple[int, dict]] = []
 
     def fails(subset: dict[int, int]) -> bool:
-        return not run_once(target, variant, cfg,
-                            ReplayStrategy(subset)).ok
+        nonlocal base_keys, prefix
+        sub_keys = set(subset)
+        removed = base_keys - sub_keys
+        usable: list[tuple[int, dict]] = []
+        if removed and sub_keys <= base_keys:
+            cut = min(removed)
+            for wm, state in prefix:
+                if wm <= cut:
+                    usable.append((wm, state))
+                else:
+                    break
+        best = usable[-1][1] if usable else None
+        probe: list[tuple[int, dict]] = []
+        out = run_once(target, variant, cfg, ReplayStrategy(subset),
+                       restore_from=best,
+                       checkpoint_every=checkpoint_every,
+                       checkpoints=probe)
+        start = 0
+        if best is not None:
+            start = best["sim"]["now"]
+            track["restores"] += 1
+            track["cycles_saved"] += start
+        track["cycles_replayed"] += max(0, out.cycles - start)
+        if not out.ok:
+            # This subset is ddmin's new baseline; its checkpoints are the
+            # still-valid prefix of the old run plus the ones just taken.
+            base_keys = sub_keys
+            prefix = usable + probe
+        return not out.ok
 
     if not fails({}):
+        # Seed the baseline checkpoints by re-running the full failing map
+        # once with recording on.
+        run_once(target, variant, cfg, ReplayStrategy(dict(items)),
+                 checkpoint_every=checkpoint_every, checkpoints=prefix)
         shrunk, runs = _ddmin(items, fails, max_runs)
-        runs += 1
+        runs += 2
     else:
         # The unperturbed run fails too: the schedule was never the
         # trigger, so the minimal repro is the empty decision map.
@@ -345,6 +420,12 @@ class CampaignReport:
     ops_checked: int = 0
     inconclusive: int = 0
     shrink_runs: int = 0
+    #: Prefix-restore accounting for the shrink phase (repro.state):
+    #: cycles actually re-simulated, cycles skipped by restoring
+    #: checkpoints, and how many replays started from a checkpoint.
+    shrink_cycles_replayed: int = 0
+    shrink_cycles_saved: int = 0
+    shrink_restores: int = 0
     per_variant: dict[str, int] = field(default_factory=dict)
     failure: RunOutcome | None = None
     repro: dict | None = None
@@ -387,9 +468,14 @@ def run_campaign(target_name: str, *, budget: int = 100, seed: int = 1,
         if shrink and decisions:
             if progress:
                 progress(f"shrinking {len(decisions)} schedule decisions...")
+            shrink_stats: dict = {}
             decisions, spent = shrink_failure(
-                target, variant, cfg, decisions, max_runs=shrink_runs)
+                target, variant, cfg, decisions, max_runs=shrink_runs,
+                stats=shrink_stats)
             report.shrink_runs = spent
+            report.shrink_cycles_replayed = shrink_stats["cycles_replayed"]
+            report.shrink_cycles_saved = shrink_stats["cycles_saved"]
+            report.shrink_restores = shrink_stats["restores"]
             # Re-run the minimal schedule to report the minimized failure.
             final = run_once(target, variant, cfg,
                              ReplayStrategy(decisions))

@@ -82,6 +82,22 @@ class HistoryRecorder(Tracer):
             args=tuple(ev.args or ()), result=ev.result,
             invoked=invoked, responded=ev.t))
 
+    # -- checkpointing (repro.state) ----------------------------------------
+
+    def state_dict(self, codec) -> dict:
+        return {"records": [
+            [r.index, r.tid, r.core, r.op, codec.encode(r.args),
+             codec.encode(r.result), r.invoked, r.responded]
+            for r in self.records]}
+
+    def load_state(self, state: dict, codec) -> None:
+        self.records = [
+            OpRecord(index=i, tid=tid, core=core, op=op,
+                     args=codec.decode(args), result=codec.decode(result),
+                     invoked=inv, responded=resp)
+            for i, tid, core, op, args, result, inv, resp
+            in state["records"]]
+
     # -- views ---------------------------------------------------------------
 
     def per_thread(self) -> dict[int, list[OpRecord]]:

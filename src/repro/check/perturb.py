@@ -58,6 +58,19 @@ class _Recording(ScheduleStrategy):
         """Metadata for campaign reports / repro files."""
         return {"kind": self.name}
 
+    # -- checkpointing (repro.state) ----------------------------------------
+    # state_dict()/load_state() cover *progress* only (recorded decisions,
+    # RNG position, change points).  Constructor parameters -- seed, rate,
+    # replay map -- are configuration: a restore installs saved progress
+    # into a strategy built with the caller's parameters, which is what
+    # lets the shrinker resume a prefix under a *smaller* replay map.
+
+    def state_dict(self) -> dict:
+        return {"decisions": [[s, p] for s, p in self.decisions.items()]}
+
+    def load_state(self, state: dict) -> None:
+        self.decisions = {s: p for s, p in state["decisions"]}
+
 
 class RandomStrategy(_Recording):
     """Seeded random jitter: with probability ``rate`` an event is assigned
@@ -88,6 +101,19 @@ class RandomStrategy(_Recording):
     def describe(self) -> dict:
         return {"kind": self.name, "seed": self.seed, "rate": self.rate,
                 "amplitude": self.amplitude}
+
+    def state_dict(self) -> dict:
+        from ..state.codec import encode_rng
+
+        out = super().state_dict()
+        out["rng"] = encode_rng(self._rng)
+        return out
+
+    def load_state(self, state: dict) -> None:
+        from ..state.codec import decode_rng
+
+        super().load_state(state)
+        decode_rng(self._rng, state["rng"])
 
 
 class PctStrategy(_Recording):
@@ -144,6 +170,29 @@ class PctStrategy(_Recording):
     def describe(self) -> dict:
         return {"kind": self.name, "seed": self.seed, "depth": self.depth,
                 "horizon": self.horizon}
+
+    def state_dict(self) -> dict:
+        from ..state.codec import encode_rng
+
+        out = super().state_dict()
+        out.update({
+            "rng": encode_rng(self._rng),
+            "change_points": list(self._change_points),
+            "scheduled": self._scheduled,
+            "core_pri": [[c, p] for c, p in self._core_pri.items()],
+            "boosts": self._boosts,
+        })
+        return out
+
+    def load_state(self, state: dict) -> None:
+        from ..state.codec import decode_rng
+
+        super().load_state(state)
+        decode_rng(self._rng, state["rng"])
+        self._change_points = list(state["change_points"])
+        self._scheduled = state["scheduled"]
+        self._core_pri = {c: p for c, p in state["core_pri"]}
+        self._boosts = state["boosts"]
 
 
 class ReplayStrategy(_Recording):

@@ -108,6 +108,24 @@ class LeasePropertyTracer(Tracer):
             # broken/fifo release mid-group means the group was abandoned.
             self._group.pop(ev.core, None)
 
+    # -- checkpointing (repro.state) ----------------------------------------
+
+    def state_dict(self, codec=None) -> dict:
+        return {
+            "queued": [[c, l, t] for (c, l), t in self._queued.items()],
+            "group": [[c, list(g)] for c, g in self._group.items()],
+            "max_observed_defer": self.max_observed_defer,
+            "probes_checked": self.probes_checked,
+            "groups_checked": self.groups_checked,
+        }
+
+    def load_state(self, state: dict, codec=None) -> None:
+        self._queued = {(c, l): t for c, l, t in state["queued"]}
+        self._group = {c: list(g) for c, g in state["group"]}
+        self.max_observed_defer = state["max_observed_defer"]
+        self.probes_checked = state["probes_checked"]
+        self.groups_checked = state["groups_checked"]
+
     def summary(self) -> dict:
         return {"probes_checked": self.probes_checked,
                 "max_observed_defer": self.max_observed_defer,

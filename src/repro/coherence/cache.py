@@ -101,6 +101,24 @@ class L1Cache:
         self._set_of(line).pop(line, None)
         self._pinned.pop(line, None)
 
+    # -- checkpointing (repro.state) ----------------------------------------
+
+    def state_dict(self) -> dict:
+        """Per-set (line, state) pairs in LRU order plus pin refcounts.
+        LRU order is behavioral state: victim choice depends on it."""
+        return {
+            "sets": [[[line, st.name] for line, st in s.items()]
+                     for s in self._sets],
+            "pinned": [[line, n] for line, n in self._pinned.items()],
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._sets = [
+            OrderedDict((line, LineState[st]) for line, st in pairs)
+            for pairs in state["sets"]
+        ]
+        self._pinned = {line: n for line, n in state["pinned"]}
+
     def fill(self, line: int, state: LineState
              ) -> tuple[int, LineState] | None:
         """Insert ``line`` in ``state``; returns the evicted victim

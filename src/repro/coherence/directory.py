@@ -51,7 +51,8 @@ class Request:
     """One coherence request from a core, queued per line at the directory."""
 
     __slots__ = ("kind", "line", "core_id", "is_lease", "callback",
-                 "had_shared", "probe_carried_data", "attempts")
+                 "had_shared", "probe_carried_data", "attempts",
+                 "probe_stage", "pending_acks")
 
     def __init__(self, kind: MessageKind, line: int, core_id: int,
                  is_lease: bool, callback: Callable[[], None]) -> None:
@@ -66,6 +67,12 @@ class Request:
         self.probe_carried_data = False
         #: Times this request was NACKed by fault injection (see _arrive).
         self.attempts = 0
+        #: Which transaction step the outstanding probe(s) belong to
+        #: ("gets_owner" | "getx_owner" | "inv_sharers"); kept as data so
+        #: in-flight requests serialize without pickling continuations.
+        self.probe_stage: str | None = None
+        #: Remaining invalidation acks in the "inv_sharers" stage.
+        self.pending_acks = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<Req {self.kind.value} line={self.line} core={self.core_id}"
@@ -222,7 +229,7 @@ class Directory:
             owner = e.owner
             assert owner is not None
             self._send_probe(owner, req, MessageKind.DOWNGRADE,
-                             self._gets_owner_replied)
+                             "gets_owner")
         elif e.state == DirState.UNCACHED and self.mesi:
             # MESI: a read miss to an uncached line is granted
             # exclusive-clean, enabling later silent E->M upgrades.
@@ -249,9 +256,13 @@ class Directory:
             owner = e.owner
             assert owner is not None
             self._send_probe(owner, req, MessageKind.INV,
-                             self._getx_owner_replied)
+                             "getx_owner")
         elif e.state == DirState.SHARED:
-            targets = [c for c in e.sharers if c != req.core_id]
+            # Canonical (sorted) sharer order: probe fan-out must not
+            # depend on set-internal iteration order, or a checkpoint
+            # restore could legally rebuild the set with a different
+            # order and diverge from the straight-through run.
+            targets = [c for c in sorted(e.sharers) if c != req.core_id]
             req.had_shared = req.core_id in e.sharers
             if targets:
                 self._inv_sharers(req, targets)
@@ -271,40 +282,56 @@ class Directory:
         self._grant(req, LineState.M, fetch=False)
 
     def _inv_sharers(self, req: Request, targets: list[int]) -> None:
-        pending = {"n": len(targets)}
-
-        def one_ack(_req: Request = req) -> None:
-            pending["n"] -= 1
-            if pending["n"] == 0:
-                e = self._entry(req.line)
-                e.sharers.clear()
-                e.state = DirState.UNCACHED
-                self._grant(req, LineState.M, fetch=not req.had_shared)
-
+        req.pending_acks = len(targets)
         for core in targets:
-            self._send_probe(core, req, MessageKind.INV, lambda r: one_ack())
+            self._send_probe(core, req, MessageKind.INV, "inv_sharers")
 
     # -- probes ------------------------------------------------------------
 
     def _send_probe(self, target_core: int, req: Request,
-                    kind: MessageKind,
-                    done: Callable[[Request], None]) -> None:
-        """Forward a probe to ``target_core``; ``done(req)`` runs when the
-        core's reply arrives back at the home tile."""
+                    kind: MessageKind, stage: str) -> None:
+        """Forward a probe to ``target_core``; when the core's reply
+        arrives back at the home tile, :meth:`_probe_done` continues the
+        transaction step named by ``stage``."""
         from .memunit import Probe  # local import to avoid cycle
 
         self.trace.probe_sent(target_core, req.line, kind.value)
         home = self.amap.home_tile(req.line)
-
-        def reply(carries_data: bool) -> None:
-            req.probe_carried_data = carries_data
-            kind_back = MessageKind.DATA if carries_data else MessageKind.ACK
-            self.network.send(target_core, home, kind_back, done, req)
-
+        req.probe_stage = stage
         probe = Probe(line=req.line, kind=kind,
-                      requester_is_lease=req.is_lease, reply=reply)
+                      requester_is_lease=req.is_lease, req=req,
+                      target_core=target_core)
         self.network.send(home, target_core, kind,
                           self.mem_units[target_core].handle_probe, probe)
+
+    def probe_reply(self, probe, carries_data: bool) -> None:
+        """The probed core serviced ``probe``: route the DATA/ACK reply
+        back to the home tile (called by the core's memory unit, exactly
+        once per probe, possibly after a lease delay)."""
+        req = probe.req
+        req.probe_carried_data = carries_data
+        kind_back = MessageKind.DATA if carries_data else MessageKind.ACK
+        home = self.amap.home_tile(req.line)
+        self.network.send(probe.target_core, home, kind_back,
+                          self._probe_done, req)
+
+    def _probe_done(self, req: Request) -> None:
+        """A probe reply arrived at the home tile: resume the transaction
+        step recorded in ``req.probe_stage``."""
+        stage = req.probe_stage
+        if stage == "gets_owner":
+            self._gets_owner_replied(req)
+        elif stage == "getx_owner":
+            self._getx_owner_replied(req)
+        elif stage == "inv_sharers":
+            req.pending_acks -= 1
+            if req.pending_acks == 0:
+                e = self._entry(req.line)
+                e.sharers.clear()
+                e.state = DirState.UNCACHED
+                self._grant(req, LineState.M, fetch=not req.had_shared)
+        else:  # pragma: no cover - defensive
+            raise ProtocolError(f"probe reply with no stage on {req}")
 
     # -- grant ---------------------------------------------------------------
 
@@ -352,6 +379,33 @@ class Directory:
                     else MessageKind.PUTS)
             self.issue_eviction(kind, vline, core_id)
         self.l2.mark_warm(line)
+
+    # -- checkpointing (repro.state) ----------------------------------------
+
+    def state_dict(self, codec) -> dict:
+        """Every entry with its per-line FIFO queue.  Sharer sets encode
+        sorted (the codec's canonical set form); the queue's Request /
+        _Eviction objects go through the identity pool so the same object
+        referenced from the event queue stays the same object."""
+        return {"entries": [
+            [line, {"state": e.state.name,
+                    "owner": e.owner,
+                    "sharers": sorted(e.sharers),
+                    "busy": e.busy,
+                    "queue": [codec.encode(r) for r in e.queue]}]
+            for line, e in self.entries.items()
+        ]}
+
+    def load_state(self, state: dict, codec) -> None:
+        self.entries = {}
+        for line, es in state["entries"]:
+            e = DirEntry()
+            e.state = DirState[es["state"]]
+            e.owner = es["owner"]
+            e.sharers = set(es["sharers"])
+            e.busy = es["busy"]
+            e.queue = deque(codec.decode(r) for r in es["queue"])
+            self.entries[line] = e
 
     # -- introspection (used by tests) ----------------------------------------
 

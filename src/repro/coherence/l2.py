@@ -49,3 +49,11 @@ class SharedL2:
         """Account a dirty writeback into the L2 slice."""
         self.trace.writeback(line)
         self._seen.add(line)
+
+    # -- checkpointing (repro.state) ----------------------------------------
+
+    def state_dict(self) -> dict:
+        return {"seen": sorted(self._seen)}
+
+    def load_state(self, state: dict) -> None:
+        self._seen = set(state["seen"])

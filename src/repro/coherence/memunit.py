@@ -28,19 +28,22 @@ if TYPE_CHECKING:  # pragma: no cover
 class Probe:
     """An invalidate/downgrade probe delivered to a core.
 
-    ``reply(carries_data)`` must be called exactly once, when the core
-    actually services the probe (possibly after a lease delay).
+    A pure data descriptor: the probed core answers through
+    :meth:`~repro.coherence.directory.Directory.probe_reply` (exactly once,
+    when it actually services the probe, possibly after a lease delay),
+    which routes the DATA/ACK back to the home tile of ``req``'s line.
     """
 
-    __slots__ = ("line", "kind", "requester_is_lease", "reply")
+    __slots__ = ("line", "kind", "requester_is_lease", "req", "target_core")
 
     def __init__(self, line: int, kind: MessageKind,
-                 requester_is_lease: bool,
-                 reply: Callable[[bool], None]) -> None:
+                 requester_is_lease: bool, req: Request,
+                 target_core: int) -> None:
         self.line = line
         self.kind = kind
         self.requester_is_lease = requester_is_lease
-        self.reply = reply
+        self.req = req
+        self.target_core = target_core
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Probe {self.kind.value} line={self.line}>"
@@ -168,7 +171,7 @@ class MemUnit:
             self.trace.probe_serviced(self.core_id, probe.line,
                                           probe.kind.value, stale=True,
                                           data=False)
-            probe.reply(False)
+            self.directory.probe_reply(probe, False)
             return
         if probe.kind is MessageKind.INV:
             self.l1.invalidate(probe.line)
@@ -176,21 +179,33 @@ class MemUnit:
             self.trace.probe_serviced(self.core_id, probe.line,
                                           probe.kind.value, stale=False,
                                           data=st == LineState.M)
-            probe.reply(st == LineState.M)
+            self.directory.probe_reply(probe, st == LineState.M)
         elif probe.kind is MessageKind.DOWNGRADE:
             if st == LineState.M or st == LineState.E:
                 self.l1.set_state(probe.line, LineState.S)
                 self.trace.probe_serviced(self.core_id, probe.line,
                                               probe.kind.value, stale=False,
                                               data=st == LineState.M)
-                probe.reply(st == LineState.M)
+                self.directory.probe_reply(probe, st == LineState.M)
             else:
                 self.trace.probe_serviced(self.core_id, probe.line,
                                               probe.kind.value, stale=True,
                                               data=False)
-                probe.reply(False)
+                self.directory.probe_reply(probe, False)
         else:  # pragma: no cover - defensive
             raise ProtocolError(f"unexpected probe kind {probe.kind}")
+
+    # -- checkpointing (repro.state) ----------------------------------------
+
+    def state_dict(self, codec) -> dict:
+        """The outstanding slot (pooled: its Request is shared with the
+        directory) -- the L1 serializes separately."""
+        return {"outstanding": codec.encode(self._outstanding),
+                "l1": self.l1.state_dict()}
+
+    def load_state(self, state: dict, codec) -> None:
+        self._outstanding = codec.decode(state["outstanding"])
+        self.l1.load_state(state["l1"])
 
     # -- introspection -------------------------------------------------------
 

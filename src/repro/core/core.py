@@ -20,6 +20,26 @@ if TYPE_CHECKING:  # pragma: no cover
     from .machine import Machine
 
 
+class _CommitCallback:
+    """Callable shim around :meth:`Core._commit` with no ``core_id``.
+
+    The L1-hit commit continuation was historically a plain closure, so
+    :func:`~repro.check.perturb.owner_core` resolved it to *no* owner and
+    perturbation strategies left it at priority 0.  A bound ``Core`` method
+    would suddenly carry a ``core_id`` and reshuffle every explored
+    schedule; this shim keeps the owner anonymous while staying a named,
+    serializable object (checkpoints encode it as the core's commit slot).
+    """
+
+    __slots__ = ("core",)
+
+    def __init__(self, core: "Core") -> None:
+        self.core = core
+
+    def __call__(self) -> None:
+        self.core._commit()
+
+
 class Core:
     """One in-order core: generator driver + memory unit + lease manager."""
 
@@ -42,6 +62,10 @@ class Core:
         self.memunit.lease_mgr = self.lease_mgr
         self._gen: Generator | None = None
         self._handle: ThreadHandle | None = None
+        #: The in-flight memory op as a serializable descriptor (checkpoints
+        #: re-materialize it instead of pickling a closure).
+        self._pending_op: tuple | None = None
+        self._commit_cb = _CommitCallback(self)
         self._leases_enabled = machine.config.lease.enabled
         #: Fault-injected IPC throttle: retire latencies are multiplied by
         #: this factor (1 on a healthy core).
@@ -71,10 +95,17 @@ class Core:
 
         send: Any = ("send", value)
         while True:
+            log = self.machine._replay_log
             try:
                 if send[0] == "send":
+                    if log is not None:
+                        log.append(("send", self._handle.tid, send[1],
+                                    self.sim.now))
                     instr = gen.send(send[1])
                 else:
+                    if log is not None:
+                        log.append(("throw", self._handle.tid,
+                                    str(send[1]), self.sim.now))
                     instr = gen.throw(send[1])
             except StopIteration as stop:
                 handle = self._handle
@@ -102,30 +133,29 @@ class Core:
         if t is isa.Work:
             self.sim.after(max(1, instr.cycles) * scale, self._resume, None)
         elif t is isa.Load:
+            self._pending_op = ("load", instr.addr)
             self.memunit.access(False, instr.addr, is_lease=False,
-                                callback=lambda: self._do_load(instr.addr))
+                                callback=self._commit_cb)
         elif t is isa.Store:
-            self.memunit.access(
-                True, instr.addr, is_lease=False,
-                callback=lambda: self._do_store(instr.addr, instr.value))
-        elif t is isa.CAS:
+            self._pending_op = ("store", instr.addr, instr.value)
             self.memunit.access(True, instr.addr, is_lease=False,
-                                callback=lambda: self._do_cas(instr))
+                                callback=self._commit_cb)
+        elif t is isa.CAS:
+            self._pending_op = ("cas", instr.addr, instr.expected, instr.new)
+            self.memunit.access(True, instr.addr, is_lease=False,
+                                callback=self._commit_cb)
         elif t is isa.FetchAdd:
-            self.memunit.access(
-                True, instr.addr, is_lease=False,
-                callback=lambda: self._do_rmw(
-                    self.memory.fetch_add, instr.addr, instr.delta))
+            self._pending_op = ("fetch_add", instr.addr, instr.delta)
+            self.memunit.access(True, instr.addr, is_lease=False,
+                                callback=self._commit_cb)
         elif t is isa.Swap:
-            self.memunit.access(
-                True, instr.addr, is_lease=False,
-                callback=lambda: self._do_rmw(
-                    self.memory.swap, instr.addr, instr.value))
+            self._pending_op = ("swap", instr.addr, instr.value)
+            self.memunit.access(True, instr.addr, is_lease=False,
+                                callback=self._commit_cb)
         elif t is isa.TestAndSet:
-            self.memunit.access(
-                True, instr.addr, is_lease=False,
-                callback=lambda: self._do_rmw(
-                    self.memory.swap, instr.addr, 1))
+            self._pending_op = ("swap", instr.addr, 1)
+            self.memunit.access(True, instr.addr, is_lease=False,
+                                callback=self._commit_cb)
         elif t is isa.Fence:
             self.sim.after(scale, self._resume, None)
         elif t is isa.Lease:
@@ -135,10 +165,8 @@ class Core:
                 # The grant callback may fire synchronously (line already
                 # leased / already owned); always resume via the event queue
                 # so consecutive lease instructions cannot recurse.
-                self.lease_mgr.lease(
-                    instr.addr, instr.time,
-                    lambda: self.sim.after(0, self._resume, None),
-                    site=instr.site)
+                self.lease_mgr.lease(instr.addr, instr.time,
+                                     self._lease_done, site=instr.site)
         elif t is isa.Release:
             if not self._leases_enabled:
                 self.sim.after(0, self._resume, False)
@@ -149,9 +177,8 @@ class Core:
             if not self._leases_enabled:
                 self.sim.after(0, self._resume, None)
             else:
-                self.lease_mgr.multilease(
-                    instr.addrs, instr.time,
-                    lambda: self.sim.after(0, self._resume, None))
+                self.lease_mgr.multilease(instr.addrs, instr.time,
+                                          self._lease_done)
         elif t is isa.ReleaseAll:
             if not self._leases_enabled:
                 self.sim.after(0, self._resume, None)
@@ -163,19 +190,43 @@ class Core:
                 f"core {self.core_id}: thread yielded non-instruction "
                 f"{instr!r}")
 
-    # -- memory-op commit points (run at access-completion instants) ---------
+    # -- checkpointing (repro.state) ----------------------------------------
 
-    def _do_load(self, addr: int) -> None:
-        self._resume(self.memory.read(addr))
+    def state_dict(self, codec) -> dict:
+        """The core's own state beyond the generator (which the machine
+        re-materializes by replaying the resume log): the in-flight memory
+        op plus the memory unit and lease manager."""
+        return {
+            "pending_op": codec.encode(self._pending_op),
+            "memunit": self.memunit.state_dict(codec),
+            "lease": self.lease_mgr.state_dict(codec),
+        }
 
-    def _do_store(self, addr: int, value: Any) -> None:
-        self.memory.write(addr, value)
-        self._resume(None)
+    def load_state(self, state: dict, codec) -> None:
+        self._pending_op = codec.decode(state["pending_op"])
+        self.memunit.load_state(state["memunit"], codec)
+        self.lease_mgr.load_state(state["lease"], codec)
 
-    def _do_cas(self, instr: isa.CAS) -> None:
-        ok = self.memory.cas(instr.addr, instr.expected, instr.new)
-        self.trace.cas(self.core_id, instr.addr, ok)
-        self._resume(ok)
+    # -- memory-op commit point (runs at the access-completion instant) ------
 
-    def _do_rmw(self, fn, addr: int, operand: Any) -> None:
-        self._resume(fn(addr, operand))
+    def _lease_done(self) -> None:
+        """Retirement continuation of Lease/MultiLease instructions."""
+        self.sim.after(0, self._resume, None)
+
+    def _commit(self) -> None:
+        op = self._pending_op
+        self._pending_op = None
+        kind = op[0]
+        if kind == "load":
+            self._resume(self.memory.read(op[1]))
+        elif kind == "store":
+            self.memory.write(op[1], op[2])
+            self._resume(None)
+        elif kind == "cas":
+            ok = self.memory.cas(op[1], op[2], op[3])
+            self.trace.cas(self.core_id, op[1], ok)
+            self._resume(ok)
+        elif kind == "fetch_add":
+            self._resume(self.memory.fetch_add(op[1], op[2]))
+        else:  # swap (also serves TestAndSet)
+            self._resume(self.memory.swap(op[1], op[2]))

@@ -21,13 +21,45 @@ from ..coherence.directory import Directory
 from ..coherence.l2 import SharedL2
 from ..coherence.network import MeshNetwork
 from ..engine import Simulator
-from ..errors import SimulationError
+from ..errors import CheckpointError, CheckpointMismatch, SimulationError
 from ..faults import build_plan
 from ..mem import AddressMap, Allocator, Memory
 from ..stats import EnergyModel, RunResult
 from ..trace import CountersTracer, TraceBus, Tracer
 from .core import Core
 from .thread import Ctx, ThreadHandle
+
+
+class _ReplayCursor:
+    """Read position over a restored resume log.
+
+    While :meth:`Machine.load_state` replays the log to re-materialize the
+    thread generators, :class:`~repro.core.thread.Ctx` pops its recorded
+    ``alloc``/``peek`` results from here (instead of re-touching the
+    allocator/memory, whose state is installed after the replay); the
+    machine itself pops the ``send``/``throw`` entries that drive the
+    generators.  Both advance the same position, because the log is one
+    global-order sequence.
+    """
+
+    __slots__ = ("entries", "pos")
+
+    def __init__(self, entries: list) -> None:
+        self.entries = entries
+        self.pos = 0
+
+    def next_entry(self):
+        return self.entries[self.pos] if self.pos < len(self.entries) else None
+
+    def take(self, kind: str, tid: int) -> Any:
+        entry = self.next_entry()
+        if entry is None or entry[0] != kind or entry[1] != tid:
+            raise CheckpointError(
+                f"resume-log divergence: thread {tid} asked for a {kind!r} "
+                f"result but the log has {entry!r}; the restored machine "
+                "is not running the checkpointed workload")
+        self.pos += 1
+        return entry[2]
 
 
 class Machine:
@@ -73,9 +105,19 @@ class Machine:
         self.directory.mem_units = [c.memunit for c in self.cores]
         self.energy_model = EnergyModel(cfg.energy, cfg.num_cores)
         self.threads: list[ThreadHandle] = []
+        self._ctxs: list[Ctx] = []
         self._live_threads = 0
         self.sim.quiescent = lambda: self._live_threads == 0
         self._ran = False
+        #: Checkpoint support (repro.state).  When recording is enabled,
+        #: every generator interaction is appended to this global-order
+        #: resume log so a restore can re-materialize the generators by
+        #: replay; None (the default) records nothing and costs nothing.
+        self._replay_log: list | None = None
+        #: Cursor over a restored resume log while a replay is in progress
+        #: (Ctx pops alloc/peek results from it instead of touching the
+        #: allocator/memory, whose state is installed after the replay).
+        self._replay_cursor = None
 
     # -- instrumentation -----------------------------------------------------
 
@@ -140,6 +182,7 @@ class Machine:
             raise SimulationError(
                 f"thread body {body.__name__} must be a generator function")
         self.threads.append(handle)
+        self._ctxs.append(ctx)
         self._live_threads += 1
         self.cores[core].start_thread(gen, handle)
         return handle
@@ -158,6 +201,190 @@ class Machine:
     @property
     def now(self) -> int:
         return self.sim.now
+
+    # -- checkpointing (repro.state) ----------------------------------------
+
+    #: State-tree schema; bumped whenever a component's state shape changes.
+    STATE_SCHEMA = 1
+
+    def enable_checkpointing(self) -> None:
+        """Start recording the generator resume log, which is what allows
+        this machine to be snapshotted later.  Must be called before the
+        first :meth:`run` -- the log has to cover every generator
+        interaction from cycle 0.  Idempotent."""
+        if self._replay_log is not None:
+            return
+        if self._ran:
+            raise SimulationError(
+                "enable_checkpointing() must be called before the machine "
+                "first runs: the resume log must start at cycle 0")
+        self._replay_log = []
+
+    def state_dict(self) -> dict:
+        """Serialize the complete machine state as a JSON-safe tree.
+
+        Thread generators cannot be serialized directly; instead the
+        recorded resume log is saved, and :meth:`load_state` re-drives
+        fresh generators through it.  Everything else -- clock, RNG
+        streams, event queue, caches, directory, leases, counters, fault
+        plan, perturbation strategy -- is captured field-for-field, so a
+        restored run is bit-identical to one that never stopped.
+        """
+        from ..state.codec import SnapshotCodec, encode_rng
+
+        if self._replay_log is None:
+            raise CheckpointError(
+                "machine is not checkpointable: call enable_checkpointing() "
+                "before run()")
+        codec = SnapshotCodec(self)
+        state = {
+            "schema": self.STATE_SCHEMA,
+            "sim": self.sim.state_dict(),
+            "queue": self.sim.queue.state_dict(codec),
+            "memory": self.memory.state_dict(codec),
+            "alloc": self.alloc.state_dict(),
+            "l2": self.l2.state_dict(),
+            "directory": self.directory.state_dict(codec),
+            "cores": [c.state_dict(codec) for c in self.cores],
+            "sinks": [[type(s).__name__,
+                       s.state_dict(codec) if hasattr(s, "state_dict")
+                       else None]
+                      for s in self.trace.sinks],
+            "threads": [{"done": h.done, "result": codec.encode(h.result)}
+                        for h in self.threads],
+            "ctx_rngs": [encode_rng(c.rng) for c in self._ctxs],
+            "live_threads": self._live_threads,
+            "ran": self._ran,
+            "replay_log": [[kind, tid, codec.encode(value), t]
+                           for kind, tid, value, t in self._replay_log],
+        }
+        if self.schedule_strategy is not None and \
+                hasattr(self.schedule_strategy, "state_dict"):
+            state["strategy"] = self.schedule_strategy.state_dict()
+        if self.faults is not None:
+            state["faults"] = self.faults.state_dict()
+        # The pool must be dumped last: encoding above appends to it.
+        state["pool"] = codec.dump_pool()
+        self.trace.checkpoint_saved(self.sim.now, len(self._replay_log))
+        return state
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` tree into this freshly built
+        machine.
+
+        The machine must have been constructed with the same config and
+        populated with the same threads as the checkpointed one (the
+        on-disk container in :mod:`repro.state.checkpoint` verifies this
+        before calling here).  Restore replays the resume log into the
+        fresh generators with the trace bus muted, then installs every
+        component's saved state on top.
+        """
+        from ..errors import LeaseError
+        from ..state.codec import SnapshotCodec, decode_rng
+
+        if state.get("schema") != self.STATE_SCHEMA:
+            raise CheckpointMismatch(
+                f"state schema {state.get('schema')!r} != "
+                f"{self.STATE_SCHEMA} supported by this build")
+        if self._ran:
+            raise CheckpointError(
+                "load_state() requires a freshly built machine: this one "
+                "has already run")
+        if len(state["threads"]) != len(self.threads):
+            raise CheckpointMismatch(
+                f"checkpoint has {len(state['threads'])} threads, machine "
+                f"has {len(self.threads)}: not the same workload")
+        if ("faults" in state) != (self.faults is not None):
+            raise CheckpointMismatch(
+                "checkpoint and machine disagree about fault injection "
+                "(different fault_spec?)")
+        codec = SnapshotCodec(self)
+        codec.load_pool(state["pool"])
+        # -- replay the resume log into the fresh generators ---------------
+        # Sinks already saw these events in the original run; their state
+        # is installed from the snapshot below, so the bus stays muted.
+        self.trace.mute()
+        entries = [(kind, tid, codec.decode(enc), t)
+                   for kind, tid, enc, t in state["replay_log"]]
+        cursor = _ReplayCursor(entries)
+        self._replay_cursor = cursor
+        self._replay_log = None
+        try:
+            while (entry := cursor.next_entry()) is not None:
+                kind, tid, value, t = entry
+                if kind not in ("send", "throw"):
+                    raise CheckpointError(
+                        f"stray {kind!r} entry in resume log: no thread "
+                        "consumed it during replay")
+                cursor.pos += 1
+                core = self.cores[self.threads[tid].core_id]
+                gen = core._gen
+                if gen is None:
+                    raise CheckpointError(
+                        f"resume log drives thread {tid} past its end")
+                # The body may read the clock (ctx.machine.now) mid-run;
+                # replay it under the cycle it originally saw.
+                self.sim.now = t
+                try:
+                    if kind == "send":
+                        gen.send(value)
+                    else:
+                        gen.throw(LeaseError(value))
+                except StopIteration:
+                    core._gen = None
+                    core._handle = None
+        finally:
+            self._replay_cursor = None
+        if cursor.pos != len(entries):
+            raise CheckpointError(
+                "resume log not fully consumed: restored workload diverged "
+                "from the checkpointed one")
+        # -- rebuild the event queue, then resolve shared objects -----------
+        event_map = self.sim.queue.load_state(state["queue"], codec)
+        codec.set_event_map(event_map)
+        codec.fill_pool()
+        # -- install component state ----------------------------------------
+        self.sim.load_state(state["sim"])
+        self.memory.load_state(state["memory"], codec)
+        self.alloc.load_state(state["alloc"])
+        self.l2.load_state(state["l2"])
+        self.directory.load_state(state["directory"], codec)
+        for core, cs in zip(self.cores, state["cores"]):
+            core.load_state(cs, codec)
+        sinks = self.trace.sinks
+        if len(state["sinks"]) != len(sinks):
+            raise CheckpointMismatch(
+                f"checkpoint has {len(state['sinks'])} trace sinks, machine "
+                f"has {len(sinks)}")
+        for sink, (cls_name, ss) in zip(sinks, state["sinks"]):
+            if type(sink).__name__ != cls_name:
+                raise CheckpointMismatch(
+                    f"trace sink mismatch: checkpoint saved {cls_name}, "
+                    f"machine has {type(sink).__name__}")
+            if ss is not None and hasattr(sink, "load_state"):
+                sink.load_state(ss, codec)
+        if "strategy" in state and self.schedule_strategy is not None and \
+                hasattr(self.schedule_strategy, "load_state"):
+            self.schedule_strategy.load_state(state["strategy"])
+        if self.faults is not None:
+            self.faults.load_state(state["faults"])
+        for handle, ts in zip(self.threads, state["threads"]):
+            handle.done = ts["done"]
+            handle.result = codec.decode(ts["result"])
+            core = self.cores[handle.core_id]
+            if handle.done and core._handle is not None:
+                raise CheckpointError(
+                    f"thread {handle.tid} is done in the checkpoint but its "
+                    "replayed generator never finished")
+        for ctx, r in zip(self._ctxs, state["ctx_rngs"]):
+            decode_rng(ctx.rng, r)
+        self._live_threads = state["live_threads"]
+        self._ran = state["ran"]
+        # Recording continues from the replayed history, so a machine
+        # restored from cycle T can itself be checkpointed at T' > T.
+        self._replay_log = entries
+        self.trace.unmute()
+        self.trace.checkpoint_restored(self.sim.now, len(self.threads))
 
     # -- results ------------------------------------------------------------
 

@@ -154,3 +154,43 @@ class EventQueue:
         while heap and heap[0].cancelled:
             heapq.heappop(heap)
         return heap[0].time if heap else None
+
+    # -- checkpointing (repro.state) ----------------------------------------
+
+    @property
+    def next_seq(self) -> int:
+        """The seq the next scheduled event will receive (the shrinker's
+        prefix-checkpoint watermark)."""
+        return self._seq
+
+    def state_dict(self, codec) -> dict:
+        """Live events as serializable descriptors.
+
+        Cancelled entries are dropped -- they are behaviorally invisible
+        (skipped on pop) and their callbacks may reference dead objects.
+        Events are saved in full ``(time, pri, seq)`` order so the tree is
+        canonical regardless of the heap's internal layout.
+        """
+        live = sorted(e for e in self._heap if not e.cancelled)
+        return {
+            "seq": self._seq,
+            "events": [[e.time, e.pri, e.seq, codec.encode_fn(e.fn),
+                        codec.encode(e.args)] for e in live],
+        }
+
+    def load_state(self, state: dict, codec) -> dict[int, Event]:
+        """Rebuild the heap from descriptors; returns the ``seq -> Event``
+        map so stored event references (lease expiry timers) can relink.
+        The strategy is *not* consulted: each event keeps the priority it
+        was assigned when originally scheduled."""
+        events = []
+        for time, pri, seq, fn_desc, args_enc in state["events"]:
+            ev = Event(time, seq, codec.decode_fn(fn_desc),
+                       codec.decode(args_enc))
+            ev.pri = pri
+            events.append(ev)
+        heapq.heapify(events)
+        self._heap = events
+        self._live = len(events)
+        self._seq = state["seq"]
+        return {e.seq: e for e in events}

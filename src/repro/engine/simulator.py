@@ -57,6 +57,24 @@ class Simulator:
     def cancel(self, ev: Event) -> None:
         self.queue.cancel(ev)
 
+    # -- checkpointing (repro.state) ----------------------------------------
+
+    def state_dict(self) -> dict:
+        """Clock/budget progress and RNG stream (the queue serializes
+        separately, through a codec)."""
+        from ..state.codec import encode_rng
+
+        return {"now": self.now,
+                "events_processed": self.events_processed,
+                "rng": encode_rng(self.rng)}
+
+    def load_state(self, state: dict) -> None:
+        from ..state.codec import decode_rng
+
+        self.now = state["now"]
+        self.events_processed = state["events_processed"]
+        decode_rng(self.rng, state["rng"])
+
     # -- run loop -----------------------------------------------------------
 
     def run(self, until: int | None = None) -> int:

@@ -49,3 +49,14 @@ class LeaseError(ReproError):
 class AllocationError(ReproError):
     """The simulated memory allocator ran out of address space or was
     asked for an impossible allocation."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be saved or restored (unregistered callable,
+    unsupported value, corrupt file, ...)."""
+
+
+class CheckpointMismatch(CheckpointError):
+    """A checkpoint was refused because it was taken under a different
+    configuration (machine config, fault spec, builder, or schema) than
+    the machine it is being restored into."""

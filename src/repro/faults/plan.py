@@ -96,6 +96,22 @@ class FaultPlan:
         """Retire-latency multiplier for ``core_id`` (1 = full speed)."""
         return self._core_scale.get(core_id, 1)
 
+    # -- checkpointing (repro.state) ----------------------------------------
+
+    def state_dict(self) -> dict:
+        """The four per-hook RNG streams (spec/seed are config, rebuilt
+        from the machine's own config at restore)."""
+        from ..state.codec import encode_rng
+
+        return {name: encode_rng(getattr(self, f"_{name}_rng"))
+                for name in ("net", "nack", "retry", "skew")}
+
+    def load_state(self, state: dict) -> None:
+        from ..state.codec import decode_rng
+
+        for name in ("net", "nack", "retry", "skew"):
+            decode_rng(getattr(self, f"_{name}_rng"), state[name])
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"FaultPlan(seed={self.seed}, spec={self.spec.raw!r})"
 

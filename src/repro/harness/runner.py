@@ -54,11 +54,35 @@ def sweep(bench: Callable[..., RunResult],
     return out
 
 
+def _cell_descriptor(bench: Callable[..., RunResult], num_threads: int,
+                     variant_kw: dict[str, Any], common: dict[str, Any]
+                     ) -> dict[str, Any]:
+    """JSON-safe identity of one sweep cell, for checkpoint naming and
+    warm-start matching.  Scalar kwargs are kept verbatim; the config and
+    fault spec are covered by the checkpoint container itself, and sinks
+    never affect simulated state, so neither contributes here."""
+    merged = {**common, **variant_kw}
+    kwargs = {k: v for k, v in sorted(merged.items())
+              if k not in ("config", "sinks", "schedule")
+              and (v is None or isinstance(v, (bool, int, float, str)))}
+    return {"bench": bench.__name__, "num_threads": num_threads,
+            "kwargs": kwargs}
+
+
 def _run_cell(bench: Callable[..., RunResult], num_threads: int,
               variant_kw: dict[str, Any], common: dict[str, Any]
               ) -> RunResult:
     """One sweep cell (module-level so it pickles to worker processes)."""
-    return bench(num_threads, **variant_kw, **common)
+    from ..state import hooks
+
+    if hooks.run_hook is None:
+        return bench(num_threads, **variant_kw, **common)
+    prev = hooks.cell
+    hooks.cell = _cell_descriptor(bench, num_threads, variant_kw, common)
+    try:
+        return bench(num_threads, **variant_kw, **common)
+    finally:
+        hooks.cell = prev
 
 
 def valid_metrics() -> tuple[str, ...]:

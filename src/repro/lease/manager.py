@@ -28,6 +28,28 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..mem import AddressMap
 
 
+class _PendingAcquire:
+    """The manager's single in-flight acquisition, as explicit state.
+
+    At most one Lease/MultiLease instruction is in flight per core (the
+    cores are in-order), so one slot suffices.  Keeping the progress
+    (``mode``/``index``) as data instead of closure captures is what lets
+    checkpoints serialize a machine stopped mid-acquisition.
+    """
+
+    __slots__ = ("mode", "entries", "index", "done", "group")
+
+    def __init__(self, mode: str, entries: tuple,
+                 done: Callable[[], None],
+                 group: LeaseGroup | None = None) -> None:
+        #: "single" | "hw" | "sw" -- which acquisition flow is running.
+        self.mode = mode
+        self.entries = entries
+        self.index = 0
+        self.done = done
+        self.group = group
+
+
 class LeaseManager:
     """Lease/Release state machine for one core."""
 
@@ -50,6 +72,8 @@ class LeaseManager:
         #: involuntary_ends].  Only populated when the predictor is on and
         #: the Lease instruction carries a site.
         self.site_stats: dict[str, list[int]] = {}
+        #: In-flight Lease/MultiLease acquisition (one per in-order core).
+        self._pending: _PendingAcquire | None = None
 
     # ------------------------------------------------------------------
     # Single-location leases (Algorithm 1)
@@ -91,7 +115,8 @@ class LeaseManager:
             self._release_entry(oldest, voluntary=True)
         entry = LeaseEntry(line, duration, site=site)
         self.table.add(entry)
-        self._acquire(entry, done)
+        self._pending = _PendingAcquire("single", (entry,), done)
+        self._acquire_current()
 
     # -- Section 5 involuntary-release predictor ---------------------------
 
@@ -112,28 +137,42 @@ class LeaseManager:
         if involuntary:
             stats[1] += 1
 
-    def _acquire(self, entry: LeaseEntry,
-                 done: Callable[[], None]) -> None:
-        """Request the line in exclusive state, then start the countdown."""
+    def _acquire_current(self) -> None:
+        """Request exclusive ownership of the pending acquisition's current
+        entry, then (on grant) start its countdown via :meth:`_on_grant`."""
         from ..coherence.states import LineState
 
+        entry = self._pending.entries[self._pending.index]
         if self.memunit.l1.state_of(entry.line) in (LineState.M,
                                                     LineState.E):
             # Already owned exclusively: the lease is effective immediately.
-            self._granted(entry)
-            if not entry.dead and entry.group is None:
-                self._start_timer(entry)
-            done()
+            self._on_grant()
             return
-
-        def on_grant() -> None:
-            self._granted(entry)
-            if not entry.dead and entry.group is None:
-                self._start_timer(entry)
-            done()
-
         self.memunit.access(True, self.amap.base_of_line(entry.line),
-                            is_lease=True, callback=on_grant)
+                            is_lease=True, callback=self._on_grant)
+
+    def _on_grant(self) -> None:
+        """Ownership of the current entry's line arrived (or was already
+        held): record the grant, start the single-lease timer, advance."""
+        p = self._pending
+        entry = p.entries[p.index]
+        self._granted(entry)
+        if not entry.dead and entry.group is None:
+            self._start_timer(entry)
+        p.index += 1
+        if p.mode == "single":
+            self._finish_pending()
+        elif p.mode == "hw":
+            self._hw_step()
+        else:
+            self._sw_step()
+
+    def _finish_pending(self) -> None:
+        """Retire the in-flight instruction (clear first: ``done`` may
+        issue the next lease synchronously)."""
+        p = self._pending
+        self._pending = None
+        p.done()
 
     def _granted(self, entry: LeaseEntry) -> None:
         entry.granted = True
@@ -301,24 +340,28 @@ class LeaseManager:
         countdown timers start jointly once the whole group is held."""
         group = LeaseGroup(tuple(lines))
         self.active_group = group
-        entries = [LeaseEntry(line, duration, group) for line in lines]
+        entries = tuple(LeaseEntry(line, duration, group) for line in lines)
         for e in entries:
             self.table.add(e)
+        self._pending = _PendingAcquire("hw", entries, done, group)
+        self._hw_step()
 
-        def acquire(i: int) -> None:
-            if group.dead:
-                done()
-                return
-            if i == len(entries):
-                # Whole group granted: start all counters together.
-                for e in entries:
-                    if not e.dead:
-                        self._start_timer(e)
-                done()
-                return
-            self._acquire(entries[i], lambda: acquire(i + 1))
-
-        acquire(0)
+    def _hw_step(self) -> None:
+        """One step of the hardware MultiLease walk: abort if the group
+        died, start all counters together once every line is held, else
+        acquire the next line in global sort order."""
+        p = self._pending
+        if p.group.dead:
+            self._finish_pending()
+            return
+        if p.index == len(p.entries):
+            # Whole group granted: start all counters together.
+            for e in p.entries:
+                if not e.dead:
+                    self._start_timer(e)
+            self._finish_pending()
+            return
+        self._acquire_current()
 
     def _software_multilease(self, lines: list[int], duration: int,
                              done: Callable[[], None]) -> None:
@@ -328,30 +371,33 @@ class LeaseManager:
         ``time`` cycles.  Joint holding is *not* guaranteed."""
         stagger = self.config.software_stagger_cycles
         n = len(lines)
-        entries = [
+        entries = tuple(
             LeaseEntry(line, min(duration + (n - 1 - j) * stagger,
                                  self.config.max_lease_time))
             for j, line in enumerate(lines)
-        ]
+        )
         for e in entries:
             self.table.add(e)
+        self._pending = _PendingAcquire("sw", entries, done)
+        self._sw_step()
 
-        overhead = self.config.software_multilease_overhead_cycles
+    def _sw_step(self) -> None:
+        """One step of the software-emulated MultiLease walk: skip entries
+        released while waiting, then charge the per-address bookkeeping
+        before acquiring the next line."""
+        p = self._pending
+        while p.index < len(p.entries) and p.entries[p.index].dead:
+            p.index += 1
+        if p.index == len(p.entries):
+            self._finish_pending()
+            return
+        # The emulation runs as ordinary instructions: charge the
+        # per-address software bookkeeping before each acquisition.
+        self.sim.after(self.config.software_multilease_overhead_cycles,
+                       self._sw_acquire_step)
 
-        def acquire(i: int) -> None:
-            if i == n:
-                done()
-                return
-            entry = entries[i]
-            if entry.dead:
-                acquire(i + 1)
-                return
-            # The emulation runs as ordinary instructions: charge the
-            # per-address software bookkeeping before each acquisition.
-            self.sim.after(overhead, self._acquire, entry,
-                           lambda: acquire(i + 1))
-
-        acquire(0)
+    def _sw_acquire_step(self) -> None:
+        self._acquire_current()
 
     def _release_group(self, group: LeaseGroup, *, voluntary: bool,
                        count_involuntary: bool = False) -> None:
@@ -374,6 +420,31 @@ class LeaseManager:
                 released.append(entry)
         for entry in released:
             self._drain_probe(entry)
+
+    # ------------------------------------------------------------------
+    # Checkpointing (repro.state)
+    # ------------------------------------------------------------------
+
+    def state_dict(self, codec) -> dict:
+        """Table entries in FIFO order, the active group, predictor stats
+        and the in-flight acquisition.  Everything object-shaped goes
+        through the identity pool: restore must preserve entry identity
+        (releases remove by identity) and pin refcounts exactly."""
+        return {
+            "table": [codec.encode(e) for e in self.table.entries()],
+            "active_group": codec.encode(self.active_group),
+            "site_stats": [[site, list(v)]
+                           for site, v in self.site_stats.items()],
+            "pending": codec.encode(self._pending),
+        }
+
+    def load_state(self, state: dict, codec) -> None:
+        self.table.load_entries(
+            codec.decode(e) for e in state["table"])
+        self.active_group = codec.decode(state["active_group"])
+        self.site_stats = {site: list(v)
+                           for site, v in state["site_stats"]}
+        self._pending = codec.decode(state["pending"])
 
     # ------------------------------------------------------------------
     # Introspection

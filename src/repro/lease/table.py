@@ -103,6 +103,11 @@ class LeaseTable:
         """Snapshot of entries in FIFO order."""
         return list(self._entries.values())
 
+    def load_entries(self, entries) -> None:
+        """Replace the table contents with ``entries`` (checkpoint
+        restore; iteration order becomes the FIFO order)."""
+        self._entries = OrderedDict((e.line, e) for e in entries)
+
     @property
     def full(self) -> bool:
         return len(self._entries) >= self.max_entries

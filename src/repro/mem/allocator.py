@@ -89,3 +89,14 @@ class Allocator:
     def label_of(self, line: int) -> str | None:
         """Symbolic label of the allocation covering ``line``, if any."""
         return self._labels.get(line)
+
+    # -- checkpointing (repro.state) ----------------------------------------
+
+    def state_dict(self) -> dict:
+        return {"next": self._next,
+                "labels": [[line, lbl] for line, lbl in
+                           self._labels.items()]}
+
+    def load_state(self, state: dict) -> None:
+        self._next = state["next"]
+        self._labels = {line: lbl for line, lbl in state["labels"]}

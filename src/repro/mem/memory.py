@@ -60,6 +60,17 @@ class Memory:
         self._words[addr] = value
         return old
 
+    # -- checkpointing (repro.state) ----------------------------------------
+
+    def state_dict(self, codec) -> dict:
+        """All written words, in insertion order (values go through the
+        codec: workloads store arbitrary -- usually int -- objects)."""
+        return {"words": [[a, codec.encode(v)]
+                          for a, v in self._words.items()]}
+
+    def load_state(self, state: dict, codec) -> None:
+        self._words = {a: codec.decode(v) for a, v in state["words"]}
+
     def __len__(self) -> int:
         return len(self._words)
 

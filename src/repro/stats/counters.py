@@ -62,7 +62,17 @@ class Counters:
     stm_aborts: int = 0
     ops_completed: int = 0           # data-structure operations (driver)
 
+    # -- checkpointing (repro.state) ----------------------------------------
+    checkpoints_saved: int = 0
+    checkpoints_restored: int = 0
+
     per_core_ops: dict[int, int] = field(default_factory=dict)
+
+    #: Excluded from snapshot()/delta(): a restored run has taken/restored
+    #: checkpoints a straight-through run has not, and RunResult counters
+    #: must stay bit-identical between the two.
+    _SNAPSHOT_EXCLUDE = frozenset({"checkpoints_saved",
+                                   "checkpoints_restored"})
 
     # -----------------------------------------------------------------------
 
@@ -75,6 +85,8 @@ class Counters:
         """Copy of all scalar counters (for measurement windows)."""
         out = {}
         for f in fields(self):
+            if f.name in self._SNAPSHOT_EXCLUDE:
+                continue
             v = getattr(self, f.name)
             if isinstance(v, int):
                 out[f.name] = v
@@ -91,3 +103,24 @@ class Counters:
             if isinstance(v, int):
                 setattr(self, f.name, 0)
         self.per_core_ops.clear()
+
+    # -- checkpointing (repro.state) ----------------------------------------
+
+    def state_dict(self) -> dict:
+        """All scalar fields (checkpoint counters included: the restored
+        machine should report the same totals) plus per-core ops."""
+        out: dict = {}
+        for f in fields(self):
+            v = getattr(self, f.name)
+            if isinstance(v, int):
+                out[f.name] = v
+        out["per_core_ops"] = [[c, n] for c, n in self.per_core_ops.items()]
+        return out
+
+    def load_state(self, state: dict) -> None:
+        for f in fields(self):
+            if f.name in state and isinstance(getattr(self, f.name), int):
+                setattr(self, f.name, state[f.name])
+        self.per_core_ops.clear()
+        self.per_core_ops.update(
+            {c: n for c, n in state["per_core_ops"]})

@@ -133,6 +133,7 @@ class TraceBus:
         self.clock = clock or (lambda: 0)
         self._sinks: list[Tracer] = list(sinks)
         self._fast_enabled = True
+        self._muted = False
         self._obj_types: frozenset[type] = frozenset()
         self._rebuild_slots()
 
@@ -174,6 +175,26 @@ class TraceBus:
         expensive to build."""
         return event_type in self._obj_types
 
+    # -- muting (checkpoint restore) -----------------------------------------
+
+    def mute(self) -> None:
+        """Silence the bus entirely: every per-type slot and ``emit``
+        become no-ops.  Used while a checkpoint restore replays the resume
+        log -- the replayed thread bodies re-emit events the sinks already
+        counted the first time around (sink state is installed from the
+        snapshot afterwards)."""
+        self._muted = True
+        self._rebuild_slots()
+
+    def unmute(self) -> None:
+        """Restore normal delivery after :meth:`mute`."""
+        self._muted = False
+        self._rebuild_slots()
+
+    @property
+    def muted(self) -> bool:
+        return self._muted
+
     # -- slot construction ---------------------------------------------------
 
     def _make_slow_slot(self, cls: type) -> Callable[..., None]:
@@ -191,6 +212,11 @@ class TraceBus:
     def _rebuild_slots(self) -> None:
         """Re-derive one emit slot per event type from the attached sinks.
         Runs on attach/detach/toggle only -- never on the hot path."""
+        if self._muted:
+            for cls in EVENT_TYPES:
+                setattr(self, cls.kind, _noop)
+            self._obj_types = frozenset()
+            return
         per_sink = [(s.fast_handlers() if self._fast_enabled else {},
                      s.interests()) for s in self._sinks]
         obj_types = set()
@@ -224,7 +250,7 @@ class TraceBus:
         """Stamp ``ev`` with the current cycle and deliver it to every
         attached sink."""
         sinks = self._sinks
-        if not sinks:
+        if not sinks or self._muted:
             return
         ev.t = self.clock()
         for sink in sinks:

@@ -482,6 +482,37 @@ class RetryScheduled(TraceEvent):
         self.delay = delay
 
 
+# ---------------------------------------------------------------------------
+# Checkpoint/restore (repro.state)
+# ---------------------------------------------------------------------------
+
+class CheckpointSaved(TraceEvent):
+    """The machine's state was snapshotted at ``cycle``.  ``log_entries``
+    is the length of the resume log captured with it (a rough size/depth
+    measure of the checkpoint)."""
+
+    __slots__ = ("cycle", "log_entries")
+    kind = "checkpoint_saved"
+
+    def __init__(self, cycle: int, log_entries: int) -> None:
+        super().__init__()
+        self.cycle = cycle
+        self.log_entries = log_entries
+
+
+class CheckpointRestored(TraceEvent):
+    """A snapshot taken at ``cycle`` was restored into this machine,
+    re-materializing ``threads`` thread generators from the resume log."""
+
+    __slots__ = ("cycle", "threads")
+    kind = "checkpoint_restored"
+
+    def __init__(self, cycle: int, threads: int) -> None:
+        super().__init__()
+        self.cycle = cycle
+        self.threads = threads
+
+
 class OpCompleted(TraceEvent):
     """One data-structure operation completed (the throughput unit).
 

@@ -76,6 +76,9 @@ class CountersTracer(Tracer):
             ev.FaultInjected: lambda e: self._bump("faults_injected"),
             ev.DirNack: lambda e: self._bump("dir_nacks"),
             ev.RetryScheduled: lambda e: self._bump("dir_retries"),
+            ev.CheckpointSaved: lambda e: self._bump("checkpoints_saved"),
+            ev.CheckpointRestored: lambda e: self._bump(
+                "checkpoints_restored"),
         }
         self._release_fields = {
             "voluntary": "releases_voluntary",
@@ -283,6 +286,12 @@ class CountersTracer(Tracer):
         def retry_scheduled(core, line, attempt, delay):
             k.dir_retries += 1
 
+        def checkpoint_saved(cycle, log_entries):
+            k.checkpoints_saved += 1
+
+        def checkpoint_restored(cycle, threads):
+            k.checkpoints_restored += 1
+
         return {
             ev.L1Hit: l1_hit, ev.L1Miss: l1_miss, ev.L1Evicted: l1_evicted,
             ev.MesiUpgrade: mesi_upgrade, ev.L2Access: l2_access,
@@ -299,7 +308,19 @@ class CountersTracer(Tracer):
             ev.StmOutcome: stm, ev.OpCompleted: op_completed,
             ev.FaultInjected: fault_injected, ev.DirNack: dir_nack,
             ev.RetryScheduled: retry_scheduled,
+            ev.CheckpointSaved: checkpoint_saved,
+            ev.CheckpointRestored: checkpoint_restored,
         }
+
+    # -- checkpointing (repro.state) ----------------------------------------
+
+    def state_dict(self, codec=None) -> dict:
+        return self.counters.state_dict()
+
+    def load_state(self, state: dict, codec=None) -> None:
+        """Restore counter totals *in place* -- ``machine.counters`` is
+        this sink's ``counters`` object and must keep its identity."""
+        self.counters.load_state(state)
 
 
 class RingBufferTracer(Tracer):

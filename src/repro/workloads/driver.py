@@ -48,7 +48,14 @@ def _machine(cfg: MachineConfig,
 
 
 def _finish(m: Machine, name: str, **extra: Any) -> RunResult:
-    m.run()
+    from ..state import hooks
+    if hooks.run_hook is not None:
+        # Checkpoint/restore seam (see repro.state.hooks): the CLI installs
+        # a hook that enables recording, slices the run into checkpoint
+        # intervals, and/or restores a saved state before running.
+        hooks.run_hook(m)
+    else:
+        m.run()
     k = m.counters
     return m.result(name, extra={
         "invol_releases": k.releases_involuntary,

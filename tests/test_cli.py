@@ -335,3 +335,106 @@ def test_check_replay_rejects_faults_flag(tmp_path, capsys):
     assert main(["check", "replay", str(tmp_path / "r.json"),
                  "--faults", "timer_skew:4"]) == 2
     assert "recorded in the repro file" in capsys.readouterr().err
+
+
+# -- checkpointing flags (repro.state) ---------------------------------------
+
+def test_run_checkpoint_every_saves_and_warm_start_restores(tmp_path,
+                                                            capsys):
+    ckpt_dir = str(tmp_path / "ckpts")
+    argv = ["run", "fig2_stack", "--threads", "2", "--seed", "7",
+            "--metric", "mops_per_sec"]
+    assert main(argv + ["--checkpoint-every", "2000",
+                        "--checkpoint-dir", ckpt_dir]) == 0
+    out = capsys.readouterr().out
+    assert "saved" in out and "checkpoint(s)" in out
+    files = list((tmp_path / "ckpts").glob("ckpt_*_c*.json"))
+    assert files, "no checkpoint files were written"
+
+    # Cold run for the reference numbers.
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+
+    # Warm start resumes from the saved prefixes and matches exactly.
+    assert main(argv + ["--warm-start", "--checkpoint-dir", ckpt_dir]) == 0
+    warm = capsys.readouterr().out
+    assert "restored" in warm
+    assert warm.splitlines()[-4:] == cold.splitlines()[-4:]
+
+
+def test_run_resume_restores_matching_cell(tmp_path, capsys):
+    ckpt_dir = tmp_path / "ckpts"
+    argv = ["run", "fig2_stack", "--threads", "2", "--seed", "7",
+            "--metric", "mops_per_sec"]
+    assert main(argv + ["--checkpoint-every", "2000",
+                        "--checkpoint-dir", str(ckpt_dir)]) == 0
+    capsys.readouterr()
+    ckpt = sorted(ckpt_dir.glob("ckpt_*_c*.json"))[0]
+    assert main(argv + ["--resume", str(ckpt)]) == 0
+    assert "restored" in capsys.readouterr().out
+
+
+def test_run_resume_refuses_mismatched_config(tmp_path, capsys):
+    ckpt_dir = tmp_path / "ckpts"
+    argv = ["run", "fig2_stack", "--threads", "2", "--seed", "7"]
+    assert main(argv + ["--checkpoint-every", "2000",
+                        "--checkpoint-dir", str(ckpt_dir)]) == 0
+    capsys.readouterr()
+    ckpt = sorted(ckpt_dir.glob("ckpt_*_c*.json"))[0]
+    # Different seed: the checkpoint matches no cell -> hard refusal.
+    rc = main(["run", "fig2_stack", "--threads", "2", "--seed", "8",
+               "--resume", str(ckpt)])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "matched no sweep cell" in err and "seed" in err
+
+
+def test_run_checkpoint_flags_require_serial(capsys):
+    assert main(["run", "fig2_stack", "--threads", "2", "--jobs", "2",
+                 "--checkpoint-every", "1000"]) == 2
+    assert "--jobs 1" in capsys.readouterr().err
+
+
+def test_run_rejects_bad_checkpoint_interval(capsys):
+    assert main(["run", "fig2_stack", "--threads", "2",
+                 "--checkpoint-every", "0"]) == 2
+    assert "--checkpoint-every" in capsys.readouterr().err
+
+
+def test_run_resume_missing_file(tmp_path, capsys):
+    assert main(["run", "fig2_stack", "--threads", "2",
+                 "--resume", str(tmp_path / "nope.json")]) == 2
+    assert "--resume:" in capsys.readouterr().err
+
+
+def test_check_list_targets(capsys):
+    assert main(["check", "--list-targets"]) == 0
+    out = capsys.readouterr().out
+    assert "treiber" in out and "multilease" in out
+    assert "fig2_stack->treiber" in out
+
+
+def test_check_requires_target_or_list(capsys):
+    assert main(["check"]) == 2
+    assert "--list-targets" in capsys.readouterr().err
+
+
+def test_bench_list(capsys):
+    assert main(["bench", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "snapshot_roundtrip" in out and "event_queue" in out
+
+
+def test_bench_seed_recorded(tmp_path, capsys):
+    import json as _json
+
+    rc = main(["bench", "event_queue", "--quick", "--repeats", "1",
+               "--seed", "11", "--out-dir", str(tmp_path)])
+    assert rc == 0
+    rec = _json.loads((tmp_path / "BENCH_event_queue.json").read_text())
+    assert rec["seed"] == 11
+
+
+def test_bench_rejects_bad_seed(capsys):
+    assert main(["bench", "event_queue", "--seed", "-3"]) == 2
+    assert "--seed:" in capsys.readouterr().err
