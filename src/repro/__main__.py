@@ -40,7 +40,10 @@ simulated machine (and thereby every workload RNG) for the whole sweep.
 semicolon-separated fault-injection spec (see :mod:`repro.faults`), e.g.
 ``"net_jitter:p=0.01,max=200;dir_nack:p=0.005;timer_skew:±8"``.  Faults
 are deterministic per seed: the same seed + spec replays byte-identically,
-serial or under ``--jobs``.
+serial or under ``--jobs``.  ``run``/``check``/``bench`` accept
+``--engine {fast,compat}`` to pick the run-loop engine (default ``fast``;
+results are bit-identical either way -- see DESIGN.md "Engine fast
+path"); the choice is recorded in bench records and repro files.
 
 Examples::
 
@@ -132,6 +135,14 @@ def _parse_metric(spec: str, *, allow_all: bool = True) -> str:
     return spec
 
 
+def _parse_engine(spec: str) -> str:
+    """Validate an ``--engine`` choice."""
+    if spec not in ("fast", "compat"):
+        raise _CliError(f"--engine: unknown engine {spec!r} "
+                        "(choose from: fast, compat)")
+    return spec
+
+
 def _parse_faults(spec: str) -> str:
     """Validate a ``--faults`` spec string (grammar only; per-machine
     range checks like slow-core ids happen in MachineConfig.validate)."""
@@ -172,6 +183,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides["seed"] = _parse_seed(args.seed)
     if args.faults:
         overrides["faults"] = _parse_faults(args.faults)
+    if args.engine != "fast":
+        overrides["engine"] = _parse_engine(args.engine)
     if args.invariants:
         if jobs > 1:
             raise _CliError("--invariants requires --jobs 1 (trace sinks "
@@ -353,12 +366,13 @@ def _cmd_check(args: argparse.Namespace) -> int:
         raise _CliError(f"--budget: {args.budget} is not a positive "
                         "schedule count")
     faults = _parse_faults(args.faults) if args.faults else ""
+    engine = _parse_engine(args.engine)
     if faults:
         print(f"fault campaign: {faults}")
     try:
         report = run_campaign(args.target, budget=args.budget, seed=seed,
                               shrink=not args.no_shrink,
-                              fault_spec=faults,
+                              fault_spec=faults, engine=engine,
                               progress=lambda msg: print(f"  {msg}"))
     except ReproError as err:
         raise _CliError(str(err)) from None
@@ -406,6 +420,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     jobs = _parse_jobs(args.jobs)
     seed = _parse_seed(args.seed) if args.seed is not None else None
     fault_spec = _parse_faults(args.faults) if args.faults else ""
+    engine = _parse_engine(args.engine)
     if args.repeats < 1:
         raise _CliError(f"--repeats: {args.repeats} is not a positive "
                         "repeat count")
@@ -430,12 +445,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     extras = f", faults={fault_spec!r}" if fault_spec else ""
     if seed is not None:
         extras += f", seed={seed}"
+    if engine != "fast":
+        extras += f", engine={engine}"
     print(f"bench ({mode}, repeats={args.repeats}, jobs={jobs}{extras}): "
           f"{', '.join(names)}")
     try:
         results = bench.run_many(names, quick=args.quick, jobs=jobs,
                                  repeats=args.repeats,
-                                 fault_spec=fault_spec, seed=seed)
+                                 fault_spec=fault_spec, seed=seed,
+                                 engine=engine)
     except ConfigError as err:
         raise _CliError(f"bench: {err}") from None
     for name in names:
@@ -518,6 +536,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fault-injection spec, e.g. "
                             "'net_jitter:p=0.01,max=200;dir_nack:p=0.005' "
                             "(deterministic per seed)")
+    run_p.add_argument("--engine", default="fast", metavar="ENGINE",
+                       help="run-loop engine: 'fast' (time-wheel + "
+                            "batching, the default) or 'compat' (classic "
+                            "heap); results are bit-identical either way")
     run_p.add_argument("--checkpoint-every", type=int, default=None,
                        metavar="N",
                        help="save a repro-ckpt/1 checkpoint every N "
@@ -585,6 +607,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fuzz schedules under this fault spec; the "
                               "spec is recorded in repro files so replay "
                               "reproduces the same faults")
+    check_p.add_argument("--engine", default="fast", metavar="ENGINE",
+                         help="run-loop engine recorded in repro files "
+                              "('fast' or 'compat'); perturbed schedules "
+                              "force the compat loop transparently")
 
     bench_p = sub.add_parser(
         "bench", help="time the simulator's hot loops; gate against a "
@@ -626,6 +652,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run the machine-building targets under "
                               "this fault spec (don't gate faulty runs "
                               "against a fault-free baseline)")
+    bench_p.add_argument("--engine", default="fast", metavar="ENGINE",
+                         help="run-loop engine for the machine-building "
+                              "targets ('fast' or 'compat'); recorded in "
+                              "the bench records")
     return parser
 
 

@@ -1,8 +1,8 @@
 """The microbenchmark targets: one per simulator hot loop.
 
 Each target is a plain function ``fn(quick: bool, fault_spec: str = "",
-seed: int | None = None) -> dict`` that performs one complete iteration
-of its workload and reports::
+seed: int | None = None, engine: str = "fast") -> dict`` that performs
+one complete iteration of its workload and reports::
 
     {"ops": <units of work>,            # denominator of ops/sec
      "events": <simulator events> | None,
@@ -25,6 +25,9 @@ Targets cover the loops that dominate figure-reproduction wall-clock:
   the unit every figure reproduction multiplies;
 * ``trace_fastpath``   -- the counters-only emit hot loop, fast vs slow
   path, asserting bit-identical counters and ``RunResult``;
+* ``engine_fastpath``  -- the run-loop engine A/B (time-wheel + batching
+  vs classic heap), asserting bit-identical ``RunResult`` and event
+  counts;
 * ``fault_degradation`` -- contended Treiber stack throughput under an
   escalating fault-rate grid, reporting simulated-throughput degradation
   relative to the fault-free run;
@@ -33,8 +36,10 @@ Targets cover the loops that dominate figure-reproduction wall-clock:
 
 ``fault_spec`` threads a :mod:`repro.faults` spec into the targets that
 build a machine; ``seed`` reseeds those machines (CLI ``--seed``, for
-parity with run/trace/check).  The pure-scheduler targets
-(``event_queue``, ``trace_fastpath``) accept and ignore both.
+parity with run/trace/check); ``engine`` selects the run-loop engine the
+same way (CLI ``--engine``).  The pure-scheduler targets
+(``event_queue``, ``trace_fastpath``) and the fixed A/B
+(``engine_fastpath``) accept and ignore the selectors that do not apply.
 """
 
 from __future__ import annotations
@@ -49,9 +54,10 @@ from ..engine.event_queue import EventQueue
 
 
 def _lease_config(num_cores: int, fault_spec: str = "",
-                  seed: int | None = None,
+                  seed: int | None = None, engine: str = "fast",
                   **lease_kw: Any) -> MachineConfig:
-    cfg = MachineConfig(num_cores=num_cores, fault_spec=fault_spec)
+    cfg = MachineConfig(num_cores=num_cores, fault_spec=fault_spec,
+                        engine=engine)
     if seed is not None:
         cfg = replace(cfg, seed=seed)
     return replace(cfg, lease=replace(cfg.lease, enabled=True, **lease_kw))
@@ -62,10 +68,11 @@ def _lease_config(num_cores: int, fault_spec: str = "",
 # ---------------------------------------------------------------------------
 
 def bench_event_queue(quick: bool, fault_spec: str = "",
-                      seed: int | None = None) -> dict:
+                      seed: int | None = None,
+                      engine: str = "fast") -> dict:
     """Schedule/cancel/pop/peek churn on a bare :class:`EventQueue` --
     no machine, pure scheduler cost (``__lt__``, heap ops, compaction).
-    No machine, so ``fault_spec`` and ``seed`` are ignored."""
+    No machine, so ``fault_spec``, ``seed`` and ``engine`` are ignored."""
     n = 30_000 if quick else 150_000
     q = EventQueue()
     fn = lambda: None  # noqa: E731 - payload is irrelevant here
@@ -96,14 +103,16 @@ def bench_event_queue(quick: bool, fault_spec: str = "",
 # ---------------------------------------------------------------------------
 
 def bench_coherence_storm(quick: bool, fault_spec: str = "",
-                          seed: int | None = None) -> dict:
+                          seed: int | None = None,
+                          engine: str = "fast") -> dict:
     """Every core stores to the same line in a tight loop: maximal
     invalidation + directory-queue traffic (the paper's worst case)."""
     from ..core.isa import Store
 
     cores = 4 if quick else 8
     rounds = 150 if quick else 300
-    cfg = MachineConfig(num_cores=cores, fault_spec=fault_spec)
+    cfg = MachineConfig(num_cores=cores, fault_spec=fault_spec,
+                        engine=engine)
     if seed is not None:
         cfg = replace(cfg, seed=seed)
     m = Machine(cfg)
@@ -127,14 +136,15 @@ def bench_coherence_storm(quick: bool, fault_spec: str = "",
 # ---------------------------------------------------------------------------
 
 def bench_treiber(quick: bool, fault_spec: str = "",
-                  seed: int | None = None) -> dict:
+                  seed: int | None = None,
+                  engine: str = "fast") -> dict:
     """The paper's headline workload: a contended lease-enabled Treiber
     stack at high thread count."""
     from ..structures import TreiberStack
 
     threads = 8 if quick else 16
     ops_per_thread = 25 if quick else 60
-    m = Machine(_lease_config(threads, fault_spec, seed))
+    m = Machine(_lease_config(threads, fault_spec, seed, engine))
     stack = TreiberStack(m)
     stack.prefill(range(128))
     for _ in range(threads):
@@ -147,14 +157,15 @@ def bench_treiber(quick: bool, fault_spec: str = "",
 
 
 def bench_counter_lock(quick: bool, fault_spec: str = "",
-                       seed: int | None = None) -> dict:
+                       seed: int | None = None,
+                       engine: str = "fast") -> dict:
     """The contended TTS+lease lock-based counter (Figure 3a's biggest
     winner -- and the densest emit stream per simulated cycle)."""
     from ..structures import LockedCounter
 
     threads = 8 if quick else 16
     ops_per_thread = 25 if quick else 60
-    m = Machine(_lease_config(threads, fault_spec, seed))
+    m = Machine(_lease_config(threads, fault_spec, seed, engine))
     counter = LockedCounter(m, lock="tts")
     for _ in range(threads):
         m.add_thread(counter.update_worker, ops_per_thread)
@@ -165,7 +176,8 @@ def bench_counter_lock(quick: bool, fault_spec: str = "",
 
 
 def bench_sweep_cell(quick: bool, fault_spec: str = "",
-                     seed: int | None = None) -> dict:
+                     seed: int | None = None,
+                     engine: str = "fast") -> dict:
     """One full fig2-style sweep cell (base + lease variants at one thread
     count) through the real harness path -- the unit of work every figure
     reproduction repeats dozens of times."""
@@ -175,8 +187,8 @@ def bench_sweep_cell(quick: bool, fault_spec: str = "",
     threads = 4 if quick else 8
     ops_per_thread = 15 if quick else 40
     common: dict[str, Any] = {"ops_per_thread": ops_per_thread}
-    if fault_spec or seed is not None:
-        cfg = replace(MachineConfig(), fault_spec=fault_spec)
+    if fault_spec or seed is not None or engine != "fast":
+        cfg = replace(MachineConfig(), fault_spec=fault_spec, engine=engine)
         if seed is not None:
             cfg = replace(cfg, seed=seed)
         common["config"] = cfg
@@ -204,7 +216,8 @@ _DEGRADATION_GRID: tuple[tuple[str, str], ...] = (
 
 
 def bench_fault_degradation(quick: bool, fault_spec: str = "",
-                            seed: int | None = None) -> dict:
+                            seed: int | None = None,
+                            engine: str = "fast") -> dict:
     """Contended Treiber stack across an escalating fault-rate grid.
 
     Reports each rung's *simulated* throughput relative to the fault-free
@@ -225,7 +238,7 @@ def bench_fault_degradation(quick: bool, fault_spec: str = "",
     base_tput = None
     extra: dict[str, Any] = {}
     for label, spec in grid:
-        m = Machine(replace(_lease_config(threads, seed=seed),
+        m = Machine(replace(_lease_config(threads, seed=seed, engine=engine),
                             fault_spec=spec))
         stack = TreiberStack(m)
         stack.prefill(range(128))
@@ -250,7 +263,8 @@ def bench_fault_degradation(quick: bool, fault_spec: str = "",
 # ---------------------------------------------------------------------------
 
 def bench_snapshot_roundtrip(quick: bool, fault_spec: str = "",
-                             seed: int | None = None) -> dict:
+                             seed: int | None = None,
+                             engine: str = "fast") -> dict:
     """Mid-run ``state_dict`` -> JSON -> ``load_state`` roundtrips on a
     contended Treiber stack, asserting the restored run finishes with a
     :class:`RunResult` identical to an uninterrupted one.
@@ -270,7 +284,7 @@ def bench_snapshot_roundtrip(quick: bool, fault_spec: str = "",
     rounds = 3 if quick else 6
 
     def build() -> Machine:
-        m = Machine(_lease_config(threads, fault_spec, seed))
+        m = Machine(_lease_config(threads, fault_spec, seed, engine))
         m.enable_checkpointing()
         stack = TreiberStack(m)
         stack.prefill(range(64))
@@ -328,12 +342,12 @@ def _emit_mix(bus, iters: int) -> float:
     return time.perf_counter() - t0
 
 
-def _counter_run_result(fast: bool):
+def _counter_run_result(fast: bool, engine: str = "fast"):
     """A small real machine run with the fast path toggled -- the
     byte-identity half of the A/B."""
     from ..structures import LockedCounter
 
-    m = Machine(_lease_config(4))
+    m = Machine(_lease_config(4, engine=engine))
     m.trace.set_fast_path(fast)
     counter = LockedCounter(m, lock="tts")
     for _ in range(4):
@@ -343,7 +357,8 @@ def _counter_run_result(fast: bool):
 
 
 def bench_trace_fastpath(quick: bool, fault_spec: str = "",
-                         seed: int | None = None) -> dict:
+                         seed: int | None = None,
+                         engine: str = "fast") -> dict:
     """Fast vs slow emit path on the counters-only hot loop (self-timed).
     Pure emit-path A/B with a fixed fault-free machine run, so
     ``fault_spec`` and ``seed`` are ignored.
@@ -367,8 +382,8 @@ def bench_trace_fastpath(quick: bool, fault_spec: str = "",
         raise AssertionError(
             "fast/slow emit paths diverged on the raw counter storm")
 
-    res_fast = _counter_run_result(True)
-    res_slow = _counter_run_result(False)
+    res_fast = _counter_run_result(True, engine)
+    res_slow = _counter_run_result(False, engine)
     if res_fast != res_slow:
         raise AssertionError(
             "fast/slow emit paths produced different RunResults")
@@ -380,6 +395,75 @@ def bench_trace_fastpath(quick: bool, fault_spec: str = "",
         "wall_seconds": fast_s,
         "extra": {
             "slow_wall_seconds": round(slow_s, 6),
+            "improvement_pct": round(improvement, 1),
+            "run_result_identical": True,
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# Engine fast path A/B
+# ---------------------------------------------------------------------------
+
+def _engine_ab_run(engine: str, cores: int, rounds: int, fault_spec: str,
+                   seed: int | None) -> tuple[float, Any, int]:
+    """One coherence-storm run on the chosen engine; returns
+    ``(wall_seconds, RunResult, events_processed)``."""
+    from ..core.isa import Store
+
+    cfg = MachineConfig(num_cores=cores, fault_spec=fault_spec,
+                        engine=engine)
+    if seed is not None:
+        cfg = replace(cfg, seed=seed)
+    m = Machine(cfg)
+    addr = m.alloc_var(0, label="engine_ab.line")
+
+    def body(ctx):
+        for i in range(rounds):
+            yield Store(addr, i)
+        ctx.note_op()
+
+    for _ in range(cores):
+        m.add_thread(body)
+    t0 = time.perf_counter()
+    m.run()
+    wall = time.perf_counter() - t0
+    return wall, m.result("engine_ab"), m.sim.events_processed
+
+
+def bench_engine_fastpath(quick: bool, fault_spec: str = "",
+                          seed: int | None = None,
+                          engine: str = "fast") -> dict:
+    """Fast vs compat run-loop engine on the coherence storm (self-timed).
+
+    The two-tier engine's regression guard: runs the identical maximal-
+    contention workload once per engine, asserts the :class:`RunResult`
+    AND the processed-event count are bit-identical (the tentpole's
+    correctness contract), then reports the wall-clock improvement the
+    fast engine buys.  The A/B is fixed fast-vs-compat by construction,
+    so the ``engine`` selector is ignored.
+    """
+    cores = 4 if quick else 8
+    rounds = 150 if quick else 300
+
+    fast_s, res_fast, ev_fast = _engine_ab_run(
+        "fast", cores, rounds, fault_spec, seed)
+    compat_s, res_compat, ev_compat = _engine_ab_run(
+        "compat", cores, rounds, fault_spec, seed)
+    if res_fast != res_compat:
+        raise AssertionError(
+            "fast/compat engines produced different RunResults")
+    if ev_fast != ev_compat:
+        raise AssertionError(
+            f"fast/compat engines processed different event counts "
+            f"({ev_fast} vs {ev_compat})")
+
+    improvement = (1.0 - fast_s / compat_s) * 100.0 if compat_s > 0 else 0.0
+    return {
+        "ops": cores * rounds, "events": ev_fast,
+        "wall_seconds": fast_s,
+        "extra": {
+            "compat_wall_seconds": round(compat_s, 6),
             "improvement_pct": round(improvement, 1),
             "run_result_identical": True,
         },
@@ -411,6 +495,8 @@ TARGETS: dict[str, BenchTarget] = {
                     "lease)", bench_sweep_cell),
         BenchTarget("trace_fastpath", "counters-only emit hot loop, fast "
                     "vs slow path", bench_trace_fastpath),
+        BenchTarget("engine_fastpath", "fast vs compat run-loop engine "
+                    "on the storm", bench_engine_fastpath),
         BenchTarget("fault_degradation", "Treiber throughput vs "
                     "escalating fault rate", bench_fault_degradation),
         BenchTarget("snapshot_roundtrip", "mid-run checkpoint save + "

@@ -61,8 +61,18 @@ class _Outstanding:
         self.callback = callback
 
 
+_LI = int(LineState.I)
+_LS = int(LineState.S)
+_LE = int(LineState.E)
+_LM = int(LineState.M)
+
+
 class MemUnit:
     """L1 controller for one core."""
+
+    __slots__ = ("core_id", "config", "amap", "directory", "sim", "trace",
+                 "l1", "lease_mgr", "_outstanding", "_line_shift",
+                 "_l1_latency", "_probe_pending")
 
     def __init__(self, core_id: int, config: MachineConfig,
                  amap: AddressMap, directory: Directory,
@@ -78,6 +88,17 @@ class MemUnit:
         #: Attached by the Machine after construction.
         self.lease_mgr: "LeaseManager | None" = None
         self._outstanding: _Outstanding | None = None
+        #: True only inside :meth:`complete_request` while a deferred probe
+        #: is waiting to be applied after the commit callback.  The core's
+        #: batch-advance must not fold instructions in that window: the
+        #: event-per-instruction schedule interposes the probe's
+        #: invalidation before the *next* dispatch event, which synchronous
+        #: folding would otherwise read past.  Never set between events,
+        #: so checkpoints need not serialize it.
+        self._probe_pending = False
+        # Hot-path constants (the access path runs once per instruction).
+        self._line_shift = config.line_size.bit_length() - 1
+        self._l1_latency = config.l1_latency
 
     # -- the access path --------------------------------------------------
 
@@ -93,19 +114,19 @@ class MemUnit:
             raise ProtocolError(
                 f"core {self.core_id}: second outstanding access (in-order "
                 "cores have exactly one)")
-        line = self.amap.line_of(addr)
-        st = self.l1.state_of(line)
-        hit = (st == LineState.M or st == LineState.E
-               or (st == LineState.S and not need_exclusive))
-        if hit:
-            if need_exclusive and st == LineState.E:
+        line = addr >> self._line_shift
+        l1 = self.l1
+        st = l1.state_of(line)
+        if st >= _LE or (st == _LS and not need_exclusive):
+            if need_exclusive and st == _LE:
                 # MESI silent upgrade: first write to an exclusive-clean
                 # line dirties it without any coherence traffic.
-                self.l1.set_state(line, LineState.M)
+                l1.set_state(line, LineState.M)
                 self.trace.mesi_upgrade(self.core_id, line)
             self.trace.l1_hit(self.core_id, line)
-            self.l1.touch(line)
-            self.sim.after(self.config.l1_latency, callback)
+            l1.touch(line)
+            sim = self.sim
+            sim.queue.schedule(sim.now + self._l1_latency, callback)
             return
         self.trace.l1_miss(self.core_id, line)
         kind = MessageKind.GETX if need_exclusive else MessageKind.GETS
@@ -137,9 +158,15 @@ class MemUnit:
             raise ProtocolError(
                 f"core {self.core_id}: completion for unknown request {req}")
         self._outstanding = None
-        out.callback()
         if out.deferred_probe is not None:
+            self._probe_pending = True
+            try:
+                out.callback()
+            finally:
+                self._probe_pending = False
             self._route_probe(out.deferred_probe)
+        else:
+            out.callback()
 
     # -- probe path ----------------------------------------------------------
 
@@ -167,30 +194,30 @@ class MemUnit:
     def apply_probe(self, probe: Probe) -> None:
         """Service a probe now: downgrade/invalidate the L1 line, reply."""
         st = self.l1.state_of(probe.line)
-        if st == LineState.I:
+        if st == _LI:
             self.trace.probe_serviced(self.core_id, probe.line,
-                                          probe.kind.value, stale=True,
-                                          data=False)
+                                      probe.kind.val, stale=True,
+                                      data=False)
             self.directory.probe_reply(probe, False)
             return
         if probe.kind is MessageKind.INV:
             self.l1.invalidate(probe.line)
             # Only a dirty line's ack carries data back home.
             self.trace.probe_serviced(self.core_id, probe.line,
-                                          probe.kind.value, stale=False,
-                                          data=st == LineState.M)
-            self.directory.probe_reply(probe, st == LineState.M)
+                                      probe.kind.val, stale=False,
+                                      data=st == _LM)
+            self.directory.probe_reply(probe, st == _LM)
         elif probe.kind is MessageKind.DOWNGRADE:
-            if st == LineState.M or st == LineState.E:
+            if st >= _LE:
                 self.l1.set_state(probe.line, LineState.S)
                 self.trace.probe_serviced(self.core_id, probe.line,
-                                              probe.kind.value, stale=False,
-                                              data=st == LineState.M)
-                self.directory.probe_reply(probe, st == LineState.M)
+                                          probe.kind.val, stale=False,
+                                          data=st == _LM)
+                self.directory.probe_reply(probe, st == _LM)
             else:
                 self.trace.probe_serviced(self.core_id, probe.line,
-                                              probe.kind.value, stale=True,
-                                              data=False)
+                                          probe.kind.val, stale=True,
+                                          data=False)
                 self.directory.probe_reply(probe, False)
         else:  # pragma: no cover - defensive
             raise ProtocolError(f"unexpected probe kind {probe.kind}")

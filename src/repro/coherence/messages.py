@@ -22,3 +22,14 @@ class MessageKind(Enum):
     @property
     def carries_data(self) -> bool:
         return self in (MessageKind.DATA, MessageKind.PUTM)
+
+
+# ``Enum.value`` and property access go through descriptors
+# (``DynamicClassAttribute.__get__``), which shows up prominently in hot-loop
+# profiles: the network consults the kind of every message it delivers.  Cache
+# both as plain instance attributes on each member; ``.val``/``.carries`` are
+# ordinary attribute loads with no descriptor call.
+for _m in MessageKind:
+    _m.val = _m.value
+    _m.carries = _m in (MessageKind.DATA, MessageKind.PUTM)
+del _m

@@ -21,6 +21,9 @@ from .messages import MessageKind
 class MeshNetwork:
     """Computes message latencies, traces traffic, and schedules delivery."""
 
+    __slots__ = ("config", "num_tiles", "sim", "trace", "faults", "dim",
+                 "_hops", "_lat", "_ctl", "_data")
+
     def __init__(self, config: NetworkConfig, num_tiles: int,
                  sim: Simulator, trace: TraceBus, faults=None) -> None:
         self.config = config
@@ -38,6 +41,22 @@ class MeshNetwork:
             [self._manhattan(a, b) for b in range(num_tiles)]
             for a in range(num_tiles)
         ]
+        # Control-message latency per (src, dst); data-carrying kinds add
+        # the fixed serialization term on top.
+        self._lat = [
+            [config.base_latency + config.hop_latency * h for h in row]
+            for row in self._hops
+        ]
+        # Fused (latency, hops) rows -- one control, one data-carrying --
+        # so the send hot path does a single table walk per message.
+        self._ctl = [
+            [(lat, h) for lat, h in zip(lrow, hrow)]
+            for lrow, hrow in zip(self._lat, self._hops)
+        ]
+        self._data = [
+            [(lat + config.data_latency, h) for lat, h in zip(lrow, hrow)]
+            for lrow, hrow in zip(self._lat, self._hops)
+        ]
 
     def _coords(self, tile: int) -> tuple[int, int]:
         return tile % self.dim, tile // self.dim
@@ -51,23 +70,22 @@ class MeshNetwork:
         return self._hops[src][dst]
 
     def latency(self, src: int, dst: int, kind: MessageKind) -> int:
-        c = self.config
-        lat = c.base_latency + c.hop_latency * self._hops[src][dst]
-        if kind.carries_data:
-            lat += c.data_latency
+        lat = self._lat[src][dst]
+        if kind.carries:
+            lat += self.config.data_latency
         return lat
 
     def send(self, src: int, dst: int, kind: MessageKind,
              fn: Callable[..., Any], *args: Any) -> None:
         """Trace one ``kind`` message from tile ``src`` to ``dst`` and
         schedule ``fn(*args)`` at its delivery time."""
-        lat = self.latency(src, dst, kind)
+        carries = kind.carries
+        lat, hops = (self._data if carries else self._ctl)[src][dst]
         if self.faults is not None:
             extra = self.faults.net_extra()
             if extra:
                 lat += extra
                 self.trace.fault_injected("net_jitter", dst, extra)
-        self.trace.message(src, dst, kind.value,
-                                    self._hops[src][dst],
-                                    kind.carries_data)
-        self.sim.after(lat, fn, *args)
+        self.trace.message(src, dst, kind.val, hops, carries)
+        sim = self.sim
+        sim.queue.schedule(sim.now + lat, fn, *args)

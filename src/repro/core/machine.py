@@ -75,7 +75,8 @@ class Machine:
         self.schedule_strategy = schedule_strategy
         self.sim = Simulator(seed=cfg.seed, max_cycles=cfg.max_cycles,
                              max_events=cfg.max_events,
-                             strategy=schedule_strategy)
+                             strategy=schedule_strategy,
+                             engine=cfg.engine)
         #: The instrumentation bus every layer emits trace events into.
         #: The default CountersTracer sink derives the classic flat
         #: counters; attach_tracer() adds further observers.
@@ -108,6 +109,14 @@ class Machine:
         self._ctxs: list[Ctx] = []
         self._live_threads = 0
         self.sim.quiescent = lambda: self._live_threads == 0
+        # The machine's quiescence predicate only flips on thread start and
+        # finish, and both paths notify -- so the run loop can skip the
+        # per-event poll entirely (on either engine).
+        self.sim.use_quiescence_notify()
+        #: True while core batch-advance is allowed (fast engine + every
+        #: trace sink folds events order-insensitively); recomputed at each
+        #: run() since sinks may be attached between runs.
+        self._batch_ok = False
         self._ran = False
         #: Checkpoint support (repro.state).  When recording is enabled,
         #: every generator interaction is appended to this global-order
@@ -184,11 +193,19 @@ class Machine:
         self.threads.append(handle)
         self._ctxs.append(ctx)
         self._live_threads += 1
+        self.sim.quiesce_dirty = True
         self.cores[core].start_thread(gen, handle)
         return handle
 
     def _thread_finished(self, handle: ThreadHandle) -> None:
         self._live_threads -= 1
+        self.sim.quiesce_dirty = True
+
+    @property
+    def idle_cores(self) -> int:
+        """Cores without a live thread (one thread per core, so this is
+        ``num_cores`` exactly when the machine is quiescent)."""
+        return len(self.cores) - self._live_threads
 
     # -- running -----------------------------------------------------------
 
@@ -196,11 +213,20 @@ class Machine:
         """Run until all threads finish (or ``until`` cycles).  Returns the
         final simulation time in cycles."""
         self._ran = True
+        self._batch_ok = (self.sim.engine == "fast"
+                          and all(getattr(s, "folds_unordered", False)
+                                  for s in self.trace.sinks))
         return self.sim.run(until=until)
 
     @property
     def now(self) -> int:
         return self.sim.now
+
+    @property
+    def engine(self) -> str:
+        """The engine actually in effect (``"compat"`` whenever a schedule
+        strategy is installed, regardless of the configured engine)."""
+        return self.sim.engine
 
     # -- checkpointing (repro.state) ----------------------------------------
 

@@ -2,5 +2,7 @@
 
 from .event_queue import Event, EventQueue, ScheduleStrategy
 from .simulator import Simulator
+from .wheel import TimeWheel
 
-__all__ = ["Event", "EventQueue", "ScheduleStrategy", "Simulator"]
+__all__ = ["Event", "EventQueue", "ScheduleStrategy", "Simulator",
+           "TimeWheel"]

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
+from ..coherence.states import LineState
 from ..config import LeaseConfig
 from ..engine import Simulator
 from ..errors import LeaseError
@@ -52,6 +53,9 @@ class _PendingAcquire:
 
 class LeaseManager:
     """Lease/Release state machine for one core."""
+
+    __slots__ = ("core_id", "config", "amap", "memunit", "sim", "trace",
+                 "faults", "table", "active_group", "site_stats", "_pending")
 
     def __init__(self, core_id: int, config: LeaseConfig,
                  amap: "AddressMap", memunit: "MemUnit",
@@ -140,8 +144,6 @@ class LeaseManager:
     def _acquire_current(self) -> None:
         """Request exclusive ownership of the pending acquisition's current
         entry, then (on grant) start its countdown via :meth:`_on_grant`."""
-        from ..coherence.states import LineState
-
         entry = self._pending.entries[self._pending.index]
         if self.memunit.l1.state_of(entry.line) in (LineState.M,
                                                     LineState.E):
