@@ -15,7 +15,12 @@ All three `RunResult`s must be field-for-field identical. On a mismatch
 the offending checkpoint file and a description of the cell are kept
 under ``--artifact-dir`` (CI uploads them) and the script exits 1.
 
-Run:  python examples/checkpoint_fuzz.py --rounds 20 --seed 1
+``--cluster-rounds`` adds multi-node rounds with the same three-way
+discipline, drawing over {nodes, structure, network weather, cut}: the
+whole cluster is saved through ``Cluster.state_dict()`` -> JSON -> a
+fresh cluster's ``load_state()``.
+
+Run:  python examples/checkpoint_fuzz.py --rounds 20 --cluster-rounds 6
 """
 
 from __future__ import annotations
@@ -30,6 +35,7 @@ import sys
 from dataclasses import replace
 
 from repro.check.perturb import PctStrategy, RandomStrategy
+from repro.cluster import ClusterConfig, build_cluster
 from repro.config import MachineConfig
 from repro.core.machine import Machine
 from repro.state import load_checkpoint, restore_checkpoint, save_checkpoint
@@ -40,6 +46,14 @@ FAULT_SPECS = (
     "net_jitter:p=0.1,max=40",
     "dir_nack:p=0.05;timer_skew:4",
     "net_jitter:p=0.02,max=120;dir_nack:p=0.01",
+)
+
+CLUSTER_SPECS = (
+    "",
+    "loss:p=0.12",
+    "dup:p=0.1;skew:60",
+    "loss:p=0.08;dup:p=0.04;partition:p=0.06,len=1800,check=350;"
+    "skew:80;delay:min=40,max=180",
 )
 
 
@@ -126,9 +140,72 @@ def run_round(i: int, cell: dict, strategy_seed: int,
     return ok
 
 
+def build_cluster_cell(cell: dict):
+    cfg = MachineConfig(num_cores=cell["threads"],
+                        seed=cell["machine_seed"])
+    cfg = replace(cfg, lease=replace(cfg.lease, enabled=True))
+    ccfg = ClusterConfig(nodes=cell["nodes"], objects=2, machine=cfg,
+                         lease_cycles=4_000, renew_margin=1_000,
+                         cluster_spec=cell["cluster_spec"])
+    cluster, _ = build_cluster(ccfg, structure=cell["structure"],
+                               ops_per_thread=cell["ops"])
+    return cluster
+
+
+def draw_cluster_cell(rng: random.Random) -> dict:
+    return {
+        "nodes": rng.choice((2, 3, 4)),
+        "structure": rng.choice(("counter", "treiber")),
+        "cluster_spec": rng.choice(CLUSTER_SPECS),
+        "threads": 2,
+        "ops": rng.randrange(4, 8),
+        "machine_seed": rng.randrange(1, 10_000),
+        "cut": rng.randrange(50, 4000),
+    }
+
+
+def run_cluster_round(i: int, cell: dict, artifact_dir: str) -> bool:
+    path = os.path.join(artifact_dir, f"cluster-fuzz-{i}.json")
+
+    ref = build_cluster_cell(cell)
+    ref.run()
+    r_ref = ref.result("fuzz")
+
+    c1 = build_cluster_cell(cell)
+    c1.enable_checkpointing()
+    c1.run(until=cell["cut"])
+    with open(path, "w") as f:
+        json.dump({"cell": {"fuzz_round": i, **cell},
+                   "state": c1.state_dict()}, f)
+    c1.run()
+    r_ckpt = c1.result("fuzz")
+
+    c2 = build_cluster_cell(cell)
+    with open(path) as f:
+        c2.load_state(json.load(f)["state"])
+    c2.run()
+    r_rest = c2.result("fuzz")
+
+    ok = (dataclasses.asdict(r_ckpt) == dataclasses.asdict(r_ref)
+          and dataclasses.asdict(r_rest) == dataclasses.asdict(r_ref))
+    if ok:
+        os.remove(path)
+    else:
+        with open(os.path.join(artifact_dir,
+                               f"cluster-fuzz-{i}.cell.json"), "w") as f:
+            json.dump({"cell": cell,
+                       "reference": dataclasses.asdict(r_ref),
+                       "checkpointed": dataclasses.asdict(r_ckpt),
+                       "restored": dataclasses.asdict(r_rest)},
+                      f, indent=2, sort_keys=True, default=str)
+        print(f"MISMATCH cluster round {i}: {cell}", file=sys.stderr)
+    return ok
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--rounds", type=int, default=20)
+    ap.add_argument("--cluster-rounds", type=int, default=0)
     ap.add_argument("--seed", type=int, default=1)
     ap.add_argument("--artifact-dir", default="ckpt-fuzz-artifacts")
     args = ap.parse_args()
@@ -145,9 +222,19 @@ def main() -> int:
             print(f"ok round {i}: {cell['workload']}/{cell['protocol']} "
                   f"leases={cell['leases']} strategy={cell['strategy']} "
                   f"faults={bool(cell['faults'])} cut={cell['cut']}")
+    crng = random.Random(args.seed + 1)
+    for i in range(args.cluster_rounds):
+        cell = draw_cluster_cell(crng)
+        if not run_cluster_round(i, cell, artifact_dir=args.artifact_dir):
+            failures += 1
+        else:
+            print(f"ok cluster round {i}: {cell['structure']} "
+                  f"nodes={cell['nodes']} "
+                  f"weather={bool(cell['cluster_spec'])} cut={cell['cut']}")
     if not failures and not os.listdir(args.artifact_dir):
         shutil.rmtree(args.artifact_dir)
-    print(f"{args.rounds - failures}/{args.rounds} roundtrips identical")
+    total = args.rounds + args.cluster_rounds
+    print(f"{total - failures}/{total} roundtrips identical")
     return 1 if failures else 0
 
 

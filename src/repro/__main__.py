@@ -55,9 +55,12 @@ Examples::
     python -m repro run fig2_stack --checkpoint-every 5000
     python -m repro run fig2_stack --warm-start
     python -m repro trace fig2_stack --threads 4 --heatmap
+    python -m repro run cluster_shards --nodes 3 --threads 2,4
     python -m repro check --list-targets
     python -m repro check treiber --budget 200 --seed 7
     python -m repro check treiber --budget 50 --faults "timer_skew:±8"
+    python -m repro check cluster_lease --budget 60 --nodes 3
+    python -m repro check cluster_lease --cluster "loss:p=0.1;skew:80"
     python -m repro check replay repro.treiber.json
     python -m repro bench --list
     python -m repro bench --quick --baseline benchmarks/baseline.json
@@ -135,6 +138,33 @@ def _parse_metric(spec: str, *, allow_all: bool = True) -> str:
     return spec
 
 
+def _parse_nodes(spec: str) -> int:
+    """Parse a ``--nodes`` value.  Non-integers are a CLI error; a bad
+    count is a ConfigError naming the flag, same as ClusterConfig's own
+    validation raises."""
+    from .errors import ConfigError
+
+    try:
+        n = int(spec)
+    except ValueError:
+        raise _CliError(f"--nodes: {spec!r} is not an integer") from None
+    if n < 1:
+        raise ConfigError(f"--nodes must be >= 1, got {n}")
+    return n
+
+
+def _parse_cluster_spec(spec: str) -> str:
+    """Validate a ``--cluster`` inter-node fault spec string."""
+    from .cluster import parse_cluster_spec
+    from .errors import ConfigError
+
+    try:
+        parse_cluster_spec(spec)
+    except ConfigError as err:
+        raise _CliError(f"--cluster: {err}") from None
+    return spec
+
+
 def _parse_engine(spec: str) -> str:
     """Validate an ``--engine`` choice."""
     if spec not in ("fast", "compat"):
@@ -185,10 +215,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides["faults"] = _parse_faults(args.faults)
     if args.engine != "fast":
         overrides["engine"] = _parse_engine(args.engine)
+    if args.nodes is not None:
+        if "nodes" not in exp.common:
+            raise _CliError(
+                f"--nodes: experiment {exp.id!r} is not a cluster "
+                "experiment (try: python -m repro run cluster_shards)")
+        overrides["nodes"] = _parse_nodes(args.nodes)
     if args.invariants:
         if jobs > 1:
             raise _CliError("--invariants requires --jobs 1 (trace sinks "
                             "cannot cross process boundaries)")
+        if "nodes" in exp.common:
+            raise _CliError(
+                "--invariants: cluster experiments check invariants via "
+                "the safety campaign (python -m repro check cluster_lease)")
         overrides["sinks"] = [InvariantTracer()]
 
     if args.checkpoint_every is not None and args.checkpoint_every < 1:
@@ -197,6 +237,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     checkpointing = bool(args.checkpoint_every or args.resume
                          or args.warm_start)
     policy = None
+    if checkpointing and "nodes" in exp.common:
+        raise _CliError(
+            "--checkpoint-every/--resume/--warm-start: the per-cell "
+            "checkpoint hook is single-machine; cluster state roundtrips "
+            "through Cluster.state_dict()/load_state() (see DESIGN.md "
+            "§13)")
     if checkpointing:
         if jobs > 1:
             raise _CliError(
@@ -320,7 +366,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    from .check import load_repro, replay_repro, run_campaign
+    from .check import (CLUSTER_REPRO_FORMAT, load_repro,
+                        replay_cluster_repro, replay_repro, run_campaign,
+                        run_cluster_campaign)
     from .errors import ReproError
 
     if args.list_targets:
@@ -334,6 +382,10 @@ def _cmd_check(args: argparse.Namespace) -> int:
         aliases = ", ".join(f"{a}->{t}"
                             for a, t in sorted(EXPERIMENT_ALIASES.items()))
         print(f"\nexperiment aliases: {aliases}")
+        print(f"\n{'cluster_lease':<{width}}  PaxosLease safety: at most "
+              "one node holds an object, fuzzed under message loss/dup/"
+              "partitions/timer skew [counter, treiber; --nodes, "
+              "--cluster, --quorum, --structure]")
         return 0
     if args.target is None:
         raise _CliError("check: missing target "
@@ -346,13 +398,29 @@ def _cmd_check(args: argparse.Namespace) -> int:
             raise _CliError("check replay: --faults is recorded in the "
                             "repro file; it cannot be overridden on replay")
         try:
-            repro = load_repro(args.repro)
-        except (OSError, ValueError, ReproError) as err:
+            with open(args.repro, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError) as err:
             raise _CliError(f"check replay: {err}") from None
-        print(f"replaying {args.repro}: target={repro['target']} "
-              f"variant={repro['variant']} "
-              f"decisions={len(repro.get('decisions', {}))}")
-        out = replay_repro(repro)
+        if data.get("format") == CLUSTER_REPRO_FORMAT:
+            print(f"replaying {args.repro}: cluster "
+                  f"structure={data.get('structure', 'counter')} "
+                  f"nodes={data.get('nodes')} "
+                  f"quorum={data.get('quorum')} "
+                  f"decisions={len(data.get('decisions', {}))}")
+            try:
+                out = replay_cluster_repro(data)
+            except ReproError as err:
+                raise _CliError(f"check replay: {err}") from None
+        else:
+            try:
+                repro = load_repro(args.repro)
+            except (OSError, ValueError, ReproError) as err:
+                raise _CliError(f"check replay: {err}") from None
+            print(f"replaying {args.repro}: target={repro['target']} "
+                  f"variant={repro['variant']} "
+                  f"decisions={len(repro.get('decisions', {}))}")
+            out = replay_repro(repro)
         if out.ok:
             print("replay PASSED (the recorded failure did not reproduce)")
             return 1
@@ -365,8 +433,37 @@ def _cmd_check(args: argparse.Namespace) -> int:
     if args.budget < 1:
         raise _CliError(f"--budget: {args.budget} is not a positive "
                         "schedule count")
-    faults = _parse_faults(args.faults) if args.faults else ""
     engine = _parse_engine(args.engine)
+
+    if args.target in ("cluster_lease", "cluster"):
+        if args.faults:
+            raise _CliError(
+                "check cluster_lease: inter-node faults come from "
+                "--cluster SPEC (e.g. 'loss:p=0.1;skew:80'), not --faults")
+        nodes = _parse_nodes(args.nodes) if args.nodes is not None else None
+        spec = (_parse_cluster_spec(args.cluster)
+                if args.cluster is not None else None)
+        quorum = None
+        if args.quorum is not None:
+            try:
+                quorum = int(args.quorum)
+            except ValueError:
+                raise _CliError(f"--quorum: {args.quorum!r} is not an "
+                                "integer") from None
+        if args.structure not in ("counter", "treiber"):
+            raise _CliError(f"--structure: unknown structure "
+                            f"{args.structure!r} (counter or treiber)")
+        try:
+            report = run_cluster_campaign(
+                budget=args.budget, seed=seed, nodes=nodes,
+                cluster_spec=spec, quorum=quorum,
+                structure=args.structure, shrink=not args.no_shrink,
+                engine=engine, progress=lambda msg: print(f"  {msg}"))
+        except ReproError as err:
+            raise _CliError(str(err)) from None
+        return _report_campaign(report, args.save)
+
+    faults = _parse_faults(args.faults) if args.faults else ""
     if faults:
         print(f"fault campaign: {faults}")
     try:
@@ -376,7 +473,10 @@ def _cmd_check(args: argparse.Namespace) -> int:
                               progress=lambda msg: print(f"  {msg}"))
     except ReproError as err:
         raise _CliError(str(err)) from None
+    return _report_campaign(report, args.save)
 
+
+def _report_campaign(report, save: str | None) -> int:
     print(f"check {report.target}: explored {report.schedules_run} "
           f"schedule(s), checked {report.histories_checked} histories / "
           f"{report.ops_checked} operations "
@@ -399,7 +499,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
                   f"{report.shrink_cycles_saved} of "
                   f"{report.shrink_cycles_replayed + report.shrink_cycles_saved} "
                   "replayed cycles")
-    out_path = args.save or f"repro.{report.target}.json"
+    out_path = save or f"repro.{report.target}.json"
     with open(out_path, "w", encoding="utf-8") as fp:
         json.dump(report.repro, fp, indent=2, sort_keys=True)
         fp.write("\n")
@@ -540,6 +640,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run-loop engine: 'fast' (time-wheel + "
                             "batching, the default) or 'compat' (classic "
                             "heap); results are bit-identical either way")
+    run_p.add_argument("--nodes", default=None, metavar="N",
+                       help="node count for cluster experiments (e.g. "
+                            "cluster_shards); must be >= 1")
     run_p.add_argument("--checkpoint-every", type=int, default=None,
                        metavar="N",
                        help="save a repro-ckpt/1 checkpoint every N "
@@ -611,6 +714,23 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run-loop engine recorded in repro files "
                               "('fast' or 'compat'); perturbed schedules "
                               "force the compat loop transparently")
+    check_p.add_argument("--nodes", default=None, metavar="N",
+                         help="(cluster_lease) pin the node count instead "
+                              "of sweeping 2..5")
+    check_p.add_argument("--cluster", default=None, metavar="SPEC",
+                         help="(cluster_lease) pin the inter-node fault "
+                              "spec, e.g. 'loss:p=0.1;dup:p=0.05;"
+                              "partition:p=0.05,len=2000;skew:80', "
+                              "instead of sweeping the built-in grid")
+    check_p.add_argument("--quorum", default=None, metavar="Q",
+                         help="(cluster_lease) override the majority "
+                              "quorum; 1 on a multi-node cluster is the "
+                              "deliberate-bug self-test the campaign must "
+                              "catch")
+    check_p.add_argument("--structure", default="counter",
+                         metavar="STRUCT",
+                         help="(cluster_lease) workload structure: "
+                              "'counter' (default) or 'treiber'")
 
     bench_p = sub.add_parser(
         "bench", help="time the simulator's hot loops; gate against a "
@@ -660,13 +780,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from .errors import ConfigError
+
     args = build_parser().parse_args(argv)
     handler = {"list": _cmd_list, "run": _cmd_run, "trace": _cmd_trace,
                "check": _cmd_check, "bench": _cmd_bench,
                "config": _cmd_config}[args.command]
     try:
         return handler(args)
-    except _CliError as err:
+    except (_CliError, ConfigError) as err:
         print(str(err), file=sys.stderr)
         return 2
 

@@ -32,7 +32,10 @@ Targets cover the loops that dominate figure-reproduction wall-clock:
   escalating fault-rate grid, reporting simulated-throughput degradation
   relative to the fault-free run;
 * ``snapshot_roundtrip`` -- mid-run checkpoint save + restore roundtrip
-  (``repro.state``), asserting restored runs stay bit-identical.
+  (``repro.state``), asserting restored runs stay bit-identical;
+* ``cluster_scale``     -- sharded-counter cluster throughput vs node
+  count (``repro.cluster``): N machines under one clock with PaxosLease
+  negotiating shard ownership over a mildly lossy network.
 
 ``fault_spec`` threads a :mod:`repro.faults` spec into the targets that
 build a machine; ``seed`` reseeds those machines (CLI ``--seed``, for
@@ -318,6 +321,62 @@ def bench_snapshot_roundtrip(quick: bool, fault_spec: str = "",
 
 
 # ---------------------------------------------------------------------------
+# Cluster throughput scaling
+# ---------------------------------------------------------------------------
+
+#: Node counts for the scaling curve; the first entry is the single-node
+#: baseline every other rung is normalized against.
+_CLUSTER_NODE_COUNTS_QUICK = (1, 2, 3)
+_CLUSTER_NODE_COUNTS_FULL = (1, 2, 3, 4, 5)
+
+
+def bench_cluster_scale(quick: bool, fault_spec: str = "",
+                        seed: int | None = None,
+                        engine: str = "fast") -> dict:
+    """Sharded-counter cluster throughput vs node count at fixed
+    per-node contention (the cluster layer's scaling curve).
+
+    Each rung runs the same per-node workload -- 2 threads fighting over
+    2 shards -- on 1..N machines under one clock, with PaxosLease
+    negotiating shard ownership over a mildly lossy network.  ``extra``
+    reports each rung's simulated throughput relative to the single-node
+    baseline (``n<k>_relative``) plus the paxos/message totals of the
+    widest rung.  ``fault_spec`` threads per-node (intra-machine) faults
+    into every member machine.
+    """
+    from ..cluster import bench_cluster
+
+    node_counts = (_CLUSTER_NODE_COUNTS_QUICK if quick
+                   else _CLUSTER_NODE_COUNTS_FULL)
+    # Even quick mode needs enough work per rung for a stable best-of-N
+    # wall time: a few-millisecond measurement swings past the CI gate's
+    # tolerance on a loaded runner, so aim for a few hundred ms total.
+    ops_per_thread = 150 if quick else 300
+    cfg = MachineConfig(fault_spec=fault_spec, engine=engine)
+    if seed is not None:
+        cfg = replace(cfg, seed=seed)
+    total_ops = 0
+    base_tput = None
+    extra: dict[str, Any] = {}
+    for n in node_counts:
+        res = bench_cluster(
+            2, structure="counter", nodes=n, objects=2,
+            ops_per_thread=ops_per_thread,
+            cluster_spec="loss:p=0.02;delay:min=50,max=150",
+            config=cfg)
+        total_ops += res.ops
+        tput = res.throughput_ops_per_sec
+        if base_tput is None:
+            base_tput = tput
+        extra[f"n{n}_relative"] = (round(tput / base_tput, 3)
+                                   if base_tput else 0.0)
+        if n == node_counts[-1]:
+            extra["paxos_rounds"] = res.extra["paxos_rounds"]
+            extra["node_msgs"] = res.extra["node_msgs"]
+    return {"ops": total_ops, "events": None, "extra": extra}
+
+
+# ---------------------------------------------------------------------------
 # Trace-bus fast path A/B
 # ---------------------------------------------------------------------------
 
@@ -501,5 +560,7 @@ TARGETS: dict[str, BenchTarget] = {
                     "escalating fault rate", bench_fault_degradation),
         BenchTarget("snapshot_roundtrip", "mid-run checkpoint save + "
                     "restore roundtrip", bench_snapshot_roundtrip),
+        BenchTarget("cluster_scale", "sharded-counter throughput vs "
+                    "node count (PaxosLease)", bench_cluster_scale),
     )
 }

@@ -15,20 +15,28 @@ This package closes that gap:
   Proposition 1 deferral bound, MultiLease address order);
 * :mod:`~repro.check.campaign` -- the fuzzing driver behind
   ``python -m repro check``: explore schedules under a budget, shrink a
-  failing schedule with ddmin, write a replayable repro file.
+  failing schedule with ddmin, write a replayable repro file;
+* :mod:`~repro.check.cluster` -- the multi-node campaign behind
+  ``python -m repro check cluster_lease``: PaxosLease safety (at most
+  one holder per object) fuzzed under message loss, duplication,
+  partitions and timer skew.
 """
 
 from .campaign import (CampaignReport, CheckTarget, EXPERIMENT_ALIASES,
                        RunOutcome, TARGETS, load_repro, replay_repro,
                        resolve_target, run_campaign, run_once,
                        shrink_failure)
+from .cluster import (CLUSTER_REPRO_FORMAT, CLUSTER_SPEC_GRID, NODE_GRID,
+                      cluster_config_for, replay_cluster_repro,
+                      run_cluster_campaign, run_cluster_once)
 from .history import HistoryRecorder, OpRecord
 from .linearize import LinearizationResult, check_history
 from .models import (CounterModel, ModelError, PQModel, QueueModel, SetModel,
                      StackModel)
 from .perturb import (PctStrategy, RandomStrategy, ReplayStrategy,
                       ScheduleStrategy, owner_core, strategy_for_schedule)
-from .properties import LeasePropertyTracer, PropertyViolation
+from .properties import (ClusterLeaseSafetyTracer, LeasePropertyTracer,
+                         PropertyViolation)
 
 __all__ = [
     "CampaignReport", "CheckTarget", "EXPERIMENT_ALIASES", "RunOutcome",
@@ -41,4 +49,7 @@ __all__ = [
     "PctStrategy", "RandomStrategy", "ReplayStrategy", "ScheduleStrategy",
     "owner_core", "strategy_for_schedule",
     "LeasePropertyTracer", "PropertyViolation",
+    "CLUSTER_REPRO_FORMAT", "CLUSTER_SPEC_GRID", "NODE_GRID",
+    "ClusterLeaseSafetyTracer", "cluster_config_for",
+    "replay_cluster_repro", "run_cluster_campaign", "run_cluster_once",
 ]

@@ -27,13 +27,16 @@ from typing import TYPE_CHECKING
 
 from ..errors import ProtocolError
 from ..trace.bus import Tracer
-from ..trace.events import (LeaseProbeQueued, LeaseReleased, LeaseStarted,
-                            MultiLeaseIssued, ProbeServiced, TraceEvent)
+from ..trace.events import (ClusterLeaseAcquired, ClusterLeaseExpired,
+                            ClusterLeaseReleased, LeaseProbeQueued,
+                            LeaseReleased, LeaseStarted, MultiLeaseIssued,
+                            ProbeServiced, TraceEvent)
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.machine import Machine
 
-__all__ = ["PropertyViolation", "LeasePropertyTracer"]
+__all__ = ["PropertyViolation", "LeasePropertyTracer",
+           "ClusterLeaseSafetyTracer"]
 
 
 class PropertyViolation(ProtocolError):
@@ -130,3 +133,77 @@ class LeasePropertyTracer(Tracer):
         return {"probes_checked": self.probes_checked,
                 "max_observed_defer": self.max_observed_defer,
                 "groups_checked": self.groups_checked}
+
+
+class ClusterLeaseSafetyTracer(Tracer):
+    """PaxosLease safety: at most one node holds an object at any instant.
+
+    Attach to a :class:`~repro.cluster.cluster.Cluster`'s bus.  Holders
+    only ever appear via ``cluster_lease_acquired`` events, so checking
+    at each acquire -- is any *other* node's recorded lease still
+    unexpired at this cycle? -- covers every instant.  Expiry bounds are
+    the *proposer-side* ``expires_at`` (exclusive: a lease granted until
+    ``T`` and one acquired at ``T`` do not overlap), which is the bound
+    PaxosLease actually promises; acceptor-side slots live strictly
+    longer.  ``cluster_lease_expired`` / ``_released`` retire holders
+    early, but a missing one is harmless -- the timestamp check already
+    ages entries out.
+    """
+
+    def __init__(self) -> None:
+        self._cluster = None
+        #: obj -> {node: (expires_at, ballot)} for every granted lease
+        #: not yet known to have ended.
+        self._holders: dict[int, dict[int, tuple[int, int]]] = {}
+        self.acquires_checked = 0
+        self.max_live_holders = 0
+
+    def bind(self, cluster) -> None:
+        self._cluster = cluster
+        self._holders.clear()
+
+    def on_event(self, ev: TraceEvent) -> None:
+        kind = type(ev)
+        if kind is ClusterLeaseAcquired:
+            now = ev.t
+            held = self._holders.setdefault(ev.obj, {})
+            # Age out stale entries, then demand exclusivity.
+            for node in [n for n, (exp, _) in held.items() if exp <= now]:
+                del held[node]
+            for node, (exp, ballot) in held.items():
+                if node != ev.node:
+                    raise PropertyViolation(
+                        f"cluster lease safety violated on object {ev.obj}: "
+                        f"node {ev.node} acquired (ballot {ev.ballot}, "
+                        f"expires {ev.expires_at}) at cycle {now} while "
+                        f"node {node} still holds (ballot {ballot}, "
+                        f"expires {exp})")
+            held[ev.node] = (ev.expires_at, ev.ballot)
+            self.acquires_checked += 1
+            if len(held) > self.max_live_holders:
+                self.max_live_holders = len(held)
+        elif kind is ClusterLeaseExpired or kind is ClusterLeaseReleased:
+            held = self._holders.get(ev.obj)
+            if held is not None:
+                held.pop(ev.node, None)
+
+    # -- checkpointing (repro.state) ----------------------------------------
+
+    def state_dict(self, codec=None) -> dict:
+        return {
+            "holders": [[obj, sorted([n, exp, b]
+                                     for n, (exp, b) in held.items())]
+                        for obj, held in sorted(self._holders.items())],
+            "acquires_checked": self.acquires_checked,
+            "max_live_holders": self.max_live_holders,
+        }
+
+    def load_state(self, state: dict, codec=None) -> None:
+        self._holders = {obj: {n: (exp, b) for n, exp, b in held}
+                         for obj, held in state["holders"]}
+        self.acquires_checked = state["acquires_checked"]
+        self.max_live_holders = state["max_live_holders"]
+
+    def summary(self) -> dict:
+        return {"acquires_checked": self.acquires_checked,
+                "max_live_holders": self.max_live_holders}

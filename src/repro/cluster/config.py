@@ -1,0 +1,88 @@
+"""Cluster configuration: N machines + PaxosLease + inter-node network.
+
+Follows the :class:`~repro.config.MachineConfig` idiom: a frozen dataclass
+validated at construction so misconfiguration fails fast with a
+:class:`~repro.errors.ConfigError`, picklable (the cluster spec travels as
+its raw string) so parallel sweeps and repro files can carry it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import MachineConfig
+from ..errors import ConfigError
+from .spec import parse_cluster_spec
+
+__all__ = ["ClusterConfig"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Parameters of a multi-node simulation.
+
+    ``machine`` is the per-node template: every node gets a copy with a
+    node-specific seed derived from ``seed``.  ``machine.num_cores`` is
+    therefore *cores per node*; the cluster total is
+    ``nodes * machine.num_cores``.
+    """
+
+    #: Number of machines under the shared clock.
+    nodes: int = 2
+    #: Number of cluster-leased objects (shards) the nodes contend for.
+    objects: int = 1
+    #: Per-node machine template (seed is overridden per node).
+    machine: MachineConfig = field(default_factory=MachineConfig)
+    #: Cluster lease term in cycles.  Proposers shorten their local view
+    #: of it by the skew bound; acceptors lengthen theirs by their drawn
+    #: skew, so safety holds under any drift within the bound.
+    lease_cycles: int = 20_000
+    #: Renew this many cycles before local expiry (must leave room for a
+    #: full prepare/accept round trip).
+    renew_margin: int = 5_000
+    #: Inter-node unreliability spec (see repro.cluster.spec); travels as
+    #: the raw string so the config stays picklable.
+    cluster_spec: str = ""
+    #: Accept quorum.  None = majority (N // 2 + 1).  Setting it lower is
+    #: *deliberately unsafe* -- the knob exists so the check campaign's
+    #: negative test can prove the safety tracer catches a broken quorum.
+    quorum: int | None = None
+    #: Master seed: node seeds, network streams and timer skew all derive
+    #: from it.
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if self.nodes < 1:
+            raise ConfigError(
+                f"--nodes must be >= 1, got {self.nodes}")
+        if self.objects < 1:
+            raise ConfigError(f"objects must be >= 1, got {self.objects}")
+        if self.lease_cycles < 1:
+            raise ConfigError(
+                f"lease_cycles must be >= 1, got {self.lease_cycles}")
+        if not 0 < self.renew_margin < self.lease_cycles:
+            raise ConfigError(
+                f"renew_margin={self.renew_margin} must be in "
+                f"(0, lease_cycles={self.lease_cycles})")
+        if self.quorum is not None and not 1 <= self.quorum <= self.nodes:
+            raise ConfigError(
+                f"quorum={self.quorum} out of range [1, nodes="
+                f"{self.nodes}]")
+        spec = self.spec  # strict parse; raises on a malformed string
+        if 2 * spec.skew >= self.lease_cycles:
+            raise ConfigError(
+                f"cluster spec: skew bound {spec.skew} too large for "
+                f"lease_cycles={self.lease_cycles} (need 2*skew < term)")
+
+    @property
+    def spec(self):
+        """The parsed :class:`~repro.cluster.spec.ClusterFaultSpec`."""
+        return parse_cluster_spec(self.cluster_spec)
+
+    @property
+    def effective_quorum(self) -> int:
+        return self.quorum if self.quorum is not None \
+            else self.nodes // 2 + 1

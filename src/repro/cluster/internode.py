@@ -1,0 +1,144 @@
+"""The inter-node network: lossy, latency-modeled links between machines.
+
+Distinct from the intra-node :class:`~repro.coherence.network.MeshNetwork`
+in both scale and failure model: coherence messages inside a machine are
+reliable and cycle-accurate per hop, while messages *between* machines
+cross a network that reorders (per-message latency draws), loses,
+duplicates, and partitions.  Every unreliability decision comes from its
+own seeded stream (the :mod:`repro.faults` idiom: one ``random.Random``
+per hook, keyed ``"{seed}:cluster:{hook}"``), so a cluster run is a pure
+function of ``(config, seed)`` and any safety violation replays exactly.
+
+Messages are tuples of primitives (see :mod:`repro.cluster.paxoslease`),
+which keeps in-flight traffic checkpointable without new pooled classes:
+a scheduled delivery is just ``(_deliver, dst, msg)`` in the shared event
+queue.
+
+Partitions are *weather*: every ``partition_check`` cycles the network
+rolls its partition stream; with probability ``partition_p`` it cuts a
+random bipartition of the nodes for ``partition_len`` cycles (messages
+across the cut are dropped with reason ``"partition"``), then heals at a
+later roll.  Node-local traffic (``src == dst``) never touches this
+module -- agents self-deliver synchronously.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from ..engine import Simulator
+from ..trace import TraceBus
+from .spec import ClusterFaultSpec
+
+__all__ = ["InterNodeNetwork"]
+
+
+class InterNodeNetwork:
+    """Latency/loss/duplication/partition model over ``num_nodes`` links.
+
+    ``handlers`` (one per-node callable, installed via :meth:`bind`)
+    receive delivered messages; delivery order is whatever the latency
+    draws produce, so consumers must tolerate reordering and duplicates.
+    """
+
+    def __init__(self, spec: ClusterFaultSpec, num_nodes: int,
+                 sim: Simulator, trace: TraceBus, seed: int) -> None:
+        self.spec = spec
+        self.num_nodes = num_nodes
+        self.sim = sim
+        self.trace = trace
+        self._handlers: list[Callable[[tuple], None]] = []
+        self._delay_rng = random.Random(f"{seed}:cluster:delay")
+        self._loss_rng = random.Random(f"{seed}:cluster:loss")
+        self._dup_rng = random.Random(f"{seed}:cluster:dup")
+        self._part_rng = random.Random(f"{seed}:cluster:partition")
+        #: Node ids on side A of the current bipartition (None = healed).
+        self._partition: frozenset[int] | None = None
+        self._partition_until = 0
+        if spec.partition_p > 0.0:
+            # The weather loop only exists when partitions can happen, so
+            # a partition-free spec schedules nothing extra.
+            sim.at(spec.partition_check, self._weather)
+
+    def bind(self, handlers: list[Callable[[tuple], None]]) -> None:
+        """Install the per-node delivery callbacks (one per node)."""
+        self._handlers = list(handlers)
+
+    # -- sending -------------------------------------------------------------
+
+    def _cut(self, src: int, dst: int) -> bool:
+        part = self._partition
+        return part is not None and (src in part) != (dst in part)
+
+    def send(self, src: int, dst: int, msg: tuple) -> None:
+        """Submit ``msg`` from ``src`` to ``dst``; it is delivered after a
+        seeded latency draw, unless lost or cut off by a partition."""
+        kind = msg[0]
+        if self._cut(src, dst):
+            self.trace.node_msg_dropped(src, dst, kind, "partition")
+            return
+        spec = self.spec
+        if spec.loss_p > 0.0 and self._loss_rng.random() < spec.loss_p:
+            self.trace.node_msg_dropped(src, dst, kind, "loss")
+            return
+        lat = self._delay_rng.randint(spec.delay_min, spec.delay_max)
+        self.trace.node_msg(src, dst, kind, lat)
+        self.sim.after(lat, self._deliver, dst, msg)
+        if spec.dup_p > 0.0 and self._dup_rng.random() < spec.dup_p:
+            # The duplicate draws its own latency, so the copies may
+            # arrive in either order.
+            lat2 = self._delay_rng.randint(spec.delay_min, spec.delay_max)
+            self.trace.node_msg_dup(src, dst, kind)
+            self.sim.after(lat2, self._deliver, dst, msg)
+
+    def _deliver(self, dst: int, msg: tuple) -> None:
+        self._handlers[dst](msg)
+
+    # -- partitions ----------------------------------------------------------
+
+    def _weather(self) -> None:
+        """Roll the partition stream; reschedules itself every
+        ``partition_check`` cycles."""
+        now = self.sim.now
+        spec = self.spec
+        if self._partition is not None:
+            if now >= self._partition_until:
+                self._partition = None
+        elif self._part_rng.random() < spec.partition_p:
+            side = frozenset(n for n in range(self.num_nodes)
+                             if self._part_rng.random() < 0.5)
+            if not side or len(side) == self.num_nodes:
+                # A one-sided draw is no partition; flip node 0 so the
+                # cut is real.
+                side = side ^ frozenset((0,))
+            self._partition = side
+            self._partition_until = now + spec.partition_len
+            self.trace.fault_injected("partition", -1, spec.partition_len)
+        self.sim.after(spec.partition_check, self._weather)
+
+    # -- checkpointing (repro.state) ----------------------------------------
+
+    def state_dict(self) -> dict:
+        from ..state.codec import encode_rng
+
+        return {
+            "delay_rng": encode_rng(self._delay_rng),
+            "loss_rng": encode_rng(self._loss_rng),
+            "dup_rng": encode_rng(self._dup_rng),
+            "part_rng": encode_rng(self._part_rng),
+            "partition": (sorted(self._partition)
+                          if self._partition is not None else None),
+            "partition_until": self._partition_until,
+        }
+
+    def load_state(self, state: dict) -> None:
+        from ..state.codec import decode_rng
+
+        decode_rng(self._delay_rng, state["delay_rng"])
+        decode_rng(self._loss_rng, state["loss_rng"])
+        decode_rng(self._dup_rng, state["dup_rng"])
+        decode_rng(self._part_rng, state["part_rng"])
+        part = state["partition"]
+        self._partition = frozenset(part) if part is not None else None
+        self._partition_until = state["partition_until"]

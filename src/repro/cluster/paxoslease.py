@@ -1,0 +1,386 @@
+"""PaxosLease: diskless majority-quorum lease negotiation between nodes.
+
+One :class:`PaxosAgent` per node plays both Paxos roles for every cluster
+object: *proposer* (opens rounds to acquire/renew the object's lease) and
+*acceptor* (promises ballots and records accepted leases, expiring them on
+a local timer).  There is no stable storage and no log -- safety comes
+entirely from quorum intersection plus timers:
+
+* A proposer may claim the lease only after a **quorum of accepts** for
+  its ballot.  Two quorums intersect, and the shared acceptor will not
+  accept a second ballot while its recorded lease is unexpired, so two
+  claims can only come from rounds separated by an acceptor-side expiry.
+* Timers bound how long an accept blocks the slot.  With clock drift up
+  to ``skew`` cycles, an acceptor holds its accepted lease for
+  ``T + drawn_skew`` (drawn in ``[-skew, +skew]``), while the proposer
+  only trusts its lease until ``t_prepare + T - skew`` -- measured from
+  *before* any acceptor started its timer and shortened by the full
+  bound.  Hence the proposer's local expiry never exceeds any quorum
+  acceptor's, and "at most one holder at any instant" survives any drift
+  within the bound.  (The ``quorum`` config knob can deliberately break
+  the intersection property; ``repro check cluster_lease`` uses that as
+  its negative test.)
+
+Ballot numbers are ``counter * N + node_id`` -- disjoint per node, totally
+ordered, and bumped past any ``promised`` seen in a nack.  All messages
+are tuples of primitives so the checkpoint codec needs no new classes::
+
+    ("prepare",  obj, ballot, src)
+    ("promise",  obj, ballot, src, acc_ballot, acc_holder)  # -1 = none
+    ("nack",     obj, ballot, src, promised)
+    ("accept",   obj, ballot, holder, duration, src)
+    ("accepted", obj, ballot, src)
+    ("release",  obj, ballot, holder, src)                  # voluntary
+
+``release`` is an optimization absent from the original protocol: a
+holder that stops renewing broadcasts it so acceptors can clear their
+slot early instead of blocking the object for the rest of the term.  It
+is safe (the holder already stopped using the lease) and best-effort
+(lost releases just fall back to timer expiry).
+
+Every timer is fire-and-forget: scheduled callbacks carry ``(obj,
+ballot)`` and stale ones are dropped by a ballot/phase check, so nothing
+ever needs cancelling -- which keeps the event queue checkpointable with
+four registered methods and primitive args.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .config import ClusterConfig
+
+__all__ = ["PaxosAgent"]
+
+#: Proposer phases for one object's current round.
+_IDLE, _PREPARE, _ACCEPT = "idle", "prepare", "accept"
+
+
+class _ObjState:
+    """Per-(node, object) protocol state: one proposer round + interest
+    bookkeeping + the local acceptor slot.  Plain slots of primitives;
+    the agent serializes it field-for-field."""
+
+    __slots__ = (
+        # -- interest + held lease (proposer outcome) --
+        "interest", "holding", "holding_ballot", "expires_at",
+        # -- current round (proposer) --
+        "phase", "ballot", "t_start", "promises", "accepts", "conflict",
+        "counter",
+        # -- acceptor slot --
+        "promised", "acc_ballot", "acc_holder", "acc_until",
+    )
+
+    def __init__(self) -> None:
+        self.interest = 0
+        self.holding = False
+        self.holding_ballot = -1
+        self.expires_at = 0
+        self.phase = _IDLE
+        self.ballot = -1
+        self.t_start = 0
+        self.promises: set[int] = set()
+        self.accepts: set[int] = set()
+        self.conflict = False
+        self.counter = 0
+        self.promised = -1
+        self.acc_ballot = -1
+        self.acc_holder = -1
+        self.acc_until = 0
+
+    _FIELDS = ("interest", "holding", "holding_ballot", "expires_at",
+               "phase", "ballot", "t_start", "conflict", "counter",
+               "promised", "acc_ballot", "acc_holder", "acc_until")
+
+    def state_dict(self) -> dict:
+        state = {f: getattr(self, f) for f in self._FIELDS}
+        state["promises"] = sorted(self.promises)
+        state["accepts"] = sorted(self.accepts)
+        return state
+
+    def load_state(self, state: dict) -> None:
+        for f in self._FIELDS:
+            setattr(self, f, state[f])
+        self.promises = set(state["promises"])
+        self.accepts = set(state["accepts"])
+
+
+class PaxosAgent:
+    """One node's proposer + acceptor over all cluster objects."""
+
+    def __init__(self, node: int, config: ClusterConfig, net, sim,
+                 trace) -> None:
+        self.node = node
+        self.num_nodes = config.nodes
+        self.quorum = config.effective_quorum
+        self.lease_cycles = config.lease_cycles
+        self.renew_margin = config.renew_margin
+        spec = config.spec
+        self.skew_bound = spec.skew
+        #: Abandon a round that got no quorum within two worst-case round
+        #: trips (prepare + accept), with slack for queued deliveries.
+        self.round_timeout = 4 * spec.delay_max + 200
+        self.net = net
+        self.sim = sim
+        self.trace = trace
+        self._skew_rng = random.Random(f"{config.seed}:cluster:skew:{node}")
+        self._backoff_rng = random.Random(
+            f"{config.seed}:cluster:backoff:{node}")
+        self._objs = {obj: _ObjState() for obj in range(config.objects)}
+
+    # -- the manager-facing surface -----------------------------------------
+
+    def holding(self, obj: int) -> bool:
+        """True while this node's lease on ``obj`` is locally unexpired.
+        ``expires_at`` is exclusive: at the expiry cycle the holder has
+        already stopped trusting the lease, whatever the same-cycle event
+        order."""
+        st = self._objs[obj]
+        return st.holding and self.sim.now < st.expires_at
+
+    def request(self, obj: int) -> None:
+        """Register interest (one worker entering an acquire); opens a
+        round when this is the first interested worker."""
+        st = self._objs[obj]
+        st.interest += 1
+        if st.interest == 1 and st.phase == _IDLE and not self.holding(obj):
+            self._start_round(obj, extend=False)
+
+    def stop(self, obj: int) -> None:
+        """Drop one worker's interest; the last drop voluntarily releases
+        a held lease (stops renewing and tells the acceptors)."""
+        st = self._objs[obj]
+        st.interest -= 1
+        if st.interest <= 0:
+            st.interest = 0
+            if self.holding(obj):
+                self._release(obj)
+
+    # -- proposer ------------------------------------------------------------
+
+    def _start_round(self, obj: int, extend: bool) -> None:
+        st = self._objs[obj]
+        st.counter += 1
+        ballot = st.counter * self.num_nodes + self.node
+        st.phase = _PREPARE
+        st.ballot = ballot
+        st.t_start = self.sim.now
+        st.promises = set()
+        st.accepts = set()
+        st.conflict = False
+        self.trace.paxos_round(self.node, obj, ballot, extend)
+        self.sim.after(self.round_timeout, self._on_round_timeout,
+                       obj, ballot)
+        self._broadcast(("prepare", obj, ballot, self.node))
+
+    def _release(self, obj: int) -> None:
+        st = self._objs[obj]
+        ballot = st.holding_ballot
+        st.holding = False
+        self.trace.cluster_lease_released(self.node, obj, ballot)
+        self._broadcast(("release", obj, ballot, self.node, self.node))
+
+    def _schedule_retry(self, obj: int) -> None:
+        """Seeded randomized backoff before reopening a round -- breaks
+        dueling-proposer livelock without any coordination."""
+        delay = self._backoff_rng.randint(20, self.round_timeout)
+        self.sim.after(delay, self._retry, obj)
+
+    def _retry(self, obj: int) -> None:
+        st = self._objs[obj]
+        if st.phase != _IDLE:
+            return
+        if self.holding(obj):
+            if st.interest > 0:
+                self._start_round(obj, extend=True)
+        elif st.interest > 0:
+            self._start_round(obj, extend=False)
+
+    def _maybe_renew(self, obj: int, ballot: int) -> None:
+        st = self._objs[obj]
+        if (st.holding and st.holding_ballot == ballot
+                and st.interest > 0 and st.phase == _IDLE):
+            self._start_round(obj, extend=True)
+
+    def _on_round_timeout(self, obj: int, ballot: int) -> None:
+        st = self._objs[obj]
+        if st.ballot != ballot or st.phase not in (_PREPARE, _ACCEPT):
+            return
+        st.phase = _IDLE
+        if st.interest > 0 or self.holding(obj):
+            self._schedule_retry(obj)
+
+    def _on_lease_expire(self, obj: int, ballot: int) -> None:
+        st = self._objs[obj]
+        if (st.holding and st.holding_ballot == ballot
+                and self.sim.now >= st.expires_at):
+            st.holding = False
+            self.trace.cluster_lease_expired(self.node, obj, ballot)
+            if st.interest > 0 and st.phase == _IDLE:
+                self._schedule_retry(obj)
+
+    # -- message plumbing ----------------------------------------------------
+
+    def _send(self, dst: int, msg: tuple) -> None:
+        """Self-messages are handled synchronously (a node's own acceptor
+        shares its clock; no loss or latency applies); everything else
+        goes over the lossy network."""
+        if dst == self.node:
+            self.on_message(msg)
+        else:
+            self.net.send(self.node, dst, msg)
+
+    def _broadcast(self, msg: tuple) -> None:
+        for dst in range(self.num_nodes):
+            self._send(dst, msg)
+
+    def on_message(self, msg: tuple) -> None:
+        kind = msg[0]
+        if kind == "prepare":
+            self._on_prepare(*msg[1:])
+        elif kind == "promise":
+            self._on_promise(*msg[1:])
+        elif kind == "nack":
+            self._on_nack(*msg[1:])
+        elif kind == "accept":
+            self._on_accept(*msg[1:])
+        elif kind == "accepted":
+            self._on_accepted(*msg[1:])
+        elif kind == "release":
+            self._on_release(*msg[1:])
+
+    # -- proposer: responses -------------------------------------------------
+
+    def _on_promise(self, obj: int, ballot: int, src: int,
+                    acc_ballot: int, acc_holder: int) -> None:
+        st = self._objs[obj]
+        if st.phase != _PREPARE or ballot != st.ballot:
+            return  # stale or duplicate response to a dead round
+        if acc_holder not in (-1, self.node):
+            # Someone else's lease is still live on this acceptor; the
+            # round must not steal it.
+            st.conflict = True
+        st.promises.add(src)
+        if len(st.promises) < self.quorum:
+            return
+        if st.conflict:
+            st.phase = _IDLE
+            self._schedule_retry(obj)
+            return
+        st.phase = _ACCEPT
+        st.accepts = set()
+        self._broadcast(("accept", obj, ballot, self.node,
+                         self.lease_cycles, self.node))
+
+    def _on_accepted(self, obj: int, ballot: int, src: int) -> None:
+        st = self._objs[obj]
+        if st.phase != _ACCEPT or ballot != st.ballot:
+            return
+        st.accepts.add(src)
+        if len(st.accepts) < self.quorum:
+            return
+        st.phase = _IDLE
+        # Trust the lease only up to the prepare send time plus the term,
+        # shortened by the full skew bound: every quorum acceptor started
+        # its (possibly fast-running) timer after t_start, so it outlasts
+        # this local view.
+        expires_at = st.t_start + self.lease_cycles - self.skew_bound
+        if expires_at <= self.sim.now:
+            # The round outlived the term it was negotiating; the grant
+            # is stillborn.  Try again.
+            st.holding = False
+            if st.interest > 0:
+                self._schedule_retry(obj)
+            return
+        st.holding = True
+        st.holding_ballot = ballot
+        st.expires_at = expires_at
+        self.trace.cluster_lease_acquired(self.node, obj, ballot,
+                                          expires_at)
+        if st.interest <= 0:
+            # Interest evaporated mid-round; give the lease straight back.
+            self._release(obj)
+            return
+        self.sim.at(max(self.sim.now + 1,
+                        expires_at - self.renew_margin),
+                    self._maybe_renew, obj, ballot)
+        self.sim.at(expires_at, self._on_lease_expire, obj, ballot)
+
+    def _on_nack(self, obj: int, ballot: int, src: int,
+                 promised: int) -> None:
+        st = self._objs[obj]
+        if st.ballot != ballot or st.phase not in (_PREPARE, _ACCEPT):
+            return
+        # Jump the counter past the promised ballot so the next round
+        # outbids it immediately.
+        st.counter = max(st.counter, promised // self.num_nodes)
+        st.phase = _IDLE
+        self._schedule_retry(obj)
+
+    # -- acceptor ------------------------------------------------------------
+
+    def _lazy_expire_acceptor(self, st: _ObjState) -> None:
+        """Acceptor timers need no events: the accepted lease evaporates
+        the first time the slot is consulted at or past its deadline."""
+        if st.acc_holder != -1 and self.sim.now >= st.acc_until:
+            st.acc_ballot = -1
+            st.acc_holder = -1
+            st.acc_until = 0
+
+    def _on_prepare(self, obj: int, ballot: int, src: int) -> None:
+        st = self._objs[obj]
+        self._lazy_expire_acceptor(st)
+        if ballot < st.promised:
+            self._send(src, ("nack", obj, ballot, self.node, st.promised))
+            return
+        st.promised = ballot
+        self._send(src, ("promise", obj, ballot, self.node,
+                         st.acc_ballot, st.acc_holder))
+
+    def _on_accept(self, obj: int, ballot: int, holder: int,
+                   duration: int, src: int) -> None:
+        st = self._objs[obj]
+        self._lazy_expire_acceptor(st)
+        if ballot < st.promised:
+            self._send(src, ("nack", obj, ballot, self.node, st.promised))
+            return
+        st.promised = ballot
+        st.acc_ballot = ballot
+        st.acc_holder = holder
+        # The local timer runs for the term plus this node's drift draw
+        # (bounded by the spec's skew): a slow clock blocks the slot a
+        # little longer, a fast one still outlasts the proposer's
+        # full-bound-shortened view.  A duplicate accept just re-arms the
+        # timer -- longer blocking, never a second holder.
+        skew = (self._skew_rng.randint(-self.skew_bound, self.skew_bound)
+                if self.skew_bound else 0)
+        st.acc_until = self.sim.now + duration + skew
+        self._send(src, ("accepted", obj, ballot, self.node))
+
+    def _on_release(self, obj: int, ballot: int, holder: int,
+                    src: int) -> None:
+        st = self._objs[obj]
+        if st.acc_ballot == ballot and st.acc_holder == holder:
+            st.acc_ballot = -1
+            st.acc_holder = -1
+            st.acc_until = 0
+
+    # -- checkpointing (repro.state) ----------------------------------------
+
+    def state_dict(self) -> dict:
+        from ..state.codec import encode_rng
+
+        return {
+            "skew_rng": encode_rng(self._skew_rng),
+            "backoff_rng": encode_rng(self._backoff_rng),
+            "objs": [[obj, st.state_dict()]
+                     for obj, st in sorted(self._objs.items())],
+        }
+
+    def load_state(self, state: dict) -> None:
+        from ..state.codec import decode_rng
+
+        decode_rng(self._skew_rng, state["skew_rng"])
+        decode_rng(self._backoff_rng, state["backoff_rng"])
+        for obj, ss in state["objs"]:
+            self._objs[obj].load_state(ss)

@@ -66,17 +66,29 @@ class Machine:
     """A simulated tiled multicore with Lease/Release support."""
 
     def __init__(self, config: MachineConfig | None = None, *,
-                 schedule_strategy=None) -> None:
+                 schedule_strategy=None, sim: Simulator | None = None) -> None:
         self.config = config or MachineConfig()
         cfg = self.config
         #: Optional schedule-perturbation strategy (see repro.check.perturb)
         #: reordering same-timestamp events; None keeps the default
         #: deterministic order.
         self.schedule_strategy = schedule_strategy
-        self.sim = Simulator(seed=cfg.seed, max_cycles=cfg.max_cycles,
-                             max_events=cfg.max_events,
-                             strategy=schedule_strategy,
-                             engine=cfg.engine)
+        if sim is None:
+            self.sim = Simulator(seed=cfg.seed, max_cycles=cfg.max_cycles,
+                                 max_events=cfg.max_events,
+                                 strategy=schedule_strategy,
+                                 engine=cfg.engine)
+            self._owns_sim = True
+        else:
+            # A member of a multi-node cluster: all machines share one
+            # simulated clock/event queue owned by the cluster, which also
+            # owns the quiescence predicate and any schedule strategy.
+            if schedule_strategy is not None:
+                raise SimulationError(
+                    "a shared simulator already owns the schedule; install "
+                    "the strategy on the cluster, not on a member machine")
+            self.sim = sim
+            self._owns_sim = False
         #: The instrumentation bus every layer emits trace events into.
         #: The default CountersTracer sink derives the classic flat
         #: counters; attach_tracer() adds further observers.
@@ -108,11 +120,12 @@ class Machine:
         self.threads: list[ThreadHandle] = []
         self._ctxs: list[Ctx] = []
         self._live_threads = 0
-        self.sim.quiescent = lambda: self._live_threads == 0
-        # The machine's quiescence predicate only flips on thread start and
-        # finish, and both paths notify -- so the run loop can skip the
-        # per-event poll entirely (on either engine).
-        self.sim.use_quiescence_notify()
+        if self._owns_sim:
+            self.sim.quiescent = lambda: self._live_threads == 0
+            # The machine's quiescence predicate only flips on thread start
+            # and finish, and both paths notify -- so the run loop can skip
+            # the per-event poll entirely (on either engine).
+            self.sim.use_quiescence_notify()
         #: True while core batch-advance is allowed (fast engine + every
         #: trace sink folds events order-insensitively); recomputed at each
         #: run() since sinks may be attached between runs.
@@ -256,17 +269,37 @@ class Machine:
         plan, perturbation strategy -- is captured field-for-field, so a
         restored run is bit-identical to one that never stopped.
         """
-        from ..state.codec import SnapshotCodec, encode_rng
+        from ..state.codec import SnapshotCodec
 
-        if self._replay_log is None:
-            raise CheckpointError(
-                "machine is not checkpointable: call enable_checkpointing() "
-                "before run()")
         codec = SnapshotCodec(self)
         state = {
             "schema": self.STATE_SCHEMA,
             "sim": self.sim.state_dict(),
             "queue": self.sim.queue.state_dict(codec),
+        }
+        state.update(self.component_state(codec))
+        if self.schedule_strategy is not None and \
+                hasattr(self.schedule_strategy, "state_dict"):
+            state["strategy"] = self.schedule_strategy.state_dict()
+        # The pool must be dumped last: encoding above appends to it.
+        state["pool"] = codec.dump_pool()
+        self.trace.checkpoint_saved(self.sim.now, len(self._replay_log))
+        return state
+
+    def component_state(self, codec) -> dict:
+        """The machine-local half of :meth:`state_dict`: every component
+        this machine *owns* (memory, caches, cores, leases, sinks, thread
+        bookkeeping, fault plan) encoded through ``codec``.  The shared
+        half -- clock, event queue, strategy, pool -- is serialized by
+        whoever owns the simulator (this machine for a solo run, the
+        cluster for a multi-node run)."""
+        from ..state.codec import encode_rng
+
+        if self._replay_log is None:
+            raise CheckpointError(
+                "machine is not checkpointable: call enable_checkpointing() "
+                "before run()")
+        state = {
             "memory": self.memory.state_dict(codec),
             "alloc": self.alloc.state_dict(),
             "l2": self.l2.state_dict(),
@@ -284,14 +317,8 @@ class Machine:
             "replay_log": [[kind, tid, codec.encode(value), t]
                            for kind, tid, value, t in self._replay_log],
         }
-        if self.schedule_strategy is not None and \
-                hasattr(self.schedule_strategy, "state_dict"):
-            state["strategy"] = self.schedule_strategy.state_dict()
         if self.faults is not None:
             state["faults"] = self.faults.state_dict()
-        # The pool must be dumped last: encoding above appends to it.
-        state["pool"] = codec.dump_pool()
-        self.trace.checkpoint_saved(self.sim.now, len(self._replay_log))
         return state
 
     def load_state(self, state: dict) -> None:
@@ -305,13 +332,29 @@ class Machine:
         fresh generators with the trace bus muted, then installs every
         component's saved state on top.
         """
-        from ..errors import LeaseError
-        from ..state.codec import SnapshotCodec, decode_rng
+        from ..state.codec import SnapshotCodec
 
         if state.get("schema") != self.STATE_SCHEMA:
             raise CheckpointMismatch(
                 f"state schema {state.get('schema')!r} != "
                 f"{self.STATE_SCHEMA} supported by this build")
+        self.check_compatible(state)
+        codec = SnapshotCodec(self)
+        codec.load_pool(state["pool"])
+        entries = self.replay_resume_log(state["replay_log"], codec)
+        # -- rebuild the event queue, then resolve shared objects -----------
+        event_map = self.sim.queue.load_state(state["queue"], codec)
+        codec.set_event_map(event_map)
+        codec.fill_pool()
+        self.sim.load_state(state["sim"])
+        if "strategy" in state and self.schedule_strategy is not None and \
+                hasattr(self.schedule_strategy, "load_state"):
+            self.schedule_strategy.load_state(state["strategy"])
+        self.install_component_state(state, codec, entries)
+
+    def check_compatible(self, state: dict) -> None:
+        """Raise unless this freshly built machine matches the checkpointed
+        one closely enough that a restore can possibly succeed."""
         if self._ran:
             raise CheckpointError(
                 "load_state() requires a freshly built machine: this one "
@@ -324,14 +367,19 @@ class Machine:
             raise CheckpointMismatch(
                 "checkpoint and machine disagree about fault injection "
                 "(different fault_spec?)")
-        codec = SnapshotCodec(self)
-        codec.load_pool(state["pool"])
-        # -- replay the resume log into the fresh generators ---------------
-        # Sinks already saw these events in the original run; their state
-        # is installed from the snapshot below, so the bus stays muted.
+
+    def replay_resume_log(self, enc_entries: list, codec) -> list:
+        """Replay the recorded resume log into this machine's fresh thread
+        generators, re-materializing their frames.  Mutes the trace bus
+        (sinks already saw these events in the original run; their state is
+        installed from the snapshot afterwards) -- the bus stays muted
+        until :meth:`install_component_state` unmutes it.  Returns the
+        decoded entries for the caller to hand back to install."""
+        from ..errors import LeaseError
+
         self.trace.mute()
         entries = [(kind, tid, codec.decode(enc), t)
-                   for kind, tid, enc, t in state["replay_log"]]
+                   for kind, tid, enc, t in enc_entries]
         cursor = _ReplayCursor(entries)
         self._replay_cursor = cursor
         self._replay_log = None
@@ -365,12 +413,16 @@ class Machine:
             raise CheckpointError(
                 "resume log not fully consumed: restored workload diverged "
                 "from the checkpointed one")
-        # -- rebuild the event queue, then resolve shared objects -----------
-        event_map = self.sim.queue.load_state(state["queue"], codec)
-        codec.set_event_map(event_map)
-        codec.fill_pool()
-        # -- install component state ----------------------------------------
-        self.sim.load_state(state["sim"])
+        return entries
+
+    def install_component_state(self, state: dict, codec,
+                                entries: list) -> None:
+        """Install every machine-local component's saved state (the
+        :meth:`component_state` half) on top of the replayed generators,
+        then unmute the bus.  The caller has already rebuilt the event
+        queue and filled the codec pool."""
+        from ..state.codec import decode_rng
+
         self.memory.load_state(state["memory"], codec)
         self.alloc.load_state(state["alloc"])
         self.l2.load_state(state["l2"])
@@ -389,9 +441,6 @@ class Machine:
                     f"machine has {type(sink).__name__}")
             if ss is not None and hasattr(sink, "load_state"):
                 sink.load_state(ss, codec)
-        if "strategy" in state and self.schedule_strategy is not None and \
-                hasattr(self.schedule_strategy, "load_state"):
-            self.schedule_strategy.load_state(state["strategy"])
         if self.faults is not None:
             self.faults.load_state(state["faults"])
         for handle, ts in zip(self.threads, state["threads"]):

@@ -96,7 +96,7 @@ class SnapshotCodec:
     pool and the event map are per-snapshot state.
     """
 
-    def __init__(self, machine: "Machine") -> None:
+    def __init__(self, machine: "Machine | None" = None) -> None:
         from ..core.isa import Instr
         from ..engine.event_queue import Event
 
@@ -116,7 +116,8 @@ class SnapshotCodec:
         # -- function-descriptor registry --
         self._fn_by_desc: dict[tuple, Any] = {}
         self._desc_by_key: dict[Any, tuple] = {}
-        self._build_registry(machine)
+        if machine is not None:
+            self.register_machine(machine)
 
     # -- callable registry ---------------------------------------------------
 
@@ -131,25 +132,30 @@ class SnapshotCodec:
         self._fn_by_desc[desc] = fn
         self._desc_by_key[self._key(fn)] = desc
 
-    def _build_registry(self, machine: "Machine") -> None:
-        """Register every callable that can legally appear in the event
-        queue or in a stored continuation slot."""
+    def register_machine(self, machine: "Machine",
+                         prefix: tuple = ()) -> None:
+        """Register every callable of ``machine`` that can legally appear
+        in the event queue or in a stored continuation slot.  ``prefix``
+        namespaces the descriptors -- a multi-node cluster registers node
+        ``n`` under ``("node", n)`` so descriptors stay unambiguous across
+        machines sharing one event queue."""
+        p = tuple(prefix)
         for i, core in enumerate(machine.cores):
             for name in ("_resume", "_lease_done", "_dispatch_batched",
                          "_retire_batched"):
-                self._register(("core", i, name), getattr(core, name))
-            self._register(("core_commit", i), core._commit_cb)
+                self._register(p + ("core", i, name), getattr(core, name))
+            self._register(p + ("core_commit", i), core._commit_cb)
             for name in ("complete_request", "handle_probe"):
-                self._register(("memunit", i, name),
+                self._register(p + ("memunit", i, name),
                                getattr(core.memunit, name))
             for name in ("_on_grant", "_expire", "_sw_acquire_step"):
-                self._register(("lease", i, name),
+                self._register(p + ("lease", i, name),
                                getattr(core.lease_mgr, name))
         d = machine.directory
         for name in ("_arrive", "_process", "_apply_eviction",
                      "_retry_after", "_probe_done", "issue"):
-            self._register(("dir", name), getattr(d, name))
-        self._register(("net", "send"), machine.network.send)
+            self._register(p + ("dir", name), getattr(d, name))
+        self._register(p + ("net", "send"), machine.network.send)
 
     def encode_fn(self, fn: Any) -> list:
         desc = self._desc_by_key.get(self._key(fn))
@@ -157,7 +163,7 @@ class SnapshotCodec:
             raise CheckpointError(
                 f"cannot checkpoint unregistered callable {fn!r}; every "
                 "scheduled continuation must be a registered component "
-                "method (see SnapshotCodec._build_registry)")
+                "method (see SnapshotCodec.register_machine)")
         return list(desc)
 
     def decode_fn(self, desc: list) -> Any:

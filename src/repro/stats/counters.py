@@ -66,6 +66,16 @@ class Counters:
     checkpoints_saved: int = 0
     checkpoints_restored: int = 0
 
+    # -- cluster (repro.cluster): inter-node traffic + PaxosLease -----------
+    node_msgs_sent: int = 0
+    node_msgs_dropped: int = 0       # loss stream or partition
+    node_msgs_duplicated: int = 0
+    paxos_rounds: int = 0            # prepare phases opened (incl. renewals)
+    cluster_leases_acquired: int = 0
+    cluster_leases_expired: int = 0
+    cluster_leases_released: int = 0
+    cluster_guard_denied: int = 0    # intra-node lease refused (not owner)
+
     per_core_ops: dict[int, int] = field(default_factory=dict)
 
     #: Excluded from snapshot()/delta(): a restored run has taken/restored

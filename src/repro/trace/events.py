@@ -537,3 +537,128 @@ class OpCompleted(TraceEvent):
         self.args = args
         self.result = result
         self.start = start
+
+
+# ---------------------------------------------------------------------------
+# Cluster layer (repro.cluster): inter-node messages + PaxosLease
+# ---------------------------------------------------------------------------
+
+class NodeMsgSent(TraceEvent):
+    """An inter-node message left ``src`` for ``dst`` over the cluster
+    network; it will be delivered ``latency`` cycles later (unless it is
+    also duplicated, in which case the copy draws its own latency)."""
+
+    __slots__ = ("src", "dst", "msg", "latency")
+    kind = "node_msg"
+
+    def __init__(self, src: int, dst: int, msg: str, latency: int) -> None:
+        super().__init__()
+        self.src = src
+        self.dst = dst
+        self.msg = msg
+        self.latency = latency
+
+
+class NodeMsgDropped(TraceEvent):
+    """An inter-node message was lost.  ``reason`` is ``"loss"`` for the
+    random per-message loss stream or ``"partition"`` when the link is
+    currently cut."""
+
+    __slots__ = ("src", "dst", "msg", "reason")
+    kind = "node_msg_dropped"
+
+    def __init__(self, src: int, dst: int, msg: str, reason: str) -> None:
+        super().__init__()
+        self.src = src
+        self.dst = dst
+        self.msg = msg
+        self.reason = reason
+
+
+class NodeMsgDuplicated(TraceEvent):
+    """The cluster network delivered a second copy of an inter-node
+    message (PaxosLease must tolerate duplicates idempotently)."""
+
+    __slots__ = ("src", "dst", "msg")
+    kind = "node_msg_dup"
+
+    def __init__(self, src: int, dst: int, msg: str) -> None:
+        super().__init__()
+        self.src = src
+        self.dst = dst
+        self.msg = msg
+
+
+class PaxosRoundStarted(TraceEvent):
+    """Node ``node`` opened a PaxosLease round for ``obj`` with ballot
+    ``ballot``; ``extend`` marks a renewal by the current holder."""
+
+    __slots__ = ("node", "obj", "ballot", "extend")
+    kind = "paxos_round"
+
+    def __init__(self, node: int, obj: int, ballot: int,
+                 extend: bool = False) -> None:
+        super().__init__()
+        self.node = node
+        self.obj = obj
+        self.ballot = ballot
+        self.extend = extend
+
+
+class ClusterLeaseAcquired(TraceEvent):
+    """Node ``node`` won a majority of accepts for ``obj`` and now holds
+    the cluster lease until ``expires_at`` (local clock, already shortened
+    by the proposer's skew guard)."""
+
+    __slots__ = ("node", "obj", "ballot", "expires_at")
+    kind = "cluster_lease_acquired"
+
+    def __init__(self, node: int, obj: int, ballot: int,
+                 expires_at: int) -> None:
+        super().__init__()
+        self.node = node
+        self.obj = obj
+        self.ballot = ballot
+        self.expires_at = expires_at
+
+
+class ClusterLeaseExpired(TraceEvent):
+    """Node ``node``'s cluster lease on ``obj`` ran out before a renewal
+    round completed; the node stops treating itself as owner."""
+
+    __slots__ = ("node", "obj", "ballot")
+    kind = "cluster_lease_expired"
+
+    def __init__(self, node: int, obj: int, ballot: int) -> None:
+        super().__init__()
+        self.node = node
+        self.obj = obj
+        self.ballot = ballot
+
+
+class ClusterLeaseReleased(TraceEvent):
+    """Node ``node`` voluntarily stopped renewing ``obj`` (interest
+    dropped to zero) and discarded its still-valid cluster lease."""
+
+    __slots__ = ("node", "obj", "ballot")
+    kind = "cluster_lease_released"
+
+    def __init__(self, node: int, obj: int, ballot: int) -> None:
+        super().__init__()
+        self.node = node
+        self.obj = obj
+        self.ballot = ballot
+
+
+class ClusterGuardDenied(TraceEvent):
+    """A worker on node ``node`` asked for an intra-node lease on a line
+    belonging to cluster object ``obj`` while the node did not hold the
+    cluster lease; the distributed manager refused the fast path."""
+
+    __slots__ = ("node", "obj")
+    kind = "cluster_guard_denied"
+
+    def __init__(self, node: int, obj: int) -> None:
+        super().__init__()
+        self.node = node
+        self.obj = obj

@@ -83,6 +83,19 @@ class CountersTracer(Tracer):
             ev.CheckpointSaved: lambda e: self._bump("checkpoints_saved"),
             ev.CheckpointRestored: lambda e: self._bump(
                 "checkpoints_restored"),
+            ev.NodeMsgSent: lambda e: self._bump("node_msgs_sent"),
+            ev.NodeMsgDropped: lambda e: self._bump("node_msgs_dropped"),
+            ev.NodeMsgDuplicated: lambda e: self._bump(
+                "node_msgs_duplicated"),
+            ev.PaxosRoundStarted: lambda e: self._bump("paxos_rounds"),
+            ev.ClusterLeaseAcquired: lambda e: self._bump(
+                "cluster_leases_acquired"),
+            ev.ClusterLeaseExpired: lambda e: self._bump(
+                "cluster_leases_expired"),
+            ev.ClusterLeaseReleased: lambda e: self._bump(
+                "cluster_leases_released"),
+            ev.ClusterGuardDenied: lambda e: self._bump(
+                "cluster_guard_denied"),
         }
         self._release_fields = {
             "voluntary": "releases_voluntary",
@@ -296,6 +309,30 @@ class CountersTracer(Tracer):
         def checkpoint_restored(cycle, threads):
             k.checkpoints_restored += 1
 
+        def node_msg(src, dst, msg, latency):
+            k.node_msgs_sent += 1
+
+        def node_msg_dropped(src, dst, msg, reason):
+            k.node_msgs_dropped += 1
+
+        def node_msg_dup(src, dst, msg):
+            k.node_msgs_duplicated += 1
+
+        def paxos_round(node, obj, ballot, extend=False):
+            k.paxos_rounds += 1
+
+        def cluster_lease_acquired(node, obj, ballot, expires_at):
+            k.cluster_leases_acquired += 1
+
+        def cluster_lease_expired(node, obj, ballot):
+            k.cluster_leases_expired += 1
+
+        def cluster_lease_released(node, obj, ballot):
+            k.cluster_leases_released += 1
+
+        def cluster_guard_denied(node, obj):
+            k.cluster_guard_denied += 1
+
         return {
             ev.L1Hit: l1_hit, ev.L1Miss: l1_miss, ev.L1Evicted: l1_evicted,
             ev.MesiUpgrade: mesi_upgrade, ev.L2Access: l2_access,
@@ -314,6 +351,14 @@ class CountersTracer(Tracer):
             ev.RetryScheduled: retry_scheduled,
             ev.CheckpointSaved: checkpoint_saved,
             ev.CheckpointRestored: checkpoint_restored,
+            ev.NodeMsgSent: node_msg,
+            ev.NodeMsgDropped: node_msg_dropped,
+            ev.NodeMsgDuplicated: node_msg_dup,
+            ev.PaxosRoundStarted: paxos_round,
+            ev.ClusterLeaseAcquired: cluster_lease_acquired,
+            ev.ClusterLeaseExpired: cluster_lease_expired,
+            ev.ClusterLeaseReleased: cluster_lease_released,
+            ev.ClusterGuardDenied: cluster_guard_denied,
         }
 
     # -- checkpointing (repro.state) ----------------------------------------
@@ -531,6 +576,22 @@ _RECONCILE_RULES: tuple[tuple[str, Callable[[Mapping[str, int]], int],
      lambda k: k["dir_nacks"]),
     ("retries scheduled", lambda c: c.get("retry_scheduled", 0),
      lambda k: k["dir_retries"]),
+    ("node messages sent", lambda c: c.get("node_msg", 0),
+     lambda k: k.get("node_msgs_sent", 0)),
+    ("node messages dropped", lambda c: c.get("node_msg_dropped", 0),
+     lambda k: k.get("node_msgs_dropped", 0)),
+    ("node messages duplicated", lambda c: c.get("node_msg_dup", 0),
+     lambda k: k.get("node_msgs_duplicated", 0)),
+    ("paxos rounds", lambda c: c.get("paxos_round", 0),
+     lambda k: k.get("paxos_rounds", 0)),
+    ("cluster leases acquired", lambda c: c.get("cluster_lease_acquired", 0),
+     lambda k: k.get("cluster_leases_acquired", 0)),
+    ("cluster leases expired", lambda c: c.get("cluster_lease_expired", 0),
+     lambda k: k.get("cluster_leases_expired", 0)),
+    ("cluster leases released", lambda c: c.get("cluster_lease_released", 0),
+     lambda k: k.get("cluster_leases_released", 0)),
+    ("cluster guard denials", lambda c: c.get("cluster_guard_denied", 0),
+     lambda k: k.get("cluster_guard_denied", 0)),
 )
 
 
