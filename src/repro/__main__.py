@@ -44,6 +44,12 @@ serial or under ``--jobs``.  ``run``/``check``/``bench`` accept
 ``--engine {fast,compat}`` to pick the run-loop engine (default ``fast``;
 results are bit-identical either way -- see DESIGN.md "Engine fast
 path"); the choice is recorded in bench records and repro files.
+``run``/``check``/``bench`` also accept ``--traffic SPEC``, an open-loop
+arrival spec (see :mod:`repro.traffic`), e.g.
+``"poisson:rate=2.0,zipf:s=1.2,tenants=2,slo:p99=8000"``: workers pull
+admitted arrivals instead of self-pacing, ``run`` prints tail-latency
+percentiles plus an SLO verdict (and exits 1 on SLO failure), and
+``check`` fuzzes the open-loop workload variants.
 
 Examples::
 
@@ -52,6 +58,7 @@ Examples::
     python -m repro run fig2_stack --jobs 4 --save stack.json --seed 7
     python -m repro run fig4_tl2 --metric nj_per_op
     python -m repro run fig2_stack --faults "dir_nack:p=0.01" --seed 7
+    python -m repro run counter --traffic "poisson:rate=2.0,slo:p99=9000"
     python -m repro run fig2_stack --checkpoint-every 5000
     python -m repro run fig2_stack --warm-start
     python -m repro trace fig2_stack --threads 4 --heatmap
@@ -186,6 +193,22 @@ def _parse_faults(spec: str) -> str:
     return spec
 
 
+def _parse_traffic(spec: str) -> str:
+    """Validate a ``--traffic`` open-loop arrival spec string (see
+    :mod:`repro.traffic`); an empty/arrival-free spec is a CLI error."""
+    from .errors import ConfigError
+    from .traffic import parse_traffic_spec
+
+    try:
+        parsed = parse_traffic_spec(spec)
+    except ConfigError as err:
+        raise _CliError(f"--traffic: {err}") from None
+    if parsed.empty:
+        raise _CliError("--traffic: empty spec (give an arrival clause, "
+                        "e.g. 'poisson:rate=2.0')")
+    return spec
+
+
 def _get_experiment(exp_id: str):
     if exp_id not in EXPERIMENTS:
         raise _CliError(f"unknown experiment {exp_id!r}; "
@@ -215,6 +238,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides["faults"] = _parse_faults(args.faults)
     if args.engine != "fast":
         overrides["engine"] = _parse_engine(args.engine)
+    if args.traffic:
+        import inspect
+
+        if "traffic" not in inspect.signature(exp.bench).parameters:
+            raise _CliError(
+                f"--traffic: experiment {exp.id!r} has no open-loop "
+                "variant (try: counter, treiber, skiplist, or "
+                "cluster_shards)")
+        overrides["traffic"] = _parse_traffic(args.traffic)
     if args.nodes is not None:
         if "nodes" not in exp.common:
             raise _CliError(
@@ -289,6 +321,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
     for m in shown:
         print(f"\n-- {labels.get(m, m)} --")
         print(series_table(res, metric=m))
+    slo_failed = False
+    if args.traffic:
+        from .stats import format_table
+
+        lat_rows = []
+        for name, series in res.items():
+            for n, r in zip(threads, series):
+                if r.latency is None:
+                    continue
+                lat = r.latency
+                slo_failed |= lat.get("slo") == "fail"
+                lat_rows.append({
+                    "variant": name, "threads": n,
+                    "p50": lat.get("p50"), "p99": lat.get("p99"),
+                    "p999": lat.get("p999"),
+                    "mean": (round(lat["mean"], 1)
+                             if lat.get("mean") is not None else None),
+                    "shed": lat["shed"],
+                    "shed%": round(100 * lat["shed_frac"], 1),
+                    "slo": lat["slo"],
+                })
+        if lat_rows:
+            print("\n-- tail latency (cycles, enqueue->complete) --")
+            print(format_table(lat_rows))
     if args.invariants:
         checker = overrides["sinks"][0]
         print(f"\ninvariants: OK ({checker.checks_run} checks)")
@@ -306,6 +362,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             json.dump(payload, fp, indent=2, sort_keys=True)
             fp.write("\n")
         print(f"\nsaved results to {args.save}")
+    if slo_failed:
+        # The SLO gate: a stated bound was violated somewhere in the sweep.
+        print("SLO: FAIL (see the tail-latency table)", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -397,6 +457,9 @@ def _cmd_check(args: argparse.Namespace) -> int:
         if args.faults:
             raise _CliError("check replay: --faults is recorded in the "
                             "repro file; it cannot be overridden on replay")
+        if args.traffic:
+            raise _CliError("check replay: --traffic is recorded in the "
+                            "repro file; it cannot be overridden on replay")
         try:
             with open(args.repro, "r", encoding="utf-8") as fh:
                 data = json.load(fh)
@@ -440,6 +503,11 @@ def _cmd_check(args: argparse.Namespace) -> int:
             raise _CliError(
                 "check cluster_lease: inter-node faults come from "
                 "--cluster SPEC (e.g. 'loss:p=0.1;skew:80'), not --faults")
+        if args.traffic:
+            raise _CliError(
+                "check cluster_lease: --traffic applies to the "
+                "single-machine targets (counter, treiber); the cluster "
+                "campaign drives its own workload")
         nodes = _parse_nodes(args.nodes) if args.nodes is not None else None
         spec = (_parse_cluster_spec(args.cluster)
                 if args.cluster is not None else None)
@@ -466,10 +534,14 @@ def _cmd_check(args: argparse.Namespace) -> int:
     faults = _parse_faults(args.faults) if args.faults else ""
     if faults:
         print(f"fault campaign: {faults}")
+    traffic = _parse_traffic(args.traffic) if args.traffic else ""
+    if traffic:
+        print(f"open-loop traffic: {traffic}")
     try:
         report = run_campaign(args.target, budget=args.budget, seed=seed,
                               shrink=not args.no_shrink,
                               fault_spec=faults, engine=engine,
+                              traffic=traffic,
                               progress=lambda msg: print(f"  {msg}"))
     except ReproError as err:
         raise _CliError(str(err)) from None
@@ -521,6 +593,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     seed = _parse_seed(args.seed) if args.seed is not None else None
     fault_spec = _parse_faults(args.faults) if args.faults else ""
     engine = _parse_engine(args.engine)
+    traffic = _parse_traffic(args.traffic) if args.traffic else ""
     if args.repeats < 1:
         raise _CliError(f"--repeats: {args.repeats} is not a positive "
                         "repeat count")
@@ -547,13 +620,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         extras += f", seed={seed}"
     if engine != "fast":
         extras += f", engine={engine}"
+    if traffic:
+        extras += f", traffic={traffic!r}"
     print(f"bench ({mode}, repeats={args.repeats}, jobs={jobs}{extras}): "
           f"{', '.join(names)}")
     try:
         results = bench.run_many(names, quick=args.quick, jobs=jobs,
                                  repeats=args.repeats,
                                  fault_spec=fault_spec, seed=seed,
-                                 engine=engine)
+                                 engine=engine, traffic=traffic)
     except ConfigError as err:
         raise _CliError(f"bench: {err}") from None
     for name in names:
@@ -640,6 +715,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run-loop engine: 'fast' (time-wheel + "
                             "batching, the default) or 'compat' (classic "
                             "heap); results are bit-identical either way")
+    run_p.add_argument("--traffic", default=None, metavar="SPEC",
+                       help="open-loop arrival spec, e.g. "
+                            "'poisson:rate=2.0,zipf:s=1.2,tenants=2,"
+                            "slo:p99=8000'; reports tail-latency "
+                            "percentiles and exits 1 on SLO failure "
+                            "(experiments: counter, treiber, skiplist, "
+                            "cluster_shards)")
     run_p.add_argument("--nodes", default=None, metavar="N",
                        help="node count for cluster experiments (e.g. "
                             "cluster_shards); must be >= 1")
@@ -714,6 +796,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run-loop engine recorded in repro files "
                               "('fast' or 'compat'); perturbed schedules "
                               "force the compat loop transparently")
+    check_p.add_argument("--traffic", default=None, metavar="SPEC",
+                         help="fuzz the open-loop workload variant under "
+                              "this arrival spec (targets: counter, "
+                              "treiber); recorded in repro files")
     check_p.add_argument("--nodes", default=None, metavar="N",
                          help="(cluster_lease) pin the node count instead "
                               "of sweeping 2..5")
@@ -776,6 +862,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run-loop engine for the machine-building "
                               "targets ('fast' or 'compat'); recorded in "
                               "the bench records")
+    bench_p.add_argument("--traffic", default=None, metavar="SPEC",
+                         help="override the arrival spec of open-loop "
+                              "targets (tail_latency)")
     return parser
 
 

@@ -87,7 +87,7 @@ def machine_fingerprint() -> dict:
 
 def run_target(name: str, *, quick: bool = False, repeats: int = 3,
                fault_spec: str = "", seed: int | None = None,
-               engine: str = "fast") -> dict:
+               engine: str = "fast", traffic: str = "") -> dict:
     """Run one bench target through the full protocol; returns its record.
 
     ``fault_spec`` threads a fault-injection spec into the machine-building
@@ -96,19 +96,32 @@ def run_target(name: str, *, quick: bool = False, repeats: int = 3,
     the simulated machines the same way and is recorded alongside.
     ``engine`` picks the run-loop engine those machines use (results are
     bit-identical either way; wall-clock is not) and is recorded so
-    compat-engine timings are never mistaken for fast-engine baselines."""
+    compat-engine timings are never mistaken for fast-engine baselines.
+    ``traffic`` overrides the arrival spec of open-loop targets (only
+    ``tail_latency`` takes one; naming it elsewhere is a ConfigError)."""
+    import inspect
+
+    from ..errors import ConfigError
+
     target = TARGETS[name]
+    extra_kw: dict = {}
+    if traffic:
+        if "traffic" not in inspect.signature(target.fn).parameters:
+            raise ConfigError(
+                f"bench target {name!r} does not take --traffic "
+                "(open-loop arrivals apply to: tail_latency)")
+        extra_kw["traffic"] = traffic
     best_wall = float("inf")
     report: dict = {}
     for _ in range(max(1, repeats)):
         t0 = time.perf_counter()
-        report = target.fn(quick, fault_spec, seed, engine)
+        report = target.fn(quick, fault_spec, seed, engine, **extra_kw)
         wall = report.get("wall_seconds", time.perf_counter() - t0)
         best_wall = min(best_wall, wall)
 
     tracemalloc.start()
     try:
-        target.fn(quick, fault_spec, seed, engine)
+        target.fn(quick, fault_spec, seed, engine, **extra_kw)
         _, peak_heap = tracemalloc.get_traced_memory()
     finally:
         tracemalloc.stop()
@@ -142,16 +155,17 @@ def run_target(name: str, *, quick: bool = False, repeats: int = 3,
 
 def _run_target_worker(name: str, quick: bool, repeats: int,
                        fault_spec: str, seed: int | None,
-                       engine: str) -> dict:
+                       engine: str, traffic: str) -> dict:
     """Module-level wrapper so parallel runs pickle cleanly."""
     return run_target(name, quick=quick, repeats=repeats,
-                      fault_spec=fault_spec, seed=seed, engine=engine)
+                      fault_spec=fault_spec, seed=seed, engine=engine,
+                      traffic=traffic)
 
 
 def run_many(names: Sequence[str], *, quick: bool = False, jobs: int = 1,
              repeats: int = 3, fault_spec: str = "",
              seed: int | None = None,
-             engine: str = "fast") -> dict[str, dict]:
+             engine: str = "fast", traffic: str = "") -> dict[str, dict]:
     """Run several targets, optionally on worker processes.
 
     Note ``jobs > 1`` trades timing fidelity for wall-clock: concurrent
@@ -166,13 +180,13 @@ def run_many(names: Sequence[str], *, quick: bool = False, jobs: int = 1,
 
         with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as ex:
             futs = [ex.submit(_run_target_worker, n, quick, repeats,
-                              fault_spec, seed, engine)
+                              fault_spec, seed, engine, traffic)
                     for n in names]
             records = [f.result() for f in futs]
     else:
         records = [run_target(n, quick=quick, repeats=repeats,
                               fault_spec=fault_spec, seed=seed,
-                              engine=engine)
+                              engine=engine, traffic=traffic)
                    for n in names]
     return {name: rec for name, rec in zip(names, records)}
 

@@ -33,6 +33,9 @@ Targets cover the loops that dominate figure-reproduction wall-clock:
   relative to the fault-free run;
 * ``snapshot_roundtrip`` -- mid-run checkpoint save + restore roundtrip
   (``repro.state``), asserting restored runs stay bit-identical;
+* ``tail_latency``      -- open-loop arrivals into the contended counter
+  (``repro.traffic``), asserting latency histograms bit-identical
+  fast-vs-compat and across a mid-run checkpoint/restore cut;
 * ``cluster_scale``     -- sharded-counter cluster throughput vs node
   count (``repro.cluster``): N machines under one clock with PaxosLease
   negotiating shard ownership over a mildly lossy network.
@@ -321,6 +324,96 @@ def bench_snapshot_roundtrip(quick: bool, fault_spec: str = "",
 
 
 # ---------------------------------------------------------------------------
+# Open-loop tail latency identity
+# ---------------------------------------------------------------------------
+
+#: Default arrival spec for the tail-latency target: Poisson arrivals with
+#: Zipf-skewed keys and a latency SLO, so the record carries a pass/fail
+#: verdict alongside the percentiles.
+_TAIL_LATENCY_SPEC = ("poisson:rate=3.0,zipf:s=1.1,tenants=2,"
+                      "slo:p99=6000,shed=0.2")
+
+
+def bench_tail_latency(quick: bool, fault_spec: str = "",
+                       seed: int | None = None,
+                       engine: str = "fast",
+                       traffic: str = "") -> dict:
+    """Open-loop tail latency on the contended counter -- the
+    :mod:`repro.traffic` engine's regression guard.
+
+    Runs the same Poisson/Zipf arrival plan on both run-loop engines and
+    asserts the latency *histograms* (not just the percentiles) are
+    bit-identical; then cuts the fast-engine run mid-flight with a
+    ``state_dict`` -> JSON -> ``load_state`` roundtrip and asserts the
+    restored run reproduces the same histogram.  That pair is the
+    determinism contract behind ``RunResult.latency``.  Reports p50/p99/
+    p999, shed fraction and the SLO verdict in ``extra``.  The A/B is
+    fast-vs-compat by construction, so the ``engine`` selector is
+    ignored; ``traffic`` (CLI ``--traffic``) overrides the arrival spec.
+    """
+    import json as _json
+
+    from ..structures import LockedCounter
+    from ..traffic import TrafficSource, evaluate_slo, traffic_counter_worker
+
+    threads = 4 if quick else 8
+    ops_per_lane = 12 if quick else 30
+    spec = traffic or _TAIL_LATENCY_SPEC
+
+    def build(engine_choice: str) -> tuple[Machine, TrafficSource]:
+        m = Machine(_lease_config(threads, fault_spec, seed, engine_choice))
+        m.enable_checkpointing()
+        counter = LockedCounter(m, lock="tts")
+        src = TrafficSource(spec, num_lanes=threads, seed=m.config.seed,
+                            key_range=64, default_ops=ops_per_lane)
+        for t in range(threads):
+            m.add_thread(traffic_counter_worker, counter, src.lane(t))
+        return m, src
+
+    fast_m, fast_src = build("fast")
+    fast_m.run()
+    compat_m, compat_src = build("compat")
+    compat_m.run()
+    ref_hist = fast_src.histogram()
+    if ref_hist != compat_src.histogram():
+        raise AssertionError(
+            "fast/compat engines produced different latency histograms")
+    if (fast_src.admitted, fast_src.shed) != (compat_src.admitted,
+                                              compat_src.shed):
+        raise AssertionError(
+            "fast/compat engines admitted/shed different arrival counts")
+
+    cut_m, _ = build("fast")
+    cut_m.run(until=max(1, fast_m.sim.now // 2))
+    blob = _json.dumps(cut_m.state_dict())
+    restored_m, restored_src = build("fast")
+    restored_m.load_state(_json.loads(blob))
+    restored_m.run()
+    if restored_src.histogram() != ref_hist:
+        raise AssertionError(
+            "checkpoint/restore changed the latency histogram")
+
+    summary = fast_src.summary()
+    events = (fast_m.sim.events_processed + compat_m.sim.events_processed
+              + restored_m.sim.events_processed)
+    ops = fast_src.admitted + compat_src.admitted + restored_src.admitted
+    return {
+        "ops": ops, "events": events,
+        "extra": {
+            "traffic": spec,
+            "p50": summary.get("p50"),
+            "p99": summary.get("p99"),
+            "p999": summary.get("p999"),
+            "shed_frac": round(summary["shed_frac"], 4),
+            "slo": evaluate_slo(fast_src.spec, ref_hist,
+                                summary["shed_frac"]),
+            "hist_identical": True,
+            "restore_identical": True,
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
 # Cluster throughput scaling
 # ---------------------------------------------------------------------------
 
@@ -560,6 +653,8 @@ TARGETS: dict[str, BenchTarget] = {
                     "escalating fault rate", bench_fault_degradation),
         BenchTarget("snapshot_roundtrip", "mid-run checkpoint save + "
                     "restore roundtrip", bench_snapshot_roundtrip),
+        BenchTarget("tail_latency", "open-loop latency percentiles, "
+                    "fast/compat + restore identity", bench_tail_latency),
         BenchTarget("cluster_scale", "sharded-counter throughput vs "
                     "node count (PaxosLease)", bench_cluster_scale),
     )

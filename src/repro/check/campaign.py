@@ -20,6 +20,7 @@ deterministically.
 
 from __future__ import annotations
 
+import inspect
 import json
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable
@@ -33,6 +34,8 @@ from ..structures.harris_list import HarrisList
 from ..structures.msqueue import MichaelScottQueue
 from ..structures.priorityqueue import GlobalLockPQ
 from ..structures.treiber import TreiberStack
+from ..traffic import (TrafficSource, traffic_counter_worker,
+                       traffic_stack_worker)
 from .history import HistoryRecorder
 from .linearize import check_history
 from .models import CounterModel, PQModel, QueueModel, SetModel, StackModel
@@ -52,6 +55,9 @@ OPS = 8
 #: Lease length for leased variants: short, so expiries/breaks actually
 #: happen inside these tiny runs.
 LEASE_TIME = 600
+#: Key range for open-loop (``--traffic``) campaign variants: small, so
+#: the even/odd push-pop split and per-key op hashes stay contended.
+TRAFFIC_KEY_RANGE = 16
 
 
 def _cfg(*, leases: bool, mode: str = "hardware",
@@ -99,12 +105,24 @@ class CheckTarget:
 
 # -- target builders ----------------------------------------------------------
 
-def _build_treiber(m: Machine, variant: str):
+def _traffic_source(m: Machine, traffic: str) -> TrafficSource:
+    """One lane per campaign thread, seeded from the machine seed -- the
+    same schedule-independent arrival plan the driver benches use."""
+    return TrafficSource(traffic, num_lanes=THREADS, seed=m.config.seed,
+                         key_range=TRAFFIC_KEY_RANGE, default_ops=OPS)
+
+
+def _build_treiber(m: Machine, variant: str, traffic: str = ""):
     s = TreiberStack(m, lease_time=LEASE_TIME)
     prefill = [10_000 + j for j in range(3)]
     s.prefill(prefill)
-    for _ in range(THREADS):
-        m.add_thread(s.update_worker, OPS, local_work=4)
+    if traffic:
+        src = _traffic_source(m, traffic)
+        for t in range(THREADS):
+            m.add_thread(traffic_stack_worker, s, src.lane(t))
+    else:
+        for _ in range(THREADS):
+            m.add_thread(s.update_worker, OPS, local_work=4)
     # drain_direct walks top->bottom; the model keeps bottom->top.
     return (lambda: StackModel(prefill),
             lambda: tuple(reversed(s.drain_direct())))
@@ -128,10 +146,15 @@ def _build_multilease(m: Machine, variant: str):
     return lambda: QueueModel(prefill), lambda: tuple(q.drain_direct())
 
 
-def _build_counter(m: Machine, variant: str):
+def _build_counter(m: Machine, variant: str, traffic: str = ""):
     c = LockedCounter(m, critical_work=8)
-    for _ in range(THREADS):
-        m.add_thread(c.update_worker, OPS)
+    if traffic:
+        src = _traffic_source(m, traffic)
+        for t in range(THREADS):
+            m.add_thread(traffic_counter_worker, c, src.lane(t))
+    else:
+        for _ in range(THREADS):
+            m.add_thread(c.update_worker, OPS)
     return lambda: CounterModel(0), lambda: m.peek(c.value_addr)
 
 
@@ -226,6 +249,7 @@ class RunOutcome:
 
 def run_once(target: CheckTarget, variant: str, cfg: MachineConfig,
              strategy: ReplayStrategy | Any, *,
+             traffic: str = "",
              checkpoint_every: int | None = None,
              checkpoints: list | None = None,
              restore_from: dict | None = None) -> RunOutcome:
@@ -242,7 +266,14 @@ def run_once(target: CheckTarget, variant: str, cfg: MachineConfig,
     m = Machine(cfg, schedule_strategy=strategy)
     hist = m.attach_tracer(HistoryRecorder())
     props = m.attach_tracer(LeasePropertyTracer())
-    model_factory, final_fn = target.build(m, variant)
+    if traffic:
+        if "traffic" not in inspect.signature(target.build).parameters:
+            raise ReproError(
+                f"check target {target.name!r} has no open-loop variant "
+                "(--traffic works with: counter, treiber)")
+        model_factory, final_fn = target.build(m, variant, traffic=traffic)
+    else:
+        model_factory, final_fn = target.build(m, variant)
 
     def outcome(ok: bool, kind: str, detail: str,
                 decided: bool = True) -> RunOutcome:
@@ -329,6 +360,7 @@ def _ddmin(items: list[tuple[int, int]],
 
 def shrink_failure(target: CheckTarget, variant: str, cfg: MachineConfig,
                    decisions: dict[int, int], *,
+                   traffic: str = "",
                    max_runs: int = 160,
                    checkpoint_every: int | None = 2048,
                    stats: dict | None = None) -> tuple[dict[int, int], int]:
@@ -376,7 +408,7 @@ def shrink_failure(target: CheckTarget, variant: str, cfg: MachineConfig,
         best = usable[-1][1] if usable else None
         probe: list[tuple[int, dict]] = []
         out = run_once(target, variant, cfg, ReplayStrategy(subset),
-                       restore_from=best,
+                       traffic=traffic, restore_from=best,
                        checkpoint_every=checkpoint_every,
                        checkpoints=probe)
         start = 0
@@ -396,6 +428,7 @@ def shrink_failure(target: CheckTarget, variant: str, cfg: MachineConfig,
         # Seed the baseline checkpoints by re-running the full failing map
         # once with recording on.
         run_once(target, variant, cfg, ReplayStrategy(dict(items)),
+                 traffic=traffic,
                  checkpoint_every=checkpoint_every, checkpoints=prefix)
         shrunk, runs = _ddmin(items, fails, max_runs)
         runs += 2
@@ -438,6 +471,7 @@ class CampaignReport:
 def run_campaign(target_name: str, *, budget: int = 100, seed: int = 1,
                  shrink: bool = True, shrink_runs: int = 160,
                  fault_spec: str = "", engine: str = "fast",
+                 traffic: str = "",
                  progress: Callable[[str], None] | None = None
                  ) -> CampaignReport:
     """Explore ``budget`` schedules of ``target_name``; stop at the first
@@ -447,14 +481,18 @@ def run_campaign(target_name: str, *, budget: int = 100, seed: int = 1,
     linearizability + property checks must still hold.  ``engine`` is
     recorded in the config and repro file; perturbed schedules install a
     ``ScheduleStrategy``, which transparently forces the compat run loop
-    regardless, so the selector only changes unperturbed replays."""
+    regardless, so the selector only changes unperturbed replays.
+    ``traffic`` (see :mod:`repro.traffic`) switches the workload to its
+    open-loop variant: arrivals are admitted from seeded streams and the
+    same linearizability checks run over the admitted-op histories."""
     target = resolve_target(target_name)
     report = CampaignReport(target=target.name, seed=seed, budget=budget)
     for i in range(budget):
         variant, base_cfg = target.configs[i % len(target.configs)]
         cfg = replace(base_cfg, seed=_machine_seed(seed, i),
                       fault_spec=fault_spec, engine=engine)
-        out = run_once(target, variant, cfg, _strategy_for(seed, i))
+        out = run_once(target, variant, cfg, _strategy_for(seed, i),
+                       traffic=traffic)
         report.schedules_run += 1
         report.histories_checked += 1
         report.ops_checked += out.ops
@@ -473,15 +511,15 @@ def run_campaign(target_name: str, *, budget: int = 100, seed: int = 1,
                 progress(f"shrinking {len(decisions)} schedule decisions...")
             shrink_stats: dict = {}
             decisions, spent = shrink_failure(
-                target, variant, cfg, decisions, max_runs=shrink_runs,
-                stats=shrink_stats)
+                target, variant, cfg, decisions, traffic=traffic,
+                max_runs=shrink_runs, stats=shrink_stats)
             report.shrink_runs = spent
             report.shrink_cycles_replayed = shrink_stats["cycles_replayed"]
             report.shrink_cycles_saved = shrink_stats["cycles_saved"]
             report.shrink_restores = shrink_stats["restores"]
             # Re-run the minimal schedule to report the minimized failure.
             final = run_once(target, variant, cfg,
-                             ReplayStrategy(decisions))
+                             ReplayStrategy(decisions), traffic=traffic)
             if not final.ok:
                 report.failure = final
         report.repro = {
@@ -493,6 +531,7 @@ def run_campaign(target_name: str, *, budget: int = 100, seed: int = 1,
             "machine_seed": cfg.seed,
             "fault_spec": fault_spec,
             "engine": engine,
+            "traffic": traffic,
             "strategy": out.strategy,
             "decisions": {str(k): v for k, v in sorted(decisions.items())},
             "failure": {"kind": report.failure.kind,
@@ -525,4 +564,5 @@ def replay_repro(repro: dict) -> RunOutcome:
     decisions = {int(k): int(v)
                  for k, v in repro.get("decisions", {}).items()}
     return run_once(target, repro["variant"], cfg,
-                    ReplayStrategy(decisions))
+                    ReplayStrategy(decisions),
+                    traffic=repro.get("traffic", ""))

@@ -1,7 +1,10 @@
-"""Statistics: event counters, energy model, run reports."""
+"""Statistics: event counters, energy model, latency histograms, run
+reports."""
 
 from .counters import Counters
 from .energy import EnergyModel
-from .report import RunResult
+from .latency import LatencyHistogram
+from .report import RunResult, format_table
 
-__all__ = ["Counters", "EnergyModel", "RunResult"]
+__all__ = ["Counters", "EnergyModel", "LatencyHistogram", "RunResult",
+           "format_table"]

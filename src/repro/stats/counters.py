@@ -62,6 +62,10 @@ class Counters:
     stm_aborts: int = 0
     ops_completed: int = 0           # data-structure operations (driver)
 
+    # -- open-loop traffic (repro.traffic) ----------------------------------
+    traffic_admitted: int = 0        # arrivals that entered a lane queue
+    traffic_shed: int = 0            # arrivals dropped at a full queue
+
     # -- checkpointing (repro.state) ----------------------------------------
     checkpoints_saved: int = 0
     checkpoints_restored: int = 0

@@ -27,14 +27,23 @@ class RunResult:
     #: Full scalar-counter snapshot of the run (machine-readable output,
     #: trace reconciliation).  Not shown in tables.
     counters: dict[str, int] = field(default_factory=dict)
+    #: Open-loop latency payload (None on closed-loop runs): percentiles,
+    #: admitted/shed totals, the SLO verdict, and the full histogram
+    #: state under ``"hist"``.  See :mod:`repro.traffic`.
+    latency: dict[str, Any] | None = None
 
     @property
     def mops_per_sec(self) -> float:
         return self.throughput_ops_per_sec / 1e6
 
     def row(self) -> dict[str, Any]:
-        """Flat dict for tabular output."""
-        return {
+        """Flat dict for tabular output.
+
+        ``extra`` keys may not collide with built-in columns: a benchmark
+        stuffing e.g. ``ops`` into ``extra`` would silently corrupt every
+        table, so collisions raise instead.
+        """
+        row = {
             "name": self.name,
             "threads": self.num_threads,
             "cycles": self.cycles,
@@ -44,8 +53,21 @@ class RunResult:
             "msgs_per_op": round(self.messages_per_op, 2),
             "l1_misses_per_op": round(self.l1_misses_per_op, 2),
             "cas_fail_rate": round(self.cas_failure_rate, 4),
-            **self.extra,
         }
+        if self.latency is not None:
+            for k in ("p50", "p99", "p999"):
+                if k in self.latency:
+                    row[k] = self.latency[k]
+            row["shed"] = self.latency.get("shed", 0)
+            row["slo"] = self.latency.get("slo", "n/a")
+        clashes = sorted(set(row) & set(self.extra))
+        if clashes:
+            raise ValueError(
+                f"RunResult.extra would shadow built-in column(s) "
+                f"{', '.join(clashes)} (run {self.name!r}); rename the "
+                f"extra key(s)")
+        row.update(self.extra)
+        return row
 
     def __str__(self) -> str:
         r = self.row()
@@ -53,10 +75,22 @@ class RunResult:
 
 
 def format_table(rows: list[dict[str, Any]]) -> str:
-    """Render rows (same keys) as a fixed-width ASCII table."""
+    """Render rows as a fixed-width ASCII table.
+
+    Columns are the first-seen ordered union of keys across *all* rows
+    (not just the first row -- a sweep mixing open-loop and closed-loop
+    cells introduces latency columns partway through), with blanks where
+    a row lacks a key.
+    """
     if not rows:
         return "(no rows)"
-    keys = list(rows[0].keys())
+    keys: list[str] = []
+    seen: set[str] = set()
+    for r in rows:
+        for k in r:
+            if k not in seen:
+                seen.add(k)
+                keys.append(k)
     widths = {k: max(len(str(k)), *(len(str(r.get(k, ""))) for r in rows))
               for k in keys}
     header = " | ".join(str(k).ljust(widths[k]) for k in keys)

@@ -662,3 +662,35 @@ class ClusterGuardDenied(TraceEvent):
         super().__init__()
         self.node = node
         self.obj = obj
+
+
+# ---------------------------------------------------------------------------
+# Open-loop traffic (repro.traffic): admission-queue outcomes
+# ---------------------------------------------------------------------------
+
+class OpAdmitted(TraceEvent):
+    """One open-loop arrival was admitted into core ``core``'s bounded
+    queue (``depth`` is the queue depth right after admission; watching
+    it grow toward the cap is the early-warning signal for shed)."""
+
+    __slots__ = ("core", "tenant", "depth")
+    kind = "op_admitted"
+
+    def __init__(self, core: int, tenant: int = 0, depth: int = 0) -> None:
+        super().__init__()
+        self.core = core
+        self.tenant = tenant
+        self.depth = depth
+
+
+class OpShed(TraceEvent):
+    """One open-loop arrival found core ``core``'s admission queue full
+    and was shed -- counted against the SLO's shed budget, never run."""
+
+    __slots__ = ("core", "tenant")
+    kind = "op_shed"
+
+    def __init__(self, core: int, tenant: int = 0) -> None:
+        super().__init__()
+        self.core = core
+        self.tenant = tenant

@@ -77,6 +77,8 @@ class CountersTracer(Tracer):
             ev.LockFailed: lambda e: self._bump("lock_acquire_failures"),
             ev.StmOutcome: self._on_stm,
             ev.OpCompleted: lambda e: k.note_op(e.core),
+            ev.OpAdmitted: lambda e: self._bump("traffic_admitted"),
+            ev.OpShed: lambda e: self._bump("traffic_shed"),
             ev.FaultInjected: lambda e: self._bump("faults_injected"),
             ev.DirNack: lambda e: self._bump("dir_nacks"),
             ev.RetryScheduled: lambda e: self._bump("dir_retries"),
@@ -294,6 +296,12 @@ class CountersTracer(Tracer):
                          start=None):
             k.note_op(core)
 
+        def op_admitted(core, tenant=0, depth=0):
+            k.traffic_admitted += 1
+
+        def op_shed(core, tenant=0):
+            k.traffic_shed += 1
+
         def fault_injected(site, core, magnitude):
             k.faults_injected += 1
 
@@ -347,6 +355,7 @@ class CountersTracer(Tracer):
             ev.MultiLeaseIssued: multilease, ev.CasOutcome: cas,
             ev.LockAttempt: lock_attempt, ev.LockFailed: lock_failed,
             ev.StmOutcome: stm, ev.OpCompleted: op_completed,
+            ev.OpAdmitted: op_admitted, ev.OpShed: op_shed,
             ev.FaultInjected: fault_injected, ev.DirNack: dir_nack,
             ev.RetryScheduled: retry_scheduled,
             ev.CheckpointSaved: checkpoint_saved,
@@ -570,6 +579,10 @@ _RECONCILE_RULES: tuple[tuple[str, Callable[[Mapping[str, int]], int],
      lambda k: k["stm_commits"] + k["stm_aborts"]),
     ("ops completed", lambda c: c.get("op_completed", 0),
      lambda k: k["ops_completed"]),
+    ("ops admitted", lambda c: c.get("op_admitted", 0),
+     lambda k: k.get("traffic_admitted", 0)),
+    ("ops shed", lambda c: c.get("op_shed", 0),
+     lambda k: k.get("traffic_shed", 0)),
     ("faults injected", lambda c: c.get("fault_injected", 0),
      lambda k: k["faults_injected"]),
     ("directory nacks", lambda c: c.get("dir_nack", 0),

@@ -1,0 +1,35 @@
+"""Open-loop traffic generation for the deterministic engine.
+
+Closed-loop drivers (every thread issues its next op when the previous
+one completes) understate contention collapse: a real service's arrival
+rate doesn't slow down because the lock got hot.  This package layers
+open-loop load on the existing engine -- seeded arrival processes feed
+bounded per-core admission queues, workers pull admitted ops, overflow
+is shed -- and measures what open-loop measures best: enqueue->complete
+latency percentiles and SLO verdicts.
+
+* :mod:`~repro.traffic.spec` -- the strict ``--traffic`` grammar.
+* :mod:`~repro.traffic.arrivals` -- Poisson / bursty / diurnal-ramp
+  arrival processes on seeded per-stream RNGs.
+* :mod:`~repro.traffic.source` -- per-core lanes, bounded admission,
+  shed accounting, latency histograms, SLO evaluation.
+* :mod:`~repro.traffic.workers` -- open-loop worker bodies for the
+  counter, Treiber stack, and search structures.
+"""
+
+from .source import Lane, TrafficSource, evaluate_slo
+from .spec import TrafficSpec, parse_traffic_spec
+from .workers import (op_for_key, traffic_counter_worker,
+                      traffic_search_worker, traffic_stack_worker)
+
+__all__ = [
+    "Lane",
+    "TrafficSource",
+    "TrafficSpec",
+    "evaluate_slo",
+    "op_for_key",
+    "parse_traffic_spec",
+    "traffic_counter_worker",
+    "traffic_search_worker",
+    "traffic_stack_worker",
+]

@@ -1,0 +1,105 @@
+"""Seeded arrival processes: successive absolute arrival cycles.
+
+Each open-loop stream owns one arrival process driven by the stream's
+private RNG, so arrival times are a pure function of (spec, seed, lane,
+tenant) -- independent of scheduling, engine, or how late the consuming
+worker polls.  That independence is what makes open-loop latency honest:
+an op's latency clock starts at its *intended* arrival time even if the
+worker was wedged behind a contended lock when it arrived (the
+coordinated-omission correction; see DESIGN.md).
+
+Rates are given in ops per kilocycle; gaps are drawn in float cycles and
+rounded to integers (min 1 cycle) so every downstream consumer stays in
+the simulator's integer-cycle domain.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from .spec import TrafficSpec
+
+__all__ = ["make_arrivals"]
+
+#: Floor on the instantaneous ramp rate as a fraction of the nominal
+#: rate, so the trough of the sinusoid never divides by ~zero.
+_RAMP_FLOOR = 0.05
+
+
+class PoissonArrivals:
+    """Memoryless arrivals: exponential gaps with mean ``1000/rate``."""
+
+    __slots__ = ("rng", "rate_per_cycle", "t")
+
+    def __init__(self, rng: random.Random, rate_per_kcycle: float) -> None:
+        self.rng = rng
+        self.rate_per_cycle = rate_per_kcycle / 1000.0
+        self.t = 0
+
+    def next_arrival(self) -> int:
+        gap = self.rng.expovariate(self.rate_per_cycle)
+        self.t += max(1, round(gap))
+        return self.t
+
+
+class BurstArrivals:
+    """On-off arrivals: Poisson at ``rate`` inside each ``on`` window,
+    silent for ``off``.  A gap landing in an off window slides to the
+    start of the next on window (no extra RNG draw, so the draw sequence
+    stays aligned with the admitted-op sequence)."""
+
+    __slots__ = ("rng", "rate_per_cycle", "on", "period", "t")
+
+    def __init__(self, rng: random.Random, rate_per_kcycle: float,
+                 on_cycles: int, off_cycles: int) -> None:
+        self.rng = rng
+        self.rate_per_cycle = rate_per_kcycle / 1000.0
+        self.on = on_cycles
+        self.period = on_cycles + off_cycles
+        self.t = 0
+
+    def next_arrival(self) -> int:
+        gap = self.rng.expovariate(self.rate_per_cycle)
+        t = self.t + max(1, round(gap))
+        phase = t % self.period
+        if phase >= self.on:
+            t += self.period - phase
+        self.t = t
+        return t
+
+
+class RampArrivals:
+    """Diurnal ramp: a sinusoid of period ``period`` modulates the
+    instantaneous rate between ~0 and ``2*rate`` (time-averaged mean
+    ``rate``); the gap is an exponential draw at the rate in effect when
+    the previous op arrived (a standard thinning-free approximation that
+    keeps one RNG draw per arrival)."""
+
+    __slots__ = ("rng", "rate_per_cycle", "period", "t")
+
+    def __init__(self, rng: random.Random, rate_per_kcycle: float,
+                 period: int) -> None:
+        self.rng = rng
+        self.rate_per_cycle = rate_per_kcycle / 1000.0
+        self.period = period
+        self.t = 0
+
+    def next_arrival(self) -> int:
+        phase = (self.t % self.period) / self.period
+        rate = self.rate_per_cycle * (1.0 + math.sin(2.0 * math.pi * phase))
+        rate = max(rate, self.rate_per_cycle * _RAMP_FLOOR)
+        gap = self.rng.expovariate(rate)
+        self.t += max(1, round(gap))
+        return self.t
+
+
+def make_arrivals(spec: TrafficSpec, rng: random.Random):
+    """Build the arrival process a spec names, on the stream's RNG."""
+    if spec.arrival == "poisson":
+        return PoissonArrivals(rng, spec.rate)
+    if spec.arrival == "burst":
+        return BurstArrivals(rng, spec.rate, spec.on_cycles, spec.off_cycles)
+    if spec.arrival == "ramp":
+        return RampArrivals(rng, spec.rate, spec.period)
+    raise ValueError(f"spec has no arrival process: {spec!r}")

@@ -23,6 +23,14 @@ from ..structures import (GlobalLockPQ, HarrisList, LockFreeSkipList,
 from ..stm import TL2Objects
 from ..apps import PagerankApp, SnapshotRegion
 from ..sync.backoff import ExponentialBackoff
+from ..traffic import (TrafficSource, parse_traffic_spec,
+                       traffic_counter_worker, traffic_search_worker,
+                       traffic_stack_worker)
+
+#: Key range handed to traffic key distributions when the structure under
+#: test has no keys of its own (counter: keys only steer the arrival
+#: process; stack: key parity picks push vs pop).
+_TRAFFIC_KEY_RANGE = 64
 
 
 def _config(num_threads: int, use_lease: bool,
@@ -47,7 +55,8 @@ def _machine(cfg: MachineConfig,
     return m
 
 
-def _finish(m: Machine, name: str, **extra: Any) -> RunResult:
+def _finish(m: Machine, name: str, *, traffic_source=None,
+            **extra: Any) -> RunResult:
     from ..state import hooks
     if hooks.run_hook is not None:
         # Checkpoint/restore seam (see repro.state.hooks): the CLI installs
@@ -57,11 +66,26 @@ def _finish(m: Machine, name: str, **extra: Any) -> RunResult:
     else:
         m.run()
     k = m.counters
-    return m.result(name, extra={
+    res = m.result(name, extra={
         "invol_releases": k.releases_involuntary,
         "vol_releases": k.releases_voluntary,
         **extra,
     })
+    if traffic_source is not None:
+        res.latency = traffic_source.summary()
+    return res
+
+
+def _traffic_source(cfg: MachineConfig, traffic: str, num_threads: int, *,
+                    key_range: int, default_ops: int) -> TrafficSource | None:
+    """Build the run's traffic source, or None for a closed-loop run.
+    Seeded from the *post-override* config seed so ``--seed`` reaches the
+    arrival streams the same way it reaches per-thread RNGs."""
+    spec = parse_traffic_spec(traffic)
+    if spec.empty:
+        return None
+    return TrafficSource(spec, num_lanes=num_threads, seed=cfg.seed,
+                         key_range=key_range, default_ops=default_ops)
 
 
 # ---------------------------------------------------------------------------
@@ -70,12 +94,14 @@ def _finish(m: Machine, name: str, **extra: Any) -> RunResult:
 
 def bench_stack(num_threads: int, *, ops_per_thread: int = 60,
                 variant: str = "base", prefill: int = 128,
+                traffic: str = "",
                 config: MachineConfig | None = None,
                 max_lease_time: int | None = None,
                 sinks: Sequence[Tracer] | None = None,
                 schedule: Any = None) -> RunResult:
     """``variant``: 'base', 'lease', or 'backoff' (the software-optimized
-    comparison point of Section 7)."""
+    comparison point of Section 7).  A non-empty ``traffic`` spec switches
+    the workers to open-loop (admitted key parity picks push vs pop)."""
     kw = {}
     if max_lease_time is not None:
         kw["max_lease_time"] = max_lease_time
@@ -84,9 +110,15 @@ def bench_stack(num_threads: int, *, ops_per_thread: int = 60,
     backoff = ExponentialBackoff() if variant == "backoff" else None
     stack = TreiberStack(m, backoff=backoff)
     stack.prefill(range(prefill))
-    for _ in range(num_threads):
-        m.add_thread(stack.update_worker, ops_per_thread)
-    return _finish(m, f"stack/{variant}")
+    src = _traffic_source(cfg, traffic, num_threads,
+                          key_range=_TRAFFIC_KEY_RANGE,
+                          default_ops=ops_per_thread)
+    for i in range(num_threads):
+        if src is not None:
+            m.add_thread(traffic_stack_worker, stack, src.lane(i))
+        else:
+            m.add_thread(stack.update_worker, ops_per_thread)
+    return _finish(m, f"stack/{variant}", traffic_source=src)
 
 
 # ---------------------------------------------------------------------------
@@ -119,23 +151,34 @@ def bench_queue(num_threads: int, *, ops_per_thread: int = 60,
 
 def bench_counter(num_threads: int, *, ops_per_thread: int = 60,
                   variant: str = "tts", use_lease: bool = False,
-                  misuse: bool = False,
+                  misuse: bool = False, traffic: str = "",
                   config: MachineConfig | None = None,
                   max_lease_time: int | None = None,
                   sinks: Sequence[Tracer] | None = None,
                   schedule: Any = None) -> RunResult:
     """``variant``: lock kind ('tts', 'ticket', 'clh'); ``use_lease``
-    applies the Section 6 lease pattern (only meaningful for 'tts')."""
+    applies the Section 6 lease pattern (only meaningful for 'tts').  A
+    non-empty ``traffic`` spec switches the workers to open-loop: every
+    admitted arrival is one increment, shed arrivals never run."""
     kw = {}
     if max_lease_time is not None:
         kw["max_lease_time"] = max_lease_time
     cfg = _config(num_threads, use_lease, config, **kw)
     m = _machine(cfg, sinks, schedule)
     counter = LockedCounter(m, lock=variant, misuse=misuse)
-    for _ in range(num_threads):
-        m.add_thread(counter.update_worker, ops_per_thread)
-    res = _finish(m, f"counter/{variant}{'+lease' if use_lease else ''}")
-    expected = num_threads * ops_per_thread
+    src = _traffic_source(cfg, traffic, num_threads,
+                          key_range=_TRAFFIC_KEY_RANGE,
+                          default_ops=ops_per_thread)
+    for i in range(num_threads):
+        if src is not None:
+            m.add_thread(traffic_counter_worker, counter, src.lane(i))
+        else:
+            m.add_thread(counter.update_worker, ops_per_thread)
+    res = _finish(m, f"counter/{variant}{'+lease' if use_lease else ''}",
+                  traffic_source=src)
+    # Open-loop: only admitted ops run (shed arrivals must NOT count).
+    expected = (src.admitted if src is not None
+                else num_threads * ops_per_thread)
     actual = m.peek(counter.value_addr)
     if actual != expected:
         raise AssertionError(
@@ -275,6 +318,7 @@ def _bench_search_structure(cls, name: str, num_threads: int,
                             ops_per_thread: int, key_range: int,
                             update_pct: int, use_lease: bool,
                             config: MachineConfig | None,
+                            traffic: str = "",
                             sinks: Sequence[Tracer] | None = None,
                             schedule: Any = None,
                             **cls_kw: Any) -> RunResult:
@@ -282,9 +326,16 @@ def _bench_search_structure(cls, name: str, num_threads: int,
     m = _machine(cfg, sinks, schedule)
     s = cls(m, **cls_kw)
     s.prefill(range(0, key_range, 2))
-    for _ in range(num_threads):
-        m.add_thread(s.mixed_worker, ops_per_thread, key_range, update_pct)
-    return _finish(m, f"{name}/{'lease' if use_lease else 'base'}")
+    src = _traffic_source(cfg, traffic, num_threads, key_range=key_range,
+                          default_ops=ops_per_thread)
+    for i in range(num_threads):
+        if src is not None:
+            m.add_thread(traffic_search_worker, s, src.lane(i), update_pct)
+        else:
+            m.add_thread(s.mixed_worker, ops_per_thread, key_range,
+                         update_pct)
+    return _finish(m, f"{name}/{'lease' if use_lease else 'base'}",
+                   traffic_source=src)
 
 
 def bench_harris_list(num_threads: int, *, ops_per_thread: int = 40,
@@ -302,15 +353,17 @@ def bench_harris_list(num_threads: int, *, ops_per_thread: int = 40,
 
 def bench_skiplist(num_threads: int, *, ops_per_thread: int = 40,
                    key_range: int = 512, update_pct: int = 20,
-                   use_lease: bool = False,
+                   use_lease: bool = False, traffic: str = "",
                    config: MachineConfig | None = None,
                    sinks: Sequence[Tracer] | None = None,
                    schedule: Any = None) -> RunResult:
-    """Lock-free skiplist at 20% updates (Section 7 low contention)."""
+    """Lock-free skiplist at 20% updates (Section 7 low contention).  A
+    non-empty ``traffic`` spec switches to open-loop: admitted keys are
+    the operation keys and the op kind is hashed from them."""
     return _bench_search_structure(LockFreeSkipList, "skiplist", num_threads,
                                    ops_per_thread, key_range, update_pct,
-                                   use_lease, config, sinks=sinks,
-                                   schedule=schedule)
+                                   use_lease, config, traffic=traffic,
+                                   sinks=sinks, schedule=schedule)
 
 
 def bench_hashtable(num_threads: int, *, ops_per_thread: int = 40,

@@ -50,11 +50,53 @@ class ZipfKeys:
         return bisect.bisect_left(self._cdf, rng.random())
 
 
+class HotSetKeys:
+    """Hot-set-shifting keys: a ``frac`` share of draws lands in a window
+    of ``size`` consecutive keys that slides by ``size`` after every
+    ``shift_every`` draws (wrapping mod ``key_range``); the rest are
+    uniform over the whole range.
+
+    This models popularity churn -- "the hot key moved" -- the open-loop
+    traffic scenario the ROADMAP asks about.  The instance is *stateful*
+    (it counts its own draws to know the current window), so give each
+    arrival stream its own instance; for a fixed draw sequence the key
+    sequence is deterministic.
+    """
+
+    def __init__(self, key_range: int, *, frac: float = 0.9, size: int = 8,
+                 shift_every: int = 256) -> None:
+        if key_range <= 0:
+            raise ValueError("key_range must be positive")
+        if not 0.0 <= frac <= 1.0:
+            raise ValueError("hot fraction must be in [0, 1]")
+        if size <= 0 or shift_every <= 0:
+            raise ValueError("hot-set size and shift interval must be "
+                             "positive")
+        self.key_range = key_range
+        self.frac = frac
+        self.size = min(size, key_range)
+        self.shift_every = shift_every
+        self._drawn = 0
+
+    def sample(self, rng: random.Random) -> int:
+        base = (self._drawn // self.shift_every) * self.size % self.key_range
+        self._drawn += 1
+        if rng.random() < self.frac:
+            return (base + rng.randrange(self.size)) % self.key_range
+        return rng.randrange(self.key_range)
+
+
 def op_mix(rng: random.Random, update_pct: int) -> str:
-    """Draw one operation from the paper's mix: ``update_pct``/2 inserts,
-    ``update_pct``/2 deletes, the rest searches."""
+    """Draw one operation from the paper's mix: ``update_pct`` percent
+    updates split between inserts and deletes, the rest searches.
+
+    An odd ``update_pct`` cannot split evenly; the extra percentage
+    point goes to inserts (``ceil(pct/2)`` inserts, ``floor(pct/2)``
+    deletes), so ``update_pct=5`` means exactly 3% inserts / 2% deletes
+    -- deterministic, not rounded differently per call site.
+    """
     roll = rng.randrange(100)
-    if roll < update_pct // 2:
+    if roll < (update_pct + 1) // 2:
         return "insert"
     if roll < update_pct:
         return "delete"

@@ -6,8 +6,34 @@ from collections import Counter
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.workloads.generators import (UniformKeys, ZipfKeys, key_stream,
-                                        op_mix)
+from repro.workloads.generators import (HotSetKeys, UniformKeys, ZipfKeys,
+                                        key_stream, op_mix)
+
+
+class _CyclingRolls:
+    """random.Random stand-in whose ``randrange(n)`` cycles 0..n-1, so a
+    hundred op_mix draws visit every roll exactly once."""
+
+    def __init__(self) -> None:
+        self._i = 0
+
+    def randrange(self, n: int) -> int:
+        v = self._i % n
+        self._i += 1
+        return v
+
+
+class _FixedRandom:
+    """random.Random stand-in with a pinned ``random()`` value."""
+
+    def __init__(self, value: float) -> None:
+        self._value = value
+
+    def random(self) -> float:
+        return self._value
+
+    def randrange(self, n: int) -> int:
+        return int(self._value * n) % n
 
 
 class TestUniform:
@@ -58,6 +84,65 @@ class TestZipf:
         for _ in range(20):
             assert 0 <= dist.sample(rng) < n
 
+    def test_larger_s_concentrates_more_mass(self):
+        mild, heavy = ZipfKeys(200, 0.8), ZipfKeys(200, 2.0)
+        r1, r2 = random.Random(10), random.Random(10)
+        mild_hits = sum(mild.sample(r1) == 0 for _ in range(4000))
+        heavy_hits = sum(heavy.sample(r2) == 0 for _ in range(4000))
+        assert heavy_hits > mild_hits * 2
+
+    def test_cdf_boundary_draw_stays_in_range(self):
+        # rng.random() in [0, 1); a draw just under 1.0 must land on the
+        # last key, not fall off the CDF (the cdf[-1] = 1.0 guard).
+        dist = ZipfKeys(7, 1.3)
+        for value in (0.0, 1.0 - 2 ** -53):
+            assert 0 <= dist.sample(_FixedRandom(value)) < 7
+
+    def test_fixed_seed_is_deterministic(self):
+        dist1, dist2 = ZipfKeys(50, 1.2), ZipfKeys(50, 1.2)
+        r1, r2 = random.Random(42), random.Random(42)
+        assert ([dist1.sample(r1) for _ in range(100)]
+                == [dist2.sample(r2) for _ in range(100)])
+
+
+class TestHotSet:
+    def test_in_range(self):
+        dist = HotSetKeys(20, frac=0.9, size=4, shift_every=8)
+        rng = random.Random(11)
+        assert all(0 <= dist.sample(rng) < 20 for _ in range(300))
+
+    def test_hot_window_slides(self):
+        # frac=1.0: every draw is in the current window, which advances
+        # by `size` every `shift_every` draws.
+        dist = HotSetKeys(16, frac=1.0, size=4, shift_every=10)
+        rng = random.Random(12)
+        first = [dist.sample(rng) for _ in range(10)]
+        second = [dist.sample(rng) for _ in range(10)]
+        assert all(0 <= k < 4 for k in first)
+        assert all(4 <= k < 8 for k in second)
+
+    def test_wraps_modulo_key_range(self):
+        dist = HotSetKeys(8, frac=1.0, size=4, shift_every=1)
+        rng = random.Random(13)
+        windows = {dist.sample(rng) // 4 for _ in range(8)}
+        assert windows == {0, 1}
+
+    def test_cold_draws_cover_whole_range(self):
+        dist = HotSetKeys(10, frac=0.0, size=2, shift_every=4)
+        rng = random.Random(14)
+        seen = {dist.sample(rng) for _ in range(500)}
+        assert seen == set(range(10))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HotSetKeys(0)
+        with pytest.raises(ValueError):
+            HotSetKeys(10, frac=1.5)
+        with pytest.raises(ValueError):
+            HotSetKeys(10, size=0)
+        with pytest.raises(ValueError):
+            HotSetKeys(10, shift_every=0)
+
 
 class TestOpMix:
     def test_zero_updates_all_searches(self):
@@ -74,6 +159,23 @@ class TestOpMix:
         rng = random.Random(8)
         ops = Counter(op_mix(rng, 100) for _ in range(1000))
         assert ops["contains"] == 0
+
+    # Regression: odd update_pct used to split the update share unevenly
+    # depending on the call site's rounding; the contract is now exactly
+    # ceil(pct/2) inserts and floor(pct/2) deletes per 100 rolls.
+    @pytest.mark.parametrize("pct", [1, 5, 33, 99])
+    def test_odd_percentages_split_deterministically(self, pct):
+        rolls = _CyclingRolls()
+        ops = Counter(op_mix(rolls, pct) for _ in range(100))
+        assert ops["insert"] == (pct + 1) // 2
+        assert ops["delete"] == pct // 2
+        assert ops["contains"] == 100 - pct
+
+    @given(st.integers(0, 100))
+    def test_property_update_share_is_exact(self, pct):
+        rolls = _CyclingRolls()
+        ops = Counter(op_mix(rolls, pct) for _ in range(100))
+        assert ops["insert"] + ops["delete"] == pct
 
 
 def test_key_stream():

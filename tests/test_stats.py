@@ -1,5 +1,7 @@
 """Stats: counters, energy model, run reports."""
 
+import pytest
+
 from repro import Counters, EnergyModel, RunResult
 from repro.config import EnergyConfig
 from repro.stats.report import format_table
@@ -85,6 +87,36 @@ class TestRunResult:
         assert row["threads"] == 4
         assert "mops_per_sec=100.0" in str(r)
 
+    def test_latency_payload_adds_columns(self):
+        r = self.make()
+        r.latency = {"p50": 10, "p99": 40, "p999": 80, "shed": 3,
+                     "slo": "pass"}
+        row = r.row()
+        assert (row["p50"], row["p99"], row["p999"]) == (10, 40, 80)
+        assert row["shed"] == 3
+        assert row["slo"] == "pass"
+
+    # Regression: extra keys shadowing built-in columns used to silently
+    # overwrite them (a benchmark stuffing "ops" into extra corrupted
+    # every table); collisions now raise.
+    def test_extra_colliding_with_builtin_raises(self):
+        r = self.make()
+        r.extra = {"ops": 1}
+        with pytest.raises(ValueError, match="ops"):
+            r.row()
+
+    def test_extra_colliding_with_latency_column_raises(self):
+        r = self.make()
+        r.latency = {"p99": 40}
+        r.extra = {"p99": 99}
+        with pytest.raises(ValueError, match="p99"):
+            r.row()
+
+    def test_non_colliding_extra_ok(self):
+        r = self.make()
+        r.extra = {"fairness": 0.5}
+        assert r.row()["fairness"] == 0.5
+
 
 class TestFormatTable:
     def test_alignment(self):
@@ -97,3 +129,19 @@ class TestFormatTable:
 
     def test_empty(self):
         assert format_table([]) == "(no rows)"
+
+    # Regression: columns used to come from the first row only, so a
+    # sweep whose later rows grew latency columns dropped them from the
+    # table.  Columns are now the first-seen ordered union across rows.
+    def test_columns_union_across_rows(self):
+        rows = [{"a": 1}, {"a": 2, "p99": 40}, {"b": 3}]
+        out = format_table(rows)
+        header = out.splitlines()[0]
+        assert [h.strip() for h in header.split("|")] == ["a", "p99", "b"]
+
+    def test_missing_cells_render_blank(self):
+        rows = [{"a": 1}, {"a": 2, "p99": 40}]
+        lines = format_table(rows).splitlines()
+        # Row 1 has no p99: its cell is blank but still padded.
+        assert len(lines[2]) == len(lines[3])
+        assert "40" in lines[3] and "40" not in lines[2]
