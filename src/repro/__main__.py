@@ -59,12 +59,14 @@ Examples::
     python -m repro run fig4_tl2 --metric nj_per_op
     python -m repro run fig2_stack --faults "dir_nack:p=0.01" --seed 7
     python -m repro run counter --traffic "poisson:rate=2.0,slo:p99=9000"
+    python -m repro run sync_ablation --threads 2,8,32
     python -m repro run fig2_stack --checkpoint-every 5000
     python -m repro run fig2_stack --warm-start
     python -m repro trace fig2_stack --threads 4 --heatmap
     python -m repro run cluster_shards --nodes 3 --threads 2,4
     python -m repro check --list-targets
     python -m repro check treiber --budget 200 --seed 7
+    python -m repro check sync_zoo_treiber --budget 200
     python -m repro check treiber --budget 50 --faults "timer_skew:±8"
     python -m repro check cluster_lease --budget 60 --nodes 3
     python -m repro check cluster_lease --cluster "loss:p=0.1;skew:80"

@@ -23,6 +23,9 @@ Targets cover the loops that dominate figure-reproduction wall-clock:
 * ``counter``          -- the contended TTS+lease lock counter;
 * ``sweep_cell``       -- one full fig2-style sweep cell (both variants),
   the unit every figure reproduction multiplies;
+* ``sync_ablation``    -- the contention-management zoo: all 6 policies x
+  3 structures through the workload driver, reporting lease-vs-software
+  headline ratios;
 * ``trace_fastpath``   -- the counters-only emit hot loop, fast vs slow
   path, asserting bit-identical counters and ``RunResult``;
 * ``engine_fastpath``  -- the run-loop engine A/B (time-wheel + batching
@@ -204,6 +207,53 @@ def bench_sweep_cell(quick: bool, fault_spec: str = "",
     total_ops = sum(r.ops for series in res.values() for r in series)
     return {"ops": total_ops, "events": None,
             "extra": {"variants": len(res), "threads": threads}}
+
+
+def bench_sync_ablation(quick: bool, fault_spec: str = "",
+                        seed: int | None = None,
+                        engine: str = "fast") -> dict:
+    """The full contention-management zoo in one record: every
+    {policy} x {structure} cell of the ``sync_ablation`` experiment at one
+    thread count (18 machine runs through the real workload driver).
+
+    ``extra`` distills the ablation's headline comparisons per structure:
+    the lease speedup over the software baseline, which software rival
+    (cas-backoff / reciprocating / mcas-helping) came closest, and how
+    far ahead the lease arm stayed -- the numbers the paper's Section 7
+    "leases vs backoff" argument rests on.  The counter arms also assert
+    no updates were lost, so this target doubles as a correctness smoke
+    over every zoo primitive.
+    """
+    from ..workloads.driver import SYNC_POLICIES, SYNC_STRUCTURES
+    from ..workloads.driver import bench_sync_ablation as cell
+
+    threads = 4 if quick else 8
+    ops_per_thread = 10 if quick else 25
+    cfg = MachineConfig(num_cores=threads, fault_spec=fault_spec,
+                        engine=engine)
+    if seed is not None:
+        cfg = replace(cfg, seed=seed)
+    software = ("cas-backoff", "reciprocating", "mcas-helping")
+    total_ops = 0
+    extra: dict[str, Any] = {}
+    for structure in SYNC_STRUCTURES:
+        tput: dict[str, float] = {}
+        for policy in SYNC_POLICIES:
+            res = cell(threads, structure=structure, policy=policy,
+                       ops_per_thread=ops_per_thread, prefill=32,
+                       config=cfg)
+            total_ops += res.ops
+            tput[policy] = res.throughput_ops_per_sec
+        base = tput["baseline"]
+        best_sw = max(software, key=lambda p: tput[p])
+        extra[f"{structure}_lease_speedup"] = (
+            round(tput["lease"] / base, 2) if base else 0.0)
+        extra[f"{structure}_best_software"] = best_sw
+        extra[f"{structure}_lease_vs_best_sw"] = (
+            round(tput["lease"] / tput[best_sw], 2) if tput[best_sw]
+            else 0.0)
+    extra["cells"] = len(SYNC_STRUCTURES) * len(SYNC_POLICIES)
+    return {"ops": total_ops, "events": None, "extra": extra}
 
 
 # ---------------------------------------------------------------------------
@@ -645,6 +695,8 @@ TARGETS: dict[str, BenchTarget] = {
                     bench_counter_lock),
         BenchTarget("sweep_cell", "one fig2-style sweep cell (base + "
                     "lease)", bench_sweep_cell),
+        BenchTarget("sync_ablation", "contention zoo: 6 policies x 3 "
+                    "structures", bench_sync_ablation),
         BenchTarget("trace_fastpath", "counters-only emit hot loop, fast "
                     "vs slow path", bench_trace_fastpath),
         BenchTarget("engine_fastpath", "fast vs compat run-loop engine "

@@ -29,11 +29,16 @@ from ..config import LeaseConfig, MachineConfig
 from ..core.machine import Machine
 from ..errors import (LeaseError, ProtocolError, ReproError, SimulationError,
                       SimulationTimeout)
-from ..structures.counter import LockedCounter
+from ..core.isa import Load, Store, Work
+from ..structures.counter import CasCounter, LockedCounter
 from ..structures.harris_list import HarrisList
+from ..structures.mcas import McasCounter, McasQueue, McasStack
 from ..structures.msqueue import MichaelScottQueue
 from ..structures.priorityqueue import GlobalLockPQ
 from ..structures.treiber import TreiberStack
+from ..sync.adaptive import AdaptiveLeaseController
+from ..sync.backoff import DhmBackoff
+from ..sync.locks import ReciprocatingLock, SPIN_PAUSE
 from ..traffic import (TrafficSource, traffic_counter_worker,
                        traffic_stack_worker)
 from .history import HistoryRecorder
@@ -176,6 +181,144 @@ def _build_harris(m: Machine, variant: str):
     return lambda: SetModel(prefill), lambda: frozenset(lst.keys_direct())
 
 
+# -- contention-management zoo builders ---------------------------------------
+#
+# One target per structure; the campaign cycles the zoo policies as
+# variants, so a budget of 4*N runs N perturbed schedules per policy.
+
+def _zoo_adaptive(m: Machine) -> AdaptiveLeaseController:
+    """A controller tuned down to campaign scale, so expiries and
+    contractions actually fire inside 32-op runs."""
+    ctl = AdaptiveLeaseController(initial=120, min_time=40,
+                                  max_time=LEASE_TIME, pressure_high=2)
+    m.attach_tracer(ctl)
+    return ctl
+
+
+def _build_zoo_treiber(m: Machine, variant: str):
+    if variant == "mcas-helping":
+        s = McasStack(m)
+    elif variant == "cas-backoff":
+        s = TreiberStack(m, lease_time=LEASE_TIME, backoff=DhmBackoff())
+    elif variant == "adaptive-lease":
+        s = TreiberStack(m, lease_policy=_zoo_adaptive(m))
+    else:
+        raise ReproError(f"unknown zoo variant {variant!r}")
+    prefill = [10_000 + j for j in range(3)]
+    s.prefill(prefill)
+    for _ in range(THREADS):
+        m.add_thread(s.update_worker, OPS, local_work=4)
+    return (lambda: StackModel(prefill),
+            lambda: tuple(reversed(s.drain_direct())))
+
+
+def _build_zoo_msqueue(m: Machine, variant: str):
+    if variant == "mcas-helping":
+        q = McasQueue(m)
+    elif variant == "cas-backoff":
+        q = MichaelScottQueue(m, lease_time=LEASE_TIME, backoff=DhmBackoff())
+    elif variant == "adaptive-lease":
+        q = MichaelScottQueue(m, lease_policy=_zoo_adaptive(m))
+    else:
+        raise ReproError(f"unknown zoo variant {variant!r}")
+    prefill = [20_000 + j for j in range(3)]
+    q.prefill(prefill)
+    for _ in range(THREADS):
+        m.add_thread(q.update_worker, OPS, local_work=4)
+    return lambda: QueueModel(prefill), lambda: tuple(q.drain_direct())
+
+
+def _build_zoo_counter(m: Machine, variant: str):
+    if variant == "mcas-helping":
+        c = McasCounter(m)
+        final = c.peek_value
+    elif variant == "cas-backoff":
+        c = CasCounter(m, backoff=DhmBackoff())
+        final = lambda: m.peek(c.value_addr)
+    elif variant == "reciprocating":
+        c = LockedCounter(m, lock="reciprocating", critical_work=8)
+        final = lambda: m.peek(c.value_addr)
+    elif variant == "adaptive-lease":
+        c = LockedCounter(m, critical_work=8,
+                          lease_policy=_zoo_adaptive(m))
+        final = lambda: m.peek(c.value_addr)
+    else:
+        raise ReproError(f"unknown zoo variant {variant!r}")
+    for _ in range(THREADS):
+        m.add_thread(c.update_worker, OPS)
+    return lambda: CounterModel(0), final
+
+
+class _BrokenReciprocatingLock(ReciprocatingLock):
+    """DELIBERATELY BROKEN: acquisition is test-then-store instead of CAS,
+    so two threads that both observe 0 both "acquire" and race the
+    critical section.  Registered as the ``sync_zoo_broken`` must-fail
+    target proving the zoo campaigns catch real mutual-exclusion
+    violations."""
+
+    def acquire(self, ctx):
+        ctx.trace.lock_attempt(ctx.core_id)
+        while True:
+            cur = yield Load(self.addr)
+            if cur == 0:
+                # BUG (deliberate): the load-store window admits everyone
+                # who raced past the load.
+                yield Store(self.addr, self.TERM)
+                return self.TERM
+            ctx.trace.lock_failed(ctx.core_id)
+            yield Work(SPIN_PAUSE)
+
+    def release(self, ctx, token):
+        yield Store(self.addr, 0)
+
+
+def _build_zoo_broken(m: Machine, variant: str):
+    c = LockedCounter(m, lock="reciprocating", critical_work=8)
+    c.lock = _BrokenReciprocatingLock(m)
+    for _ in range(THREADS):
+        m.add_thread(c.update_worker, OPS)
+    return lambda: CounterModel(0), lambda: m.peek(c.value_addr)
+
+
+_ZOO_CONFIGS = (("cas-backoff", _cfg(leases=False)),
+                ("reciprocating", _cfg(leases=False)),
+                ("mcas-helping", _cfg(leases=False)),
+                ("adaptive-lease", _cfg(leases=True)))
+
+
+def _build_zoo_treiber_locked(m: Machine, variant: str):
+    """The coarse-lock (reciprocating) stack arm shares the treiber model
+    but pushes/pops under one lock."""
+    from ..workloads.driver import _locked_stack_worker
+    s = TreiberStack(m, lease_time=LEASE_TIME)
+    lock = ReciprocatingLock(m)
+    prefill = [10_000 + j for j in range(3)]
+    s.prefill(prefill)
+    for _ in range(THREADS):
+        m.add_thread(_locked_stack_worker, lock, s, OPS, local_work=4)
+    return (lambda: StackModel(prefill),
+            lambda: tuple(reversed(s.drain_direct())))
+
+
+def _build_zoo_msqueue_locked(m: Machine, variant: str):
+    from ..workloads.driver import _locked_queue_worker
+    q = MichaelScottQueue(m, lease_time=LEASE_TIME)
+    lock = ReciprocatingLock(m)
+    prefill = [20_000 + j for j in range(3)]
+    q.prefill(prefill)
+    for _ in range(THREADS):
+        m.add_thread(_locked_queue_worker, lock, q, OPS, local_work=4)
+    return lambda: QueueModel(prefill), lambda: tuple(q.drain_direct())
+
+
+def _dispatch_zoo(build, locked_build):
+    def _build(m: Machine, variant: str):
+        if variant == "reciprocating":
+            return locked_build(m, variant)
+        return build(m, variant)
+    return _build
+
+
 TARGETS: dict[str, CheckTarget] = {
     t.name: t for t in (
         CheckTarget(
@@ -203,6 +346,20 @@ TARGETS: dict[str, CheckTarget] = {
             "harris", "Harris lock-free list (set semantics)",
             (("base", _cfg(leases=False)), ("lease", _cfg(leases=True))),
             _build_harris),
+        CheckTarget(
+            "sync_zoo_treiber", "Contention zoo: Treiber stack policies",
+            _ZOO_CONFIGS,
+            _dispatch_zoo(_build_zoo_treiber, _build_zoo_treiber_locked)),
+        CheckTarget(
+            "sync_zoo_msqueue", "Contention zoo: MS queue policies",
+            _ZOO_CONFIGS,
+            _dispatch_zoo(_build_zoo_msqueue, _build_zoo_msqueue_locked)),
+        CheckTarget(
+            "sync_zoo_counter", "Contention zoo: counter policies",
+            _ZOO_CONFIGS, _build_zoo_counter),
+        CheckTarget(
+            "sync_zoo_broken", "Must-fail: test-then-store lock (broken)",
+            (("broken", _cfg(leases=False)),), _build_zoo_broken),
     )
 }
 
@@ -215,6 +372,7 @@ EXPERIMENT_ALIASES: dict[str, str] = {
     "fig5_multilease": "multilease",
     "e1_backoff": "treiber",
     "e2_low_contention_list": "harris",
+    "sync_ablation": "sync_zoo_treiber",
 }
 
 

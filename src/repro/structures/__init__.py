@@ -7,9 +7,10 @@ how the paper adds leases to classic designs by "modifying just a few lines
 of code in the base implementation".
 """
 
-from .counter import LockedCounter, AtomicCounter
+from .counter import LockedCounter, AtomicCounter, CasCounter
 from .treiber import TreiberStack
 from .msqueue import MichaelScottQueue
+from .mcas import McasCounter, McasQueue, McasStack
 from .harris_list import HarrisList
 from .skiplist import LockFreeSkipList
 from .hashtable import LockedHashTable
@@ -19,7 +20,8 @@ from .priorityqueue import (GlobalLockPQ, LotanShavitPQ, PughLockPQ,
 from .multiqueue import MultiQueue
 
 __all__ = [
-    "LockedCounter", "AtomicCounter", "TreiberStack", "MichaelScottQueue",
+    "LockedCounter", "AtomicCounter", "CasCounter", "TreiberStack",
+    "MichaelScottQueue", "McasCounter", "McasStack", "McasQueue",
     "HarrisList", "LockFreeSkipList", "LockedHashTable", "LockedExternalBST",
     "GlobalLockPQ", "PughLockPQ", "LotanShavitPQ", "SequentialSkipListPQ",
     "MultiQueue",

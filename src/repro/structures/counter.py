@@ -16,22 +16,25 @@ from __future__ import annotations
 
 from typing import Any, Generator
 
-from ..core.isa import FetchAdd, Lease, Load, Release, Store, TestAndSet, Work
+from ..core.isa import (CAS, FetchAdd, Lease, Load, Release, Store,
+                        TestAndSet, Work)
 from ..core.machine import Machine
 from ..core.thread import Ctx
-from ..sync.locks import (CLHLock, HTicketLock, SPIN_PAUSE, TTSLock,
-                          TicketLock, lease_lock_acquire,
-                          lease_lock_release)
+from ..sync.locks import (CLHLock, HTicketLock, ReciprocatingLock,
+                          SPIN_PAUSE, TTSLock, TicketLock,
+                          lease_lock_acquire, lease_lock_release)
 
 _LOCKS = {"tts": TTSLock, "ticket": TicketLock, "clh": CLHLock,
-          "hticket": HTicketLock}
+          "hticket": HTicketLock, "reciprocating": ReciprocatingLock}
 
 
 class LockedCounter:
     """One lock, one counter word (each on its own line)."""
 
     def __init__(self, machine: Machine, *, lock: str = "tts",
-                 critical_work: int = 40, misuse: bool = False) -> None:
+                 critical_work: int = 40, misuse: bool = False,
+                 backoff=None, lease_time: int = 1 << 62,
+                 lease_policy=None) -> None:
         if lock not in _LOCKS:
             raise ValueError(f"unknown lock kind {lock!r}")
         self.machine = machine
@@ -42,6 +45,11 @@ class LockedCounter:
         #: a real application does while holding the lock).
         self.critical_work = critical_work
         self.misuse = misuse
+        #: Inter-try backoff for the leased (tts) acquisition path.
+        self.backoff = backoff
+        self.lease_time = lease_time
+        #: Optional adaptive duration source (``time_for(addr)``).
+        self.lease_policy = lease_policy
 
     # -- operations --------------------------------------------------------
 
@@ -50,7 +58,11 @@ class LockedCounter:
         if self.misuse:
             return (yield from self._increment_misuse(ctx))
         if self.lock_kind == "tts":
-            token = yield from lease_lock_acquire(ctx, self.lock)
+            lt = (self.lease_policy.time_for(self.lock.addr)
+                  if self.lease_policy is not None else self.lease_time)
+            token = yield from lease_lock_acquire(ctx, self.lock,
+                                                  lease_time=lt,
+                                                  backoff=self.backoff)
         else:
             token = yield from self.lock.acquire(ctx)
         v = yield Load(self.value_addr)
@@ -104,6 +116,47 @@ class LockedCounter:
         """Benchmark body: ``ops`` lock-protected increments.  The
         pre-increment value each increment observed is reported, so the
         history is checkable against a sequential counter."""
+        for _ in range(ops):
+            start = ctx.machine.now
+            before = yield from self.increment(ctx)
+            ctx.note_op("inc", (), before, start)
+
+
+class CasCounter:
+    """Lock-free CAS-retry counter (load; CAS old -> old+1): the substrate
+    the DHM cas-backoff arm manages, with the same lease placement as the
+    Treiber loop (lease over the read-CAS window; no-op when disabled)."""
+
+    def __init__(self, machine: Machine, *, backoff=None,
+                 lease_time: int = 1 << 62, lease_policy=None) -> None:
+        self.machine = machine
+        self.value_addr = machine.alloc_var(0, label="counter.value")
+        self.backoff = backoff
+        self.lease_time = lease_time
+        self.lease_policy = lease_policy
+
+    def increment(self, ctx: Ctx) -> Generator[Any, Any, int]:
+        """CAS-retry increment.  Returns the pre-increment value."""
+        attempt = 0
+        while True:
+            lt = (self.lease_policy.time_for(self.value_addr)
+                  if self.lease_policy is not None else self.lease_time)
+            yield Lease(self.value_addr, lt)
+            v = yield Load(self.value_addr)
+            ok = yield CAS(self.value_addr, v, v + 1)
+            yield Release(self.value_addr)
+            if ok:
+                if self.backoff is not None:
+                    self.backoff.reset(ctx, self.value_addr)
+                return v
+            attempt += 1
+            if self.backoff is not None:
+                yield from self.backoff.wait(ctx, attempt, self.value_addr)
+
+    def read(self, ctx: Ctx) -> Generator[Any, Any, int]:
+        return (yield Load(self.value_addr))
+
+    def update_worker(self, ctx: Ctx, ops: int) -> Generator:
         for _ in range(ops):
             start = ctx.machine.now
             before = yield from self.increment(ctx)

@@ -35,13 +35,17 @@ class MichaelScottQueue:
     """Non-blocking FIFO queue with head/tail sentinels and a dummy node."""
 
     def __init__(self, machine: Machine, *, variant: str = "single",
-                 lease_time: int = 1 << 62, backoff=None) -> None:
+                 lease_time: int = 1 << 62, backoff=None,
+                 lease_policy=None) -> None:
         if variant not in ("single", "multi"):
             raise ValueError(f"unknown variant {variant!r}")
         self.machine = machine
         self.variant = variant
         self.lease_time = lease_time
         self.backoff = backoff
+        #: Optional adaptive duration source (``time_for(addr)``); None
+        #: keeps the fixed ``lease_time``.
+        self.lease_policy = lease_policy
         dummy = machine.alloc.alloc_words(2, label="queue.node")
         machine.write_init(dummy + VALUE_OFF, NIL)
         machine.write_init(dummy + NEXT_OFF, NIL)
@@ -61,6 +65,11 @@ class MichaelScottQueue:
             m.write_init(last + NEXT_OFF, node)
             m.write_init(self.tail, node)
 
+    def _lease_for(self, addr: int) -> int:
+        if self.lease_policy is not None:
+            return self.lease_policy.time_for(addr)
+        return self.lease_time
+
     # -- enqueue ----------------------------------------------------------
 
     def enqueue(self, ctx: Ctx, value: Any) -> Generator:
@@ -73,7 +82,7 @@ class MichaelScottQueue:
         w = ctx.alloc_cached(2, [value, NIL])
         attempt = 0
         while True:
-            yield Lease(self.tail, self.lease_time)
+            yield Lease(self.tail, self._lease_for(self.tail))
             t = yield Load(self.tail)
             n = yield Load(t + NEXT_OFF)
             t2 = yield Load(self.tail)
@@ -83,13 +92,15 @@ class MichaelScottQueue:
                     if ok:
                         yield CAS(self.tail, t, w)   # swing tail
                         yield Release(self.tail)
+                        if self.backoff is not None:
+                            self.backoff.reset(ctx, self.tail)
                         return
                 else:                         # tail fell behind: help swing
                     yield CAS(self.tail, t, n)
             yield Release(self.tail)
             attempt += 1
             if self.backoff is not None:
-                yield from self.backoff.wait(ctx, attempt)
+                yield from self.backoff.wait(ctx, attempt, self.tail)
 
     def _enqueue_multi(self, ctx: Ctx, value: Any) -> Generator:
         """Jointly lease the tail pointer and the (guessed) last node's
@@ -107,7 +118,8 @@ class MichaelScottQueue:
         w = ctx.alloc_cached(2, [value, NIL])
         while True:
             guess = yield Load(self.tail)
-            yield MultiLease((self.tail, guess + NEXT_OFF), self.lease_time)
+            yield MultiLease((self.tail, guess + NEXT_OFF),
+                             self._lease_for(self.tail))
             t = yield Load(self.tail)         # frozen while we hold it
             n = yield Load(t + NEXT_OFF)
             if n == NIL:
@@ -126,7 +138,7 @@ class MichaelScottQueue:
         """Dequeue and return the oldest value, or None if empty."""
         attempt = 0
         while True:
-            yield Lease(self.head, self.lease_time)
+            yield Lease(self.head, self._lease_for(self.head))
             h = yield Load(self.head)
             t = yield Load(self.tail)
             n = yield Load(h + NEXT_OFF)
@@ -135,6 +147,8 @@ class MichaelScottQueue:
                 if h == t:
                     if n == NIL:
                         yield Release(self.head)
+                        if self.backoff is not None:
+                            self.backoff.reset(ctx, self.head)
                         return None           # queue empty
                     yield CAS(self.tail, t, n)   # tail fell behind
                 else:
@@ -142,11 +156,13 @@ class MichaelScottQueue:
                     ok = yield CAS(self.head, h, n)   # swing head
                     if ok:
                         yield Release(self.head)
+                        if self.backoff is not None:
+                            self.backoff.reset(ctx, self.head)
                         return ret
             yield Release(self.head)
             attempt += 1
             if self.backoff is not None:
-                yield from self.backoff.wait(ctx, attempt)
+                yield from self.backoff.wait(ctx, attempt, self.head)
 
     # -- inspection --------------------------------------------------------
 

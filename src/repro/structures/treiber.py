@@ -30,11 +30,19 @@ class TreiberStack:
     """Lock-free LIFO stack with a single head pointer."""
 
     def __init__(self, machine: Machine, *, backoff=None,
-                 lease_time: int = 1 << 62) -> None:
+                 lease_time: int = 1 << 62, lease_policy=None) -> None:
         self.machine = machine
         self.head = machine.alloc_var(NIL, label="stack.head")
         self.backoff = backoff
         self.lease_time = lease_time
+        #: Optional adaptive duration source (``time_for(addr)``); None
+        #: keeps the fixed ``lease_time``.
+        self.lease_policy = lease_policy
+
+    def _lease_for(self, addr: int) -> int:
+        if self.lease_policy is not None:
+            return self.lease_policy.time_for(addr)
+        return self.lease_time
 
     # -- setup ------------------------------------------------------------
 
@@ -53,34 +61,40 @@ class TreiberStack:
         node = ctx.alloc_cached(2, [value, NIL], label="stack.node")
         attempt = 0
         while True:
-            yield Lease(self.head, self.lease_time)
+            yield Lease(self.head, self._lease_for(self.head))
             h = yield Load(self.head)
             yield Store(node + NEXT_OFF, h)
             ok = yield CAS(self.head, h, node)
             yield Release(self.head)
             if ok:
+                if self.backoff is not None:
+                    self.backoff.reset(ctx, self.head)
                 return
             attempt += 1
             if self.backoff is not None:
-                yield from self.backoff.wait(ctx, attempt)
+                yield from self.backoff.wait(ctx, attempt, self.head)
 
     def pop(self, ctx: Ctx) -> Generator[Any, Any, Any]:
         """Pop and return the top value, or None if the stack is empty."""
         attempt = 0
         while True:
-            yield Lease(self.head, self.lease_time)
+            yield Lease(self.head, self._lease_for(self.head))
             h = yield Load(self.head)
             if h == NIL:
                 yield Release(self.head)
+                if self.backoff is not None:
+                    self.backoff.reset(ctx, self.head)
                 return None
             nxt = yield Load(h + NEXT_OFF)
             ok = yield CAS(self.head, h, nxt)
             yield Release(self.head)
             if ok:
+                if self.backoff is not None:
+                    self.backoff.reset(ctx, self.head)
                 return (yield Load(h + VALUE_OFF))
             attempt += 1
             if self.backoff is not None:
-                yield from self.backoff.wait(ctx, attempt)
+                yield from self.backoff.wait(ctx, attempt, self.head)
 
     # -- inspection (direct memory, for tests) -------------------------------
 

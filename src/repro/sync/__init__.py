@@ -1,11 +1,17 @@
-"""Synchronization primitives: locks (with lease-aware usage) and backoff."""
+"""Synchronization primitives: locks (with lease-aware usage), backoff
+policies, software MCAS, and the adaptive-lease controller -- the
+contention-management zoo the ablation harness sweeps."""
 
-from .backoff import ExponentialBackoff, LinearBackoff, NoBackoff
-from .locks import (CLHLock, HTicketLock, TASLock, TTSLock, TicketLock,
-                    lease_lock_acquire, lease_lock_release)
+from .adaptive import AdaptiveLeaseController
+from .backoff import DhmBackoff, ExponentialBackoff, LinearBackoff, NoBackoff
+from .locks import (CLHLock, HTicketLock, ReciprocatingLock, TASLock,
+                    TTSLock, TicketLock, lease_lock_acquire,
+                    lease_lock_release)
+from .mcas import Mcas, managed_word
 
 __all__ = [
-    "NoBackoff", "LinearBackoff", "ExponentialBackoff",
+    "NoBackoff", "LinearBackoff", "ExponentialBackoff", "DhmBackoff",
     "TASLock", "TTSLock", "TicketLock", "CLHLock", "HTicketLock",
-    "lease_lock_acquire", "lease_lock_release",
+    "ReciprocatingLock", "lease_lock_acquire", "lease_lock_release",
+    "Mcas", "managed_word", "AdaptiveLeaseController",
 ]

@@ -3,6 +3,26 @@
 Section 7 compares leases against backoff-based variants: backoff improves
 the base implementations by up to ~3x but stays clearly below leases,
 because backoff inserts "dead time" and does not remove coherence traffic.
+
+Protocol
+--------
+A policy exposes two hooks, both optional for callers:
+
+``wait(ctx, attempt, addr=None)``
+    Generator subroutine invoked (``yield from``) after a failed attempt.
+    ``attempt`` counts consecutive failures of the current operation
+    (1-based); ``addr`` names the contended word so per-line policies
+    (:class:`DhmBackoff`) can keep separate state per location.
+
+``reset(ctx=None, addr=None)``
+    Plain call (no simulated cycles) made when the operation finally
+    succeeds.  Stateless policies ignore it; stateful ones decay the
+    contention estimate for ``(ctx, addr)``.  With no arguments the whole
+    policy state is cleared (test/bench hygiene between runs).
+
+Retry loops in :mod:`repro.structures` call ``reset`` at every operation
+success point, so a shared policy instance observes the true
+failure/success history of each line.
 """
 
 from __future__ import annotations
@@ -16,11 +36,12 @@ from ..core.thread import Ctx
 class NoBackoff:
     """Zero-delay policy (the base implementations)."""
 
-    def wait(self, ctx: Ctx, attempt: int) -> Generator:
+    def wait(self, ctx: Ctx, attempt: int, addr: int | None = None
+             ) -> Generator:
         return
         yield  # pragma: no cover - makes this a generator function
 
-    def reset(self) -> None:
+    def reset(self, ctx: Ctx | None = None, addr: int | None = None) -> None:
         pass
 
 
@@ -32,12 +53,13 @@ class LinearBackoff:
         self.step = step
         self.cap = cap
 
-    def wait(self, ctx: Ctx, attempt: int) -> Generator:
+    def wait(self, ctx: Ctx, attempt: int, addr: int | None = None
+             ) -> Generator:
         delay = min(self.cap, attempt * self.step)
         if delay > 0:
             yield Work(delay)
 
-    def reset(self) -> None:
+    def reset(self, ctx: Ctx | None = None, addr: int | None = None) -> None:
         pass
 
 
@@ -56,8 +78,55 @@ class ExponentialBackoff:
         limit = min(self.max_delay, self.min_delay << min(attempt, 20))
         return rng.randint(self.min_delay, max(self.min_delay, limit))
 
-    def wait(self, ctx: Ctx, attempt: int) -> Generator:
+    def wait(self, ctx: Ctx, attempt: int, addr: int | None = None
+             ) -> Generator:
         yield Work(self.delay(ctx.rng, attempt))
 
-    def reset(self) -> None:
+    def reset(self, ctx: Ctx | None = None, addr: int | None = None) -> None:
         pass
+
+
+class DhmBackoff:
+    """Dice-Hendler-Mirsky lightweight CAS contention management.
+
+    Unlike exponential backoff (which doubles on every failure and forgets
+    everything on success), DHM keeps a slowly-adapting *contention level*
+    per ``(thread, line)`` and waits a **constant** ``level * slice``
+    cycles after each failure.  The level climbs by one per failed CAS
+    (saturating at ``max_level``) and decays by ``decay`` per success, so
+    the delay tracks the line's recent contention instead of the current
+    retry burst -- the "lightweight" part: no randomness, no doubling, and
+    a stable delay once the system reaches its contention equilibrium.
+
+    The level table is plain Python state mutated from thread bodies, so
+    checkpoint/restore reconstructs it for free via generator replay.
+    """
+
+    def __init__(self, slice_cycles: int = 96, max_level: int = 8,
+                 decay: int = 1) -> None:
+        self.slice = slice_cycles
+        self.max_level = max_level
+        self.decay = decay
+        #: (tid, addr) -> current contention level (absent == 0).
+        self._level: dict[tuple[int, int | None], int] = {}
+
+    def level(self, ctx: Ctx, addr: int | None = None) -> int:
+        """The current contention level for ``(ctx, addr)`` (introspection
+        for tests and reports)."""
+        return self._level.get((ctx.tid, addr), 0)
+
+    def wait(self, ctx: Ctx, attempt: int, addr: int | None = None
+             ) -> Generator:
+        key = (ctx.tid, addr)
+        lvl = min(self.max_level, self._level.get(key, 0) + 1)
+        self._level[key] = lvl
+        yield Work(lvl * self.slice)
+
+    def reset(self, ctx: Ctx | None = None, addr: int | None = None) -> None:
+        if ctx is None:
+            self._level.clear()
+            return
+        key = (ctx.tid, addr)
+        lvl = self._level.get(key, 0)
+        if lvl > 0:
+            self._level[key] = max(0, lvl - self.decay)

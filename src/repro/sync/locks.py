@@ -19,8 +19,9 @@ from __future__ import annotations
 
 from typing import Any, Generator
 
-from ..core.isa import (FetchAdd, Lease, Load, Release, Store, TestAndSet,
-                        Work, Swap)
+from ..config import WORD_SIZE
+from ..core.isa import (CAS, FetchAdd, Lease, Load, Release, Store,
+                        TestAndSet, Work, Swap)
 from ..core.thread import Ctx
 from ..core.machine import Machine
 
@@ -214,21 +215,108 @@ class HTicketLock:
         yield Store(self.l_serving[c], my + 1)
 
 
-def lease_lock_acquire(ctx: Ctx, lock, *,
-                       lease_time: int = 1 << 62) -> Generator[Any, Any, Any]:
+class ReciprocatingLock:
+    """Reciprocating lock [Dice-Kogan]: an admission-segregated handoff
+    lock with local spinning and O(1) coherence traffic per handoff.
+
+    One word (``arrivals``) is the only globally contended location:
+    0 = unlocked, ``TERM`` (1) = locked with an empty arrival segment,
+    anything else = the top of a Treiber-style *arrival stack* of waiter
+    nodes.  Arriving threads push a 2-word node ``[gate, prev]`` and spin
+    locally on their own ``gate``.  When the holder's current admission
+    segment runs dry, its release detaches the whole arrival stack with
+    one CAS and admits it in reverse-arrival order; threads arriving
+    *during* that segment's draining accumulate into the next segment and
+    cannot barge in ("admission segregation", which bounds bypass: no
+    thread waits through more than two segments).
+
+    A waiter's gate receives the *succession continuation* -- the pointer
+    to the next node of its segment, or ``TERM`` when it is the last --
+    which is exactly the token it must pass back to :meth:`release`.
+    """
+
+    #: Sentinel marking "locked, no detached successor" -- doubles as the
+    #: gate value meaning "you are the last of your segment".
+    TERM = 1
+
+    def __init__(self, machine: Machine) -> None:
+        self.addr = machine.alloc_var(0, label="lock.reciprocating")
+
+    def acquire(self, ctx: Ctx) -> Generator[Any, Any, int]:
+        ctx.trace.lock_attempt(ctx.core_id)
+        node = None
+        while True:
+            cur = yield Load(self.addr)
+            if cur == 0:
+                ok = yield CAS(self.addr, 0, self.TERM)
+                if ok:
+                    return self.TERM        # uncontended fast path
+            else:
+                if node is None:
+                    node = ctx.alloc_cached(2, [0, 0])
+                # Push onto the arrival stack: prev links to the waiter
+                # below us (0 when we start a fresh segment).
+                yield Store(node + WORD_SIZE,
+                            0 if cur == self.TERM else cur)
+                ok = yield CAS(self.addr, cur, node)
+                if ok:
+                    while True:             # local spin on our own gate
+                        g = yield Load(node)
+                        if g != 0:
+                            return g        # succession continuation
+                        yield Work(SPIN_PAUSE)
+            ctx.trace.lock_failed(ctx.core_id)
+            yield Work(SPIN_PAUSE)
+
+    def release(self, ctx: Ctx, token: int) -> Generator:
+        if token != self.TERM:
+            # Our segment continues: admit the next node, handing it the
+            # rest of the segment through its gate.
+            nxt = yield Load(token + WORD_SIZE)
+            yield Store(token, nxt if nxt != 0 else self.TERM)
+            return
+        # Segment exhausted: detach the arrival stack (the next segment)
+        # or unlock if nobody arrived.
+        while True:
+            cur = yield Load(self.addr)
+            if cur == self.TERM:
+                ok = yield CAS(self.addr, self.TERM, 0)
+                if ok:
+                    return
+            else:
+                ok = yield CAS(self.addr, cur, self.TERM)
+                if ok:
+                    nxt = yield Load(cur + WORD_SIZE)
+                    yield Store(cur, nxt if nxt != 0 else self.TERM)
+                    return
+            yield Work(SPIN_PAUSE)
+
+
+def lease_lock_acquire(ctx: Ctx, lock, *, lease_time: int = 1 << 62,
+                       backoff=None) -> Generator[Any, Any, Any]:
     """Acquire ``lock`` (which must expose try_acquire) while leasing its
     line; the lease is left held for the critical section.  With leases
-    disabled this is the plain try-lock spin loop (the baseline)."""
+    disabled this is the plain try-lock spin loop (the baseline).
+
+    ``backoff`` (a :mod:`repro.sync.backoff` policy) shapes the inter-try
+    delay from the failed-attempt count; the default ``None`` keeps the
+    historical fixed ``SPIN_PAUSE`` spin, bit-identical to older builds.
+    """
     attempt = 0
     while True:
         yield Lease(lock.addr, lease_time)
         ok = yield from lock.try_acquire(ctx)
         if ok:
+            if backoff is not None:
+                backoff.reset(ctx, lock.addr)
             return None
         # Drop the lease at once: holding it would delay the owner's unlock.
         yield Release(lock.addr)
         attempt += 1
-        yield Work(SPIN_PAUSE)
+        if backoff is not None:
+            yield from backoff.wait(ctx, attempt, lock.addr)
+        else:
+            yield Work(SPIN_PAUSE)
 
 
 def lease_lock_release(ctx: Ctx, lock, token: Any = None) -> Generator:

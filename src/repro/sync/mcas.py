@@ -1,0 +1,213 @@
+"""Software multi-word compare-and-swap with contention-aware helping.
+
+A descriptor-based MCAS in the lineage of Harris-Fraser-Pratt, adapted to
+the simulator's instruction set (single-word ``CAS`` resuming with a
+success bool) and extended with the contention-aware helping policy of
+Unno-Sugiura-Ishikawa: a thread that runs into a foreign in-flight
+descriptor registers as a helper, waits in proportion to how many helpers
+are already active, and only then helps if the descriptor is *still*
+undecided -- so under contention most would-be helpers stand down instead
+of piling redundant CASes onto the same lines.
+
+Word convention
+---------------
+Every MCAS-*managed* word holds either
+
+* a ``(value, version)`` tuple -- its logical value, or
+* an ``int`` -- the base address of an in-flight descriptor.
+
+Versions increase by one on every successful MCAS write of the word and
+never decrease, which closes the classic late-helper install race without
+needing the hardware CCAS of the original algorithm: a stalled helper's
+install CAS expects ``(value, version)`` and can never succeed after a
+later successful MCAS moved the version on.  A *failed* MCAS restores the
+word bit-for-bit, so the only late installs possible are on FAIL-decided
+descriptors, where the undo path (restore ``expected``) is exactly
+correct.
+
+Descriptor layout (simulated words): ``[status, n, helpers,
+addr0, exp0, new0, addr1, exp1, new1, ...]`` where status is
+0 = undecided, 1 = success, 2 = fail; ``helpers`` counts registered
+helpers for the contention-aware policy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..config import WORD_SIZE
+from ..core.isa import CAS, FetchAdd, Load, Work
+from ..core.machine import Machine
+from ..core.thread import Ctx
+
+UNDECIDED = 0
+SUCCESS = 1
+FAIL = 2
+
+_STATUS_OFF = 0
+_N_OFF = WORD_SIZE
+_HELPERS_OFF = 2 * WORD_SIZE
+_ENTRIES_OFF = 3 * WORD_SIZE
+
+#: Between-help pause, mirroring the lock spin pause.
+_HELP_PAUSE = 8
+
+
+def managed_word(value: Any, version: int = 0) -> tuple:
+    """The initial ``(value, version)`` cell for an MCAS-managed word."""
+    return (value, version)
+
+
+class Mcas:
+    """MCAS executor bound to one machine.
+
+    ``helping`` selects the policy applied when an operation encounters a
+    *foreign* descriptor:
+
+    * ``"eager"`` -- classic lock-free helping: drive the foreign MCAS to
+      completion immediately (correct, but a helping storm under load);
+    * ``"aware"`` -- contention-aware: register as a helper, back off
+      ``helpers * help_slice`` cycles, and help only if the descriptor is
+      still undecided afterwards.
+
+    Counters (``helps``, ``deferred_helps``, ``ops``, ``failures``) are
+    plain attributes reported through ``RunResult.extra`` by the drivers.
+    """
+
+    def __init__(self, machine: Machine, *, helping: str = "aware",
+                 help_slice: int = 64, help_cap: int = 1024) -> None:
+        if helping not in ("eager", "aware"):
+            raise ValueError(f"unknown helping policy {helping!r}")
+        self.machine = machine
+        self.helping = helping
+        self.help_slice = help_slice
+        self.help_cap = help_cap
+        self.ops = 0
+        self.failures = 0
+        self.helps = 0
+        self.deferred_helps = 0
+
+    # -- public API ---------------------------------------------------------
+
+    def read(self, ctx: Ctx, addr: int) -> Generator[Any, Any, Any]:
+        """The logical value of managed word ``addr`` (resolving any
+        in-flight descriptor first)."""
+        cell = yield from self.read_word(ctx, addr)
+        return cell[0]
+
+    def read_word(self, ctx: Ctx, addr: int) -> Generator[Any, Any, tuple]:
+        """The full ``(value, version)`` cell of managed word ``addr``."""
+        while True:
+            v = yield Load(addr)
+            if not isinstance(v, int):
+                return v
+            yield from self._encounter(ctx, v)
+
+    def mcas(self, ctx: Ctx,
+             entries: list[tuple[int, tuple, tuple]]
+             ) -> Generator[Any, Any, bool]:
+        """Atomically install ``new`` cells iff every word holds its
+        ``expected`` cell.  ``entries`` is ``[(addr, expected, new), ...]``
+        with ``(value, version)`` tuples; the caller bumps versions.
+        Returns True on success."""
+        entries = sorted(entries)            # canonical order: no deadlock
+        self.ops += 1
+        flat: list[Any] = []
+        for addr, exp, new in entries:
+            flat += [addr, exp, new]
+        base = ctx.alloc_cached(3 + len(flat),
+                                [UNDECIDED, len(entries), 0, *flat],
+                                label="mcas.desc")
+        ok = yield from self._run(ctx, base)
+        if not ok:
+            self.failures += 1
+        return ok
+
+    # -- the descriptor state machine ---------------------------------------
+
+    def _entries(self, ctx: Ctx, base: int) -> Generator:
+        n = yield Load(base + _N_OFF)
+        out = []
+        for i in range(n):
+            e = base + _ENTRIES_OFF + 3 * i * WORD_SIZE
+            addr = yield Load(e)
+            exp = yield Load(e + WORD_SIZE)
+            new = yield Load(e + 2 * WORD_SIZE)
+            out.append((addr, exp, new))
+        return out
+
+    def _run(self, ctx: Ctx, base: int) -> Generator[Any, Any, bool]:
+        """Drive descriptor ``base`` to completion (owner or helper)."""
+        entries = yield from self._entries(ctx, base)
+        st = yield Load(base + _STATUS_OFF)
+        if st == UNDECIDED:
+            decided = SUCCESS
+            for addr, exp, new in entries:
+                outcome = yield from self._install(ctx, base, addr, exp)
+                if outcome is not None:
+                    decided = outcome
+                    break
+            if decided is not None:
+                yield CAS(base + _STATUS_OFF, UNDECIDED, decided)
+        st = yield Load(base + _STATUS_OFF)
+        for addr, exp, new in entries:
+            yield CAS(addr, base, new if st == SUCCESS else exp)
+        return st == SUCCESS
+
+    def _install(self, ctx: Ctx, base: int, addr: int,
+                 exp: tuple) -> Generator:
+        """Install ``base`` into ``addr`` (expecting cell ``exp``).
+        Returns None to proceed, FAIL on a value mismatch, or a decided
+        status when another helper finished the descriptor meanwhile."""
+        while True:
+            st = yield Load(base + _STATUS_OFF)
+            if st != UNDECIDED:
+                return st
+            ok = yield CAS(addr, exp, base)
+            if ok:
+                # Close the late-install window: if the descriptor got
+                # decided while our CAS was in flight, undo and stand down
+                # (only FAIL-decided descriptors can be re-installed -- see
+                # the module docstring -- so restoring ``exp`` is exact).
+                st = yield Load(base + _STATUS_OFF)
+                if st != UNDECIDED:
+                    yield CAS(addr, base, exp)
+                    return st
+                return None
+            cur = yield Load(addr)
+            if cur == base:
+                return None                  # a helper installed it for us
+            if isinstance(cur, int):
+                yield from self._encounter(ctx, cur)
+                continue
+            if cur != exp:
+                return FAIL
+            # Transient mismatch (the word changed back between the CAS
+            # and the re-read): retry.
+
+    def _encounter(self, ctx: Ctx, base: int) -> Generator:
+        """A foreign in-flight descriptor blocks us: apply the helping
+        policy."""
+        if self.helping == "eager":
+            self.helps += 1
+            yield from self._run(ctx, base)
+            return
+        # Contention-aware: queue up, back off behind the helpers already
+        # registered, then help only if still needed.
+        helpers = yield FetchAdd(base + _HELPERS_OFF, 1)
+        delay = min(self.help_cap, helpers * self.help_slice)
+        yield Work(max(_HELP_PAUSE, delay))
+        st = yield Load(base + _STATUS_OFF)
+        if st == UNDECIDED:
+            self.helps += 1
+            yield from self._run(ctx, base)
+        else:
+            self.deferred_helps += 1
+        yield FetchAdd(base + _HELPERS_OFF, -1)
+
+    # -- reporting ----------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        return {"mcas_ops": self.ops, "mcas_failures": self.failures,
+                "mcas_helps": self.helps,
+                "mcas_deferred_helps": self.deferred_helps}

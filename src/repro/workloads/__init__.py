@@ -3,10 +3,12 @@
 from .driver import (bench_counter, bench_hashtable, bench_harris_list,
                      bench_bst, bench_skiplist, bench_multiqueue,
                      bench_pagerank, bench_pq, bench_queue, bench_snapshot,
-                     bench_stack, bench_tl2)
+                     bench_stack, bench_sync_ablation, bench_tl2,
+                     SYNC_POLICIES, SYNC_STRUCTURES)
 
 __all__ = [
     "bench_stack", "bench_queue", "bench_counter", "bench_pq",
     "bench_multiqueue", "bench_tl2", "bench_pagerank", "bench_snapshot",
     "bench_harris_list", "bench_skiplist", "bench_hashtable", "bench_bst",
+    "bench_sync_ablation", "SYNC_POLICIES", "SYNC_STRUCTURES",
 ]

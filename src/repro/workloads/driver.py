@@ -13,16 +13,20 @@ from dataclasses import replace
 from typing import Any, Sequence
 
 from ..config import MachineConfig
+from ..core.isa import Work
 from ..core.machine import Machine
 from ..stats import RunResult
 from ..trace import Tracer
-from ..structures import (GlobalLockPQ, HarrisList, LockFreeSkipList,
-                          LockedCounter, LockedExternalBST, LockedHashTable,
-                          LotanShavitPQ, MichaelScottQueue, MultiQueue,
+from ..structures import (CasCounter, GlobalLockPQ, HarrisList,
+                          LockFreeSkipList, LockedCounter, LockedExternalBST,
+                          LockedHashTable, LotanShavitPQ, McasCounter,
+                          McasQueue, McasStack, MichaelScottQueue, MultiQueue,
                           PughLockPQ, TreiberStack)
 from ..stm import TL2Objects
 from ..apps import PagerankApp, SnapshotRegion
-from ..sync.backoff import ExponentialBackoff
+from ..sync.adaptive import AdaptiveLeaseController
+from ..sync.backoff import DhmBackoff, ExponentialBackoff
+from ..sync.locks import ReciprocatingLock
 from ..traffic import (TrafficSource, parse_traffic_spec,
                        traffic_counter_worker, traffic_search_worker,
                        traffic_stack_worker)
@@ -183,6 +187,153 @@ def bench_counter(num_threads: int, *, ops_per_thread: int = 60,
     if actual != expected:
         raise AssertionError(
             f"counter lost updates: {actual} != {expected}")
+    return res
+
+
+# ---------------------------------------------------------------------------
+# Contention-management zoo: {policy} x {structure} ablation
+# ---------------------------------------------------------------------------
+
+#: The six contention-management arms of the zoo sweep.
+SYNC_POLICIES = ("baseline", "lease", "cas-backoff", "reciprocating",
+                 "mcas-helping", "adaptive-lease")
+#: The structures every arm runs on.
+SYNC_STRUCTURES = ("treiber", "msqueue", "counter")
+
+
+def _locked_stack_worker(ctx, lock, stack, ops: int,
+                         local_work: int = 30):
+    """Stack update worker with every op inside ``lock``'s critical
+    section (the coarse-lock arm of the zoo)."""
+    for i in range(ops):
+        start = ctx.machine.now
+        token = yield from lock.acquire(ctx)
+        if i % 2 == 0:
+            value = (ctx.tid << 32) | i
+            yield from stack.push(ctx, value)
+            yield from lock.release(ctx, token)
+            ctx.note_op("push", (value,), None, start)
+        else:
+            popped = yield from stack.pop(ctx)
+            yield from lock.release(ctx, token)
+            ctx.note_op("pop", (), popped, start)
+        if local_work:
+            yield Work(local_work)
+
+
+def _locked_queue_worker(ctx, lock, q, ops: int, local_work: int = 30):
+    """Queue update worker with every op inside ``lock``'s critical
+    section (the coarse-lock arm of the zoo)."""
+    for i in range(ops):
+        start = ctx.machine.now
+        token = yield from lock.acquire(ctx)
+        if i % 2 == 0:
+            value = (ctx.tid << 32) | i
+            yield from q.enqueue(ctx, value)
+            yield from lock.release(ctx, token)
+            ctx.note_op("enqueue", (value,), None, start)
+        else:
+            taken = yield from q.dequeue(ctx)
+            yield from lock.release(ctx, token)
+            ctx.note_op("dequeue", (), taken, start)
+        if local_work:
+            yield Work(local_work)
+
+
+def bench_sync_ablation(num_threads: int, *, structure: str = "treiber",
+                        policy: str = "baseline", ops_per_thread: int = 60,
+                        prefill: int = 64,
+                        config: MachineConfig | None = None,
+                        max_lease_time: int | None = None,
+                        sinks: Sequence[Tracer] | None = None,
+                        schedule: Any = None) -> RunResult:
+    """One cell of the contention-management ablation:
+    ``structure`` in :data:`SYNC_STRUCTURES` under ``policy`` in
+    :data:`SYNC_POLICIES`.
+
+    * ``baseline``       -- the plain structure, leases disabled;
+    * ``lease``          -- the paper's fixed-duration lease placement;
+    * ``cas-backoff``    -- DHM per-line failure-adaptive constant backoff
+      on the CAS retry loop (leases disabled);
+    * ``reciprocating``  -- every op under one Reciprocating Lock;
+    * ``mcas-helping``   -- the multi-word MCAS variant with
+      contention-aware helping;
+    * ``adaptive-lease`` -- leases whose duration the
+      :class:`AdaptiveLeaseController` predicts from probe pressure.
+    """
+    if structure not in SYNC_STRUCTURES:
+        raise ValueError(f"unknown structure {structure!r}")
+    if policy not in SYNC_POLICIES:
+        raise ValueError(f"unknown policy {policy!r}")
+    use_lease = policy in ("lease", "adaptive-lease")
+    kw = {}
+    if max_lease_time is not None:
+        kw["max_lease_time"] = max_lease_time
+    cfg = _config(num_threads, use_lease, config, **kw)
+    m = _machine(cfg, sinks, schedule)
+    controller = None
+    if policy == "adaptive-lease":
+        controller = AdaptiveLeaseController()
+        m.attach_tracer(controller)
+    backoff = DhmBackoff() if policy == "cas-backoff" else None
+    lock = ReciprocatingLock(m) if policy == "reciprocating" else None
+    expected_count = None
+    count_of = None
+
+    if structure == "counter":
+        if policy == "mcas-helping":
+            c = McasCounter(m)
+            count_of = c.peek_value
+        elif policy == "cas-backoff":
+            c = CasCounter(m, backoff=backoff)
+            count_of = lambda: m.peek(c.value_addr)
+        elif policy == "reciprocating":
+            c = LockedCounter(m, lock="reciprocating")
+            count_of = lambda: m.peek(c.value_addr)
+        else:
+            c = LockedCounter(m, lock="tts", lease_policy=controller)
+            count_of = lambda: m.peek(c.value_addr)
+        for _ in range(num_threads):
+            m.add_thread(c.update_worker, ops_per_thread)
+        expected_count = num_threads * ops_per_thread
+        stats_of = getattr(c, "stats", None)
+    elif structure == "treiber":
+        if policy == "mcas-helping":
+            s = McasStack(m)
+        else:
+            s = TreiberStack(m, backoff=backoff, lease_policy=controller)
+        s.prefill(range(prefill))
+        for _ in range(num_threads):
+            if lock is not None:
+                m.add_thread(_locked_stack_worker, lock, s, ops_per_thread)
+            else:
+                m.add_thread(s.update_worker, ops_per_thread)
+        stats_of = getattr(s, "stats", None)
+    else:  # msqueue
+        if policy == "mcas-helping":
+            q = McasQueue(m)
+        else:
+            q = MichaelScottQueue(m, backoff=backoff,
+                                  lease_policy=controller)
+        q.prefill(range(prefill))
+        for _ in range(num_threads):
+            if lock is not None:
+                m.add_thread(_locked_queue_worker, lock, q, ops_per_thread)
+            else:
+                m.add_thread(q.update_worker, ops_per_thread)
+        stats_of = getattr(q, "stats", None)
+
+    res = _finish(m, f"sync/{structure}/{policy}")
+    if stats_of is not None:
+        res.extra.update(stats_of())
+    if controller is not None:
+        res.extra.update(controller.stats())
+    if expected_count is not None:
+        actual = count_of()
+        if actual != expected_count:
+            raise AssertionError(
+                f"counter lost updates under {policy}: "
+                f"{actual} != {expected_count}")
     return res
 
 

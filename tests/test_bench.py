@@ -40,9 +40,9 @@ def test_record_schema(record):
 def test_all_targets_registered():
     assert set(bench.TARGETS) == {
         "event_queue", "coherence_storm", "treiber", "counter",
-        "sweep_cell", "trace_fastpath", "fault_degradation",
-        "snapshot_roundtrip", "engine_fastpath", "cluster_scale",
-        "tail_latency"}
+        "sweep_cell", "sync_ablation", "trace_fastpath",
+        "fault_degradation", "snapshot_roundtrip", "engine_fastpath",
+        "cluster_scale", "tail_latency"}
     assert bench.default_target_names() == list(bench.TARGETS)
 
 

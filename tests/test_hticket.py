@@ -137,3 +137,60 @@ def test_various_cluster_sizes(clusters):
         m.add_thread(worker)
     m.run()
     assert m.peek(shared) == 40
+
+
+# -- release-time handoff window (PR 9 regression) ----------------------------
+
+@pytest.mark.parametrize("offset", [0, 15, 30, 45, 60, 75, 90, 120, 180])
+def test_release_window_late_arrival_is_not_lost(offset):
+    """A waiter whose l_ticket FetchAdd lands *after* the releaser's
+    waiter-count load sits in the local queue while the release goes down
+    the global path.  It must still be admitted -- via the global ticket
+    it takes once l_serving reaches it -- not sleep forever.  The offset
+    sweep marches the arrival across the whole release sequence; a lost
+    wakeup would deadlock the run (SimulationTimeout) and miscount."""
+    m = make_machine(2, leases=False)
+    lock = HTicketLock(m, cluster_size=2)
+    shared = m.alloc_var(0)
+
+    def first(ctx):
+        token = yield from lock.acquire(ctx)
+        v = yield Load(shared)
+        yield Work(50)
+        yield Store(shared, v + 1)
+        yield from lock.release(ctx, token)
+
+    def late(ctx):
+        yield Work(offset)
+        token = yield from lock.acquire(ctx)
+        v = yield Load(shared)
+        yield Store(shared, v + 1)
+        yield from lock.release(ctx, token)
+
+    m.add_thread(first)
+    m.add_thread(late)
+    m.run()
+    assert m.peek(shared) == 2
+    # Quiescent invariant: no handoff left dangling for a ghost waiter.
+    assert m.peek(lock.handoff[0]) == 0
+
+
+def test_max_handoffs_still_forces_global_release_under_load():
+    """Even with a same-cluster waiter always present, the handoff budget
+    must periodically push the release down the global path: g_serving
+    advances at least once per (max_handoffs + 1) critical sections."""
+    m = make_machine(2, leases=False)
+    lock = HTicketLock(m, cluster_size=2, max_handoffs=3)
+    total_ops = 40
+
+    def worker(ctx):
+        for _ in range(total_ops // 2):
+            token = yield from lock.acquire(ctx)
+            yield Work(40)
+            yield from lock.release(ctx, token)
+
+    m.add_thread(worker)
+    m.add_thread(worker)
+    m.run()
+    assert m.peek(lock.g_serving) >= total_ops // (lock.max_handoffs + 1)
+    assert m.peek(lock.handoff[0]) == 0

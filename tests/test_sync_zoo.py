@@ -1,0 +1,432 @@
+"""Contention-management zoo: Reciprocating Lock, DHM backoff wiring,
+software MCAS structures, the adaptive lease controller, and the
+``lease_lock_acquire`` bugfixes (PR 9's regression tests)."""
+
+import pytest
+
+from conftest import make_machine
+
+from repro import Load, Store, Work
+from repro.core.isa import Lease, Release
+from repro.structures import (CasCounter, LockedCounter, McasCounter,
+                              McasQueue, McasStack, TreiberStack)
+from repro.sync import (AdaptiveLeaseController, DhmBackoff, Mcas,
+                        ReciprocatingLock, TTSLock, managed_word)
+from repro.sync.locks import SPIN_PAUSE, lease_lock_acquire, lease_lock_release
+from repro.trace import events as ev
+from repro.workloads import SYNC_POLICIES, SYNC_STRUCTURES, bench_sync_ablation
+
+
+# -- Reciprocating Lock -------------------------------------------------------
+
+def _hammer(m, lock, num_threads=4, ops=12, hold=25):
+    shared = m.alloc_var(0)
+    in_cs = {"n": 0, "max": 0}
+
+    def worker(ctx):
+        for _ in range(ops):
+            token = yield from lock.acquire(ctx)
+            in_cs["n"] += 1
+            in_cs["max"] = max(in_cs["max"], in_cs["n"])
+            v = yield Load(shared)
+            yield Work(hold)
+            yield Store(shared, v + 1)
+            in_cs["n"] -= 1
+            yield from lock.release(ctx, token)
+
+    for _ in range(num_threads):
+        m.add_thread(worker)
+    m.run()
+    m.check_coherence_invariants()
+    return shared, in_cs
+
+
+def test_reciprocating_mutual_exclusion():
+    m = make_machine(4, leases=False)
+    lock = ReciprocatingLock(m)
+    shared, in_cs = _hammer(m, lock)
+    assert in_cs["max"] == 1
+    assert m.peek(shared) == 48
+
+
+def test_reciprocating_uncontended_leaves_lock_free():
+    m = make_machine(1, leases=False)
+    lock = ReciprocatingLock(m)
+    _hammer(m, lock, num_threads=1, ops=5)
+    assert m.peek(lock.addr) == 0
+
+
+def test_reciprocating_admits_whole_segment_locally():
+    """Once a segment is detached, succession flows through waiter gates:
+    the arrivals word is only CASed once per segment, so under steady
+    2-thread contention the holder hands off without re-fighting the
+    global word every time (far fewer lock_failed events than ops)."""
+    m = make_machine(2, leases=False)
+    lock = ReciprocatingLock(m)
+    shared, _ = _hammer(m, lock, num_threads=2, ops=20, hold=60)
+    assert m.peek(shared) == 40
+    assert m.counters.lock_acquire_failures < 40
+
+
+def test_reciprocating_all_threads_progress():
+    m = make_machine(4, leases=False)
+    lock = ReciprocatingLock(m)
+    done = []
+
+    def worker(ctx, tag):
+        for _ in range(6):
+            token = yield from lock.acquire(ctx)
+            yield Work(30)
+            yield from lock.release(ctx, token)
+        done.append(tag)
+
+    for tag in range(4):
+        m.add_thread(worker, tag)
+    m.run()
+    assert sorted(done) == [0, 1, 2, 3]
+
+
+# -- lease_lock_acquire: the attempt/backoff bugfix ---------------------------
+
+class _RecordingBackoff:
+    """Backoff double that records the attempt numbers and reset calls it
+    receives (the pre-fix code neither threaded attempts nor accepted a
+    backoff at all, so these tests fail on it)."""
+
+    def __init__(self):
+        self.attempts = []
+        self.resets = []
+
+    def wait(self, ctx, attempt, addr=None):
+        self.attempts.append((ctx.tid, attempt))
+        yield Work(SPIN_PAUSE)
+
+    def reset(self, ctx=None, addr=None):
+        self.resets.append((None if ctx is None else ctx.tid, addr))
+
+
+def _contended_counter(m, lock, *, backoff=None, threads=4, ops=8):
+    shared = m.alloc_var(0)
+
+    def worker(ctx):
+        for _ in range(ops):
+            yield from lease_lock_acquire(ctx, lock, backoff=backoff)
+            v = yield Load(shared)
+            yield Work(40)
+            yield Store(shared, v + 1)
+            yield from lease_lock_release(ctx, lock)
+
+    for _ in range(threads):
+        m.add_thread(worker)
+    m.run()
+    return shared
+
+
+def test_lease_lock_acquire_passes_increasing_attempts_to_backoff():
+    """Regression (pre-fix: ``attempt`` was tracked but never used, and no
+    backoff could be supplied): failed tries must reach the policy as
+    1, 2, 3, ... so attempt-proportional backoffs actually escalate."""
+    m = make_machine(4, leases=False)
+    lock = TTSLock(m)
+    rec = _RecordingBackoff()
+    shared = _contended_counter(m, lock, backoff=rec)
+    assert m.peek(shared) == 32
+    assert rec.attempts, "contended run must exercise the backoff"
+    streaks = {}
+    for tid, attempt in rec.attempts:
+        # Within one acquisition, attempts count up from 1 contiguously.
+        expected = streaks.get(tid, 0) + 1
+        assert attempt in (1, expected)
+        streaks[tid] = attempt
+    assert any(a > 1 for _, a in rec.attempts)
+
+
+def test_lease_lock_acquire_resets_backoff_on_success():
+    """Regression: every successful acquisition must inform the policy
+    (the Backoff.reset protocol was previously dead code)."""
+    m = make_machine(4, leases=False)
+    lock = TTSLock(m)
+    rec = _RecordingBackoff()
+    _contended_counter(m, lock, backoff=rec)
+    assert len(rec.resets) == 32            # one per successful acquire
+    assert all(addr == lock.addr for _, addr in rec.resets)
+
+
+def _prefix_acquire(ctx, lock, lease_time=1 << 62):
+    """The pre-fix spin loop, inlined verbatim (fixed SPIN_PAUSE between
+    tries, no backoff hook)."""
+    while True:
+        yield Lease(lock.addr, lease_time)
+        ok = yield from lock.try_acquire(ctx)
+        if ok:
+            return None
+        yield Release(lock.addr)
+        yield Work(SPIN_PAUSE)
+
+
+@pytest.mark.parametrize("leases", [False, True])
+def test_lease_lock_acquire_default_is_bit_identical_to_prefix(leases):
+    """The default (no-backoff) path must stay cycle-for-cycle identical
+    to the pre-fix loop: the bugfix may not perturb existing figures."""
+    def run(acquire):
+        m = make_machine(4, leases=leases, seed=11)
+        lock = TTSLock(m)
+        shared = m.alloc_var(0)
+
+        def worker(ctx):
+            for _ in range(8):
+                yield from acquire(ctx, lock)
+                v = yield Load(shared)
+                yield Work(40)
+                yield Store(shared, v + 1)
+                yield from lease_lock_release(ctx, lock)
+
+        for _ in range(4):
+            m.add_thread(worker)
+        m.run()
+        return m.sim.now, m.sim.events_processed, m.peek(shared)
+
+    fixed = run(lambda ctx, lock: lease_lock_acquire(ctx, lock))
+    prefix = run(_prefix_acquire)
+    assert fixed == prefix
+
+
+# -- DhmBackoff wiring into the structures ------------------------------------
+
+def test_treiber_resets_dhm_backoff_at_success_points():
+    """The shared DhmBackoff instance must see decay at op completion, so
+    per-(thread, line) levels drain instead of ratcheting to max."""
+    m = make_machine(4, leases=False)
+    bo = DhmBackoff(slice_cycles=32, max_level=6)
+    s = TreiberStack(m, backoff=bo)
+    s.prefill(range(8))
+    for _ in range(4):
+        m.add_thread(s.update_worker, 10)
+    m.run()
+    levels = [bo.level(type("C", (), {"tid": t})(), s.head) for t in range(4)]
+    assert all(lvl < bo.max_level for lvl in levels)
+
+
+def test_dhm_backoff_shared_instance_keys_per_thread_and_line():
+    """One shared policy instance must keep (tid, addr) state independent:
+    thread A's failures on line X never inflate thread B's waits, nor A's
+    own waits on line Y."""
+    m = make_machine(2, leases=False)
+    bo = DhmBackoff(slice_cycles=16, max_level=8, decay=1)
+    waits = {}
+
+    def worker(ctx, addr, attempts):
+        for a in range(1, attempts + 1):
+            start = ctx.machine.now
+            yield from bo.wait(ctx, a, addr)
+            waits.setdefault((ctx.tid, addr), []).append(
+                ctx.machine.now - start)
+
+    m.add_thread(worker, 0x1000, 4)
+    m.add_thread(worker, 0x2000, 2)
+    m.run()
+    assert waits[(0, 0x1000)] == [16, 32, 48, 64]   # levels 1..4
+    assert waits[(1, 0x2000)] == [16, 32]           # independent ramp
+    # Success-side decay is observable through level(); full reset clears.
+    ctx0 = type("C", (), {"tid": 0})()
+    assert bo.level(ctx0, 0x1000) == 4
+    bo.reset(ctx0, 0x1000)
+    assert bo.level(ctx0, 0x1000) == 3
+    bo.reset()
+    assert bo.level(ctx0, 0x1000) == 0
+
+
+# -- CAS counter --------------------------------------------------------------
+
+@pytest.mark.parametrize("leases", [False, True])
+def test_cas_counter_no_lost_updates(leases):
+    m = make_machine(4, leases=leases)
+    c = CasCounter(m, backoff=DhmBackoff())
+    for _ in range(4):
+        m.add_thread(c.update_worker, 12)
+    m.run()
+    m.check_coherence_invariants()
+    assert m.peek(c.value_addr) == 48
+
+
+# -- software MCAS ------------------------------------------------------------
+
+def test_mcas_counter_increments_two_words_atomically():
+    m = make_machine(4, leases=False)
+    c = McasCounter(m)
+    for _ in range(4):
+        m.add_thread(c.update_worker, 10)
+    m.run()
+    m.check_coherence_invariants()
+    assert c.peek_value() == 40
+    assert c.peek_ops() == 40
+    stats = c.stats()
+    assert stats["mcas_ops"] >= 40
+
+
+def test_mcas_stack_push_pop_keeps_count_coherent():
+    m = make_machine(4, leases=False)
+    s = McasStack(m)
+    s.prefill([100, 101, 102])
+    for _ in range(4):
+        m.add_thread(s.update_worker, 8)
+    m.run()
+    m.check_coherence_invariants()
+    # update_worker alternates push/pop, so the population is unchanged.
+    assert s._count_direct() == 3
+    assert len(s.drain_direct()) == 3
+
+
+def test_mcas_queue_fifo_and_count():
+    m = make_machine(4, leases=False)
+    q = McasQueue(m)
+    q.prefill([7, 8, 9])
+    for _ in range(4):
+        m.add_thread(q.update_worker, 8)
+    m.run()
+    m.check_coherence_invariants()
+    drained = q.drain_direct()
+    assert len(drained) == 3
+    assert drained[0] == 7 or drained[0] >= (0 << 32)  # prefix preserved
+
+
+def test_mcas_failed_op_restores_exact_cell_state():
+    """A FAILed MCAS (stale expected) must leave every word untouched."""
+    m = make_machine(2, leases=False)
+    mc = Mcas(m)
+    a = m.alloc_var(managed_word(5))
+    b = m.alloc_var(managed_word(6))
+    out = {}
+
+    def loser(ctx):
+        # Stale expected value for b -> the MCAS must fail cleanly.
+        out["ok"] = yield from mc.mcas(
+            ctx, [(a, managed_word(5), managed_word(50)),
+                  (b, managed_word(999), managed_word(60))])
+
+    m.add_thread(loser)
+    m.run()
+    assert out["ok"] is False
+    assert m.peek(a) == managed_word(5)
+    assert m.peek(b) == managed_word(6)
+    assert mc.stats()["mcas_failures"] == 1
+
+
+@pytest.mark.parametrize("helping", ["eager", "aware"])
+def test_mcas_helping_modes_are_both_correct(helping):
+    m = make_machine(4, leases=False)
+    c = McasCounter(m, helping=helping)
+    for _ in range(4):
+        m.add_thread(c.update_worker, 10)
+    m.run()
+    assert c.peek_value() == 40
+
+
+# -- adaptive lease controller ------------------------------------------------
+
+class _LineIdent:
+    class amap:
+        @staticmethod
+        def line_of(addr):
+            return addr & ~63
+
+
+def _released(line, mode):
+    e = ev.LeaseReleased(0, line, mode)
+    return e
+
+
+def test_adaptive_controller_doubles_on_expiry_and_caps():
+    ctl = AdaptiveLeaseController(initial=100, min_time=50, max_time=400)
+    ctl.bind(_LineIdent())
+    for _ in range(5):
+        ctl.on_event(_released(0x40, "expired"))
+    assert ctl.time_for(0x40) == 400          # 100 -> 200 -> 400 (capped)
+    assert ctl.expirations == 5
+
+
+def test_adaptive_controller_contracts_under_pressure_with_floor():
+    ctl = AdaptiveLeaseController(initial=128, min_time=60, max_time=1000,
+                                  pressure_high=2)
+    ctl.bind(_LineIdent())
+    # Quiet voluntary release: no adjustment.
+    ctl.on_event(ev.LeaseStarted(0, 0x40, 128))
+    ctl.on_event(_released(0x40, "voluntary"))
+    assert ctl.time_for(0x40) == 128
+    # Pressured tenure (3 queued probes > pressure_high): contract by 1/4.
+    ctl.on_event(ev.LeaseStarted(0, 0x40, 128))
+    for _ in range(3):
+        ctl.on_event(ev.LeaseProbeQueued(1, 0x40))
+    ctl.on_event(_released(0x40, "voluntary"))
+    assert ctl.time_for(0x40) == 96
+    # Broken leases always contract, down to the floor.
+    for _ in range(10):
+        ctl.on_event(_released(0x40, "broken"))
+    assert ctl.time_for(0x40) == 60
+    assert ctl.contractions >= 2
+
+
+def test_adaptive_controller_time_for_is_per_line():
+    ctl = AdaptiveLeaseController(initial=100, max_time=1600)
+    ctl.bind(_LineIdent())
+    ctl.on_event(_released(0x40, "expired"))
+    assert ctl.time_for(0x44) == 200          # same line as 0x40
+    assert ctl.time_for(0x80) == 100          # untouched line
+
+
+def test_adaptive_controller_state_roundtrip():
+    ctl = AdaptiveLeaseController(initial=100)
+    ctl.bind(_LineIdent())
+    ctl.on_event(ev.LeaseStarted(0, 0x40, 100))
+    ctl.on_event(ev.ProbeDeferred(1, 0x40))
+    ctl.on_event(_released(0x40, "expired"))
+    clone = AdaptiveLeaseController(initial=100)
+    clone.bind(_LineIdent())
+    clone.load_state(ctl.state_dict())
+    assert clone.time_for(0x40) == ctl.time_for(0x40)
+    assert clone.stats() == ctl.stats()
+
+
+def test_adaptive_lease_end_to_end_counter():
+    m = make_machine(4, leases=True, max_lease_time=600)
+    ctl = AdaptiveLeaseController(initial=120, min_time=40, max_time=600)
+    m.attach_tracer(ctl)
+    c = LockedCounter(m, critical_work=8, lease_policy=ctl)
+    for _ in range(4):
+        m.add_thread(c.update_worker, 10)
+    m.run()
+    assert m.peek(c.value_addr) == 40
+    assert ctl.stats()["adaptive_lines"] >= 1
+
+
+# -- the sweep driver ---------------------------------------------------------
+
+@pytest.mark.parametrize("policy", SYNC_POLICIES)
+def test_sync_ablation_counter_every_policy(policy):
+    res = bench_sync_ablation(4, structure="counter", policy=policy,
+                              ops_per_thread=8)
+    assert res.ops == 32
+    assert res.name == f"sync/counter/{policy}"
+
+
+@pytest.mark.parametrize("structure", SYNC_STRUCTURES)
+def test_sync_ablation_structures_under_mcas_and_reciprocating(structure):
+    for policy in ("mcas-helping", "reciprocating"):
+        res = bench_sync_ablation(4, structure=structure, policy=policy,
+                                  ops_per_thread=6, prefill=8)
+        assert res.ops == 24
+
+
+def test_sync_ablation_rejects_unknown_arms():
+    with pytest.raises(ValueError, match="unknown structure"):
+        bench_sync_ablation(2, structure="btree")
+    with pytest.raises(ValueError, match="unknown policy"):
+        bench_sync_ablation(2, policy="hope")
+
+
+def test_sync_ablation_experiment_registered_with_full_grid():
+    from repro.harness import EXPERIMENTS
+
+    exp = EXPERIMENTS["sync_ablation"]
+    assert len(exp.variants) == len(SYNC_POLICIES) * len(SYNC_STRUCTURES)
+    assert "treiber:adaptive-lease" in exp.variants
