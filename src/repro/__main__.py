@@ -50,6 +50,12 @@ arrival spec (see :mod:`repro.traffic`), e.g.
 admitted arrivals instead of self-pacing, ``run`` prints tail-latency
 percentiles plus an SLO verdict (and exits 1 on SLO failure), and
 ``check`` fuzzes the open-loop workload variants.
+``run``/``trace`` accept ``--network SPEC``, a contended-interconnect
+spec (see :mod:`repro.coherence.links`), e.g.
+``"link:bw=2,queue=8,flits=4;arb:wrr,weights=2:1;port:dir=2,mem=4"``:
+finite-bandwidth egress links, pluggable arbitration and serialized
+directory/memory ports.  Unset (or ``infinite``) keeps the default
+contention-free mesh, bit-identical to the pre-links model.
 
 Examples::
 
@@ -195,6 +201,19 @@ def _parse_faults(spec: str) -> str:
     return spec
 
 
+def _parse_network(spec: str) -> str:
+    """Validate a ``--network`` contended-interconnect spec string (see
+    :mod:`repro.coherence.links`)."""
+    from .coherence.links import parse_network_spec
+    from .errors import ConfigError
+
+    try:
+        parse_network_spec(spec)
+    except ConfigError as err:
+        raise _CliError(f"--network: {err}") from None
+    return spec
+
+
 def _parse_traffic(spec: str) -> str:
     """Validate a ``--traffic`` open-loop arrival spec string (see
     :mod:`repro.traffic`); an empty/arrival-free spec is a CLI error."""
@@ -238,6 +257,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides["seed"] = _parse_seed(args.seed)
     if args.faults:
         overrides["faults"] = _parse_faults(args.faults)
+    if args.network:
+        overrides["network"] = _parse_network(args.network)
     if args.engine != "fast":
         overrides["engine"] = _parse_engine(args.engine)
     if args.traffic:
@@ -376,6 +397,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     threads = _parse_threads(args.threads)
     seed = _parse_seed(args.seed) if args.seed is not None else None
     faults = _parse_faults(args.faults) if args.faults else None
+    network = _parse_network(args.network) if args.network else None
     out_path = args.out or f"{args.experiment}.trace.jsonl"
     sinks = [JsonlTracer(out_path, max_events=args.limit)]
     jsonl = sinks[0]
@@ -392,12 +414,17 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                 jsonl.annotate(variant=name, threads=n)
                 before = dict(jsonl.counts)
                 merged = {**exp.common, **kw, "sinks": sinks}
-                if seed is not None or faults is not None:
+                if seed is not None or faults is not None \
+                        or network is not None:
                     base = merged.get("config") or MachineConfig()
                     if seed is not None:
                         base = dataclasses.replace(base, seed=seed)
                     if faults is not None:
                         base = dataclasses.replace(base, fault_spec=faults)
+                    if network is not None:
+                        base = dataclasses.replace(
+                            base, network=dataclasses.replace(
+                                base.network, spec=network))
                     merged["config"] = base
                 res = exp.bench(n, **merged)
                 delta = {k: v - before.get(k, 0)
@@ -713,6 +740,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fault-injection spec, e.g. "
                             "'net_jitter:p=0.01,max=200;dir_nack:p=0.005' "
                             "(deterministic per seed)")
+    run_p.add_argument("--network", default=None, metavar="SPEC",
+                       help="contended-interconnect spec, e.g. "
+                            "'link:bw=2,queue=16;arb:wrr,weights=2:1;"
+                            "port:dir=2,mem=4'; 'infinite' (the default) "
+                            "keeps the contention-free analytic model")
     run_p.add_argument("--engine", default="fast", metavar="ENGINE",
                        help="run-loop engine: 'fast' (time-wheel + "
                             "batching, the default) or 'compat' (classic "
@@ -766,6 +798,10 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--faults", default=None, metavar="SPEC",
                          help="fault-injection spec; fault events appear "
                               "in the JSONL stream")
+    trace_p.add_argument("--network", default=None, metavar="SPEC",
+                         help="contended-interconnect spec; link_queued/"
+                              "link_granted/port_busy events appear in "
+                              "the JSONL stream")
 
     check_p = sub.add_parser(
         "check", help="fuzz schedules and check linearizability + lease "

@@ -457,13 +457,15 @@ class Directory:
         unit = self.mem_units[req.core_id]
         unit.fill_granted(req, state)
         self.trace.req_granted(req.core_id, line, state.name, fetch)
-        # ...but the thread resumes when the data message arrives.
+        # ...but the thread resumes when the data message arrives.  The
+        # fetch goes through the network's grant seam: a pure delay on the
+        # contention-free model (the scheduled event is exactly the send
+        # this code used to schedule itself), a serialized memory-port
+        # occupancy on a contended one.
         lat = self.l2.fetch_latency(line) if fetch else 0
         kind = MessageKind.ACK if req.had_shared else MessageKind.DATA
-        sim = self.sim
-        sim.queue.schedule(sim.now + lat, self.network.send,
-                           line % self._ntiles, req.core_id, kind,
-                           unit.complete_request, req)
+        self.network.grant_delivery(line % self._ntiles, req.core_id, kind,
+                                    lat, unit.complete_request, req)
         self._finish(line)
 
     # -- warm allocation -------------------------------------------------------

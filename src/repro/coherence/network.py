@@ -24,6 +24,14 @@ class MeshNetwork:
     __slots__ = ("config", "num_tiles", "sim", "trace", "faults", "dim",
                  "_hops", "_lat", "_ctl", "_data")
 
+    #: True on :class:`~repro.coherence.links.LinkedNetwork` only; gates
+    #: checkpoint state, result extras, and the core batch-fold check.
+    contended = False
+    #: Messages inside the network's queues/resources.  Always 0 here (a
+    #: class attribute, so the fold-gate read is free on the default
+    #: contention-free model); LinkedNetwork shadows it per instance.
+    _pending = 0
+
     def __init__(self, config: NetworkConfig, num_tiles: int,
                  sim: Simulator, trace: TraceBus, faults=None) -> None:
         self.config = config
@@ -89,3 +97,17 @@ class MeshNetwork:
         self.trace.message(src, dst, kind.val, hops, carries)
         sim = self.sim
         sim.queue.schedule(sim.now + lat, fn, *args)
+
+    def grant_delivery(self, src: int, dst: int, kind: MessageKind,
+                       fetch_cycles: int, fn: Callable[..., Any],
+                       *args: Any) -> None:
+        """Perform a directory grant's L2/memory fetch (``fetch_cycles``)
+        and then send the response message.  Here the fetch is a pure
+        delay -- the scheduled event is exactly the ``send`` call the
+        directory used to schedule itself, so behaviour and checkpoint
+        encoding are unchanged; :class:`~repro.coherence.links.
+        LinkedNetwork` overrides this to serialize the fetch through the
+        home tile's memory port."""
+        sim = self.sim
+        sim.queue.schedule(sim.now + fetch_cycles, self.send,
+                           src, dst, kind, fn, *args)

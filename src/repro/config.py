@@ -102,10 +102,22 @@ class NetworkConfig:
     #: Extra serialization latency for messages carrying a data payload
     #: (one cache line), cycles.
     data_latency: int = 8
+    #: Contended-interconnect spec (see :mod:`repro.coherence.links`),
+    #: e.g. ``"link:bw=2,queue=16;arb:wrr,weights=2:1;port:dir=2,mem=4"``.
+    #: Empty string (or ``"infinite"``) = the contention-free analytic
+    #: model; behaviour is bit-identical to a build without the links
+    #: module.  Kept as the raw string so configs stay picklable across
+    #: ``--jobs`` workers.
+    spec: str = ""
 
     def validate(self) -> None:
         if min(self.base_latency, self.hop_latency, self.data_latency) < 0:
             raise ConfigError("network latencies must be non-negative")
+        if self.spec:
+            # Lazy import: coherence depends on config, so the grammar
+            # must be pulled in at validation time only.
+            from .coherence.links import parse_network_spec
+            parse_network_spec(self.spec)
 
 
 @dataclass(frozen=True)

@@ -95,7 +95,7 @@ class Core:
     """One in-order core: generator driver + memory unit + lease manager."""
 
     __slots__ = ("core_id", "machine", "sim", "trace", "memory", "memunit",
-                 "lease_mgr", "_gen", "_handle", "_pending_op",
+                 "lease_mgr", "_network", "_gen", "_handle", "_pending_op",
                  "_pending_retire", "_commit_cb", "_leases_enabled",
                  "_work_scale")
 
@@ -108,6 +108,12 @@ class Core:
         self.sim = machine.sim
         self.trace = machine.trace
         self.memory = machine.memory
+        #: For the batch-fold gate: a contended network holds messages in
+        #: link/port queues (``_pending > 0``) whose delivery events are
+        #: not all materialized yet, so folding past them is unsafe.  On
+        #: the default contention-free mesh ``_pending`` is a class
+        #: attribute pinned to 0, so the gate read costs one attribute hop.
+        self._network = machine.network
         self.memunit = MemUnit(core_id, machine.config, machine.amap,
                                machine.directory, machine.sim,
                                machine.trace)
@@ -369,13 +375,15 @@ class Core:
         scale = self._work_scale
         if t is isa.Work:
             d = max(1, instr.cycles) * scale
-            if self.machine._batch_ok and not self.memunit._probe_pending:
+            if self.machine._batch_ok and not self.memunit._probe_pending \
+                    and not self._network._pending:
                 self._advance_batch(self.sim.now + d)
             else:
                 sim = self.sim
                 sim.queue.schedule(sim.now + d, self._resume, None)
         elif t in _MEM_CLASSES:
-            if self.machine._batch_ok and not self.memunit._probe_pending:
+            if self.machine._batch_ok and not self.memunit._probe_pending \
+                    and not self._network._pending:
                 op = self._l1_hit_op(instr, t)
                 if op is not None:
                     # The hit-path dispatch just ran; fold the commit (and
@@ -387,7 +395,8 @@ class Core:
             self.memunit.access(t is not isa.Load, instr.addr, is_lease=False,
                                 callback=self._commit_cb)
         elif t is isa.Fence:
-            if self.machine._batch_ok and not self.memunit._probe_pending:
+            if self.machine._batch_ok and not self.memunit._probe_pending \
+                    and not self._network._pending:
                 self._advance_batch(self.sim.now + scale)
             else:
                 self.sim.after(scale, self._resume, None)

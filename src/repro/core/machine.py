@@ -19,7 +19,7 @@ from typing import Any, Callable, Generator
 from ..config import MachineConfig, WORD_SIZE
 from ..coherence.directory import Directory
 from ..coherence.l2 import SharedL2
-from ..coherence.network import MeshNetwork
+from ..coherence.links import build_network
 from ..engine import Simulator
 from ..errors import CheckpointError, CheckpointMismatch, SimulationError
 from ..faults import build_plan
@@ -102,8 +102,10 @@ class Machine:
         #: Seeded fault plan (repro.faults), or None for the fault-free
         #: default (no hooks consulted; bit-identical to a plan-less build).
         self.faults = build_plan(cfg.fault_spec, cfg.seed)
-        self.network = MeshNetwork(cfg.network, cfg.num_cores, self.sim,
-                                   self.trace, faults=self.faults)
+        #: Plain contention-free MeshNetwork for an empty network spec
+        #: (bit-identical to the pre-links model), LinkedNetwork otherwise.
+        self.network = build_network(cfg.network, cfg.num_cores, self.sim,
+                                     self.trace, faults=self.faults)
         self.l2 = SharedL2(cfg, self.trace)
         self.directory = Directory(self.amap, self.network, self.l2,
                                    self.sim, self.trace,
@@ -319,6 +321,10 @@ class Machine:
         }
         if self.faults is not None:
             state["faults"] = self.faults.state_dict()
+        if self.network.contended:
+            # Key only exists for contended builds, so default-spec
+            # checkpoints keep their exact pre-links shape.
+            state["network"] = self.network.state_dict(codec)
         return state
 
     def load_state(self, state: dict) -> None:
@@ -367,6 +373,10 @@ class Machine:
             raise CheckpointMismatch(
                 "checkpoint and machine disagree about fault injection "
                 "(different fault_spec?)")
+        if ("network" in state) != self.network.contended:
+            raise CheckpointMismatch(
+                "checkpoint and machine disagree about interconnect "
+                "contention (different network spec?)")
 
     def replay_resume_log(self, enc_entries: list, codec) -> list:
         """Replay the recorded resume log into this machine's fresh thread
@@ -443,6 +453,8 @@ class Machine:
                 sink.load_state(ss, codec)
         if self.faults is not None:
             self.faults.load_state(state["faults"])
+        if self.network.contended:
+            self.network.load_state(state["network"], codec)
         for handle, ts in zip(self.threads, state["threads"]):
             handle.done = ts["done"]
             handle.result = codec.decode(ts["result"])
@@ -470,6 +482,14 @@ class Machine:
         cycles = max(1, self.sim.now)
         ops = k.ops_completed
         throughput = ops * self.config.clock_hz / cycles
+        if self.network.contended:
+            extra = dict(extra or {})
+            util = self.network.utilization()
+            extra.setdefault("link_util_pct",
+                             round(100 * util.get("link", 0.0), 2))
+            extra.setdefault("link_flits", k.link_flits)
+            extra.setdefault("link_stall_cycles", k.link_stall_cycles)
+            extra.setdefault("port_stalls", k.port_stalls)
         return RunResult(
             name=name,
             num_threads=len(self.threads),

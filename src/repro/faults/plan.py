@@ -44,7 +44,7 @@ class FaultPlan:
     """Deterministic fault schedule for one machine run."""
 
     __slots__ = ("spec", "seed", "_net_rng", "_nack_rng", "_retry_rng",
-                 "_skew_rng", "_core_scale")
+                 "_skew_rng", "_link_rng", "_core_scale")
 
     def __init__(self, spec: FaultSpec, seed: int) -> None:
         self.spec = spec
@@ -53,6 +53,7 @@ class FaultPlan:
         self._nack_rng = random.Random(f"{seed}:dir_nack")
         self._retry_rng = random.Random(f"{seed}:nack_retry")
         self._skew_rng = random.Random(f"{seed}:timer_skew")
+        self._link_rng = random.Random(f"{seed}:link_degrade")
         self._core_scale = dict(spec.slow_cores)
 
     # -- network hop latency ------------------------------------------------
@@ -90,6 +91,16 @@ class FaultPlan:
             return 0
         return self._skew_rng.randint(-bound, bound)
 
+    # -- contended-interconnect resources (repro.coherence.links) -----------
+
+    def link_degrade_hit(self) -> bool:
+        """Degrade the next interconnect resource?  Consulted once per
+        link/port in deterministic build order, build time only."""
+        spec = self.spec
+        if spec.link_degrade_p <= 0.0:
+            return False
+        return self._link_rng.random() < spec.link_degrade_p
+
     # -- per-core IPC throttling --------------------------------------------
 
     def core_scale(self, core_id: int) -> int:
@@ -103,14 +114,21 @@ class FaultPlan:
         from the machine's own config at restore)."""
         from ..state.codec import encode_rng
 
-        return {name: encode_rng(getattr(self, f"_{name}_rng"))
-                for name in ("net", "nack", "retry", "skew")}
+        out = {name: encode_rng(getattr(self, f"_{name}_rng"))
+               for name in ("net", "nack", "retry", "skew")}
+        if self.spec.link_degrade_p > 0.0:
+            # Conditional so pre-link checkpoints stay loadable and the
+            # common case keeps its exact serialized shape.
+            out["link"] = encode_rng(self._link_rng)
+        return out
 
     def load_state(self, state: dict) -> None:
         from ..state.codec import decode_rng
 
         for name in ("net", "nack", "retry", "skew"):
             decode_rng(getattr(self, f"_{name}_rng"), state[name])
+        if "link" in state:
+            decode_rng(self._link_rng, state["link"])
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"FaultPlan(seed={self.seed}, spec={self.spec.raw!r})"

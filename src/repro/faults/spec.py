@@ -27,6 +27,16 @@ Clauses
     The named cores retire instructions ``mult``x slower (straggler
     cores / IPC throttling).
 
+``link_degrade:p=<prob>[,factor=<mult>][,queue=<cap>]``
+    Each contended-interconnect resource (egress link, directory port,
+    memory port; see :mod:`repro.coherence.links`) is independently
+    degraded with probability ``p`` at machine build time: its
+    cycles-per-flit cost is multiplied by ``factor`` (default 4) and,
+    when ``queue`` is given, its bounded queue is shrunk to at most
+    ``queue`` entries.  Only meaningful together with a non-empty
+    ``--network`` spec; on the contention-free model there are no link
+    resources to degrade, so the clause is a no-op.
+
 The parse is strict: unknown clause names, malformed parameters, and
 out-of-range values raise :class:`~repro.errors.ConfigError` so a typo'd
 ``--faults`` flag fails fast instead of silently injecting nothing.
@@ -61,11 +71,16 @@ class FaultSpec:
     timer_skew: int = 0
     #: ((core_id, multiplier), ...) sorted by core id.
     slow_cores: tuple[tuple[int, int], ...] = field(default_factory=tuple)
+    link_degrade_p: float = 0.0
+    link_degrade_factor: int = 4
+    #: 0 = leave each degraded resource's queue capacity untouched.
+    link_degrade_queue: int = 0
 
     @property
     def empty(self) -> bool:
         return (self.net_jitter_p == 0.0 and self.dir_nack_p == 0.0
-                and self.timer_skew == 0 and not self.slow_cores)
+                and self.timer_skew == 0 and not self.slow_cores
+                and self.link_degrade_p == 0.0)
 
 
 def _parse_prob(clause: str, key: str, value: str) -> float:
@@ -185,8 +200,19 @@ def parse_fault_spec(spec: str) -> FaultSpec:
                 raise ConfigError(
                     f"fault spec: {clause}: needs <core>@<mult>x entries")
             fields["slow_cores"] = _parse_slow_cores(clause, body)
+        elif name == "link_degrade":
+            params = _parse_params(clause, body, ("p", "factor", "queue"))
+            if "p" not in params:
+                raise ConfigError(f"fault spec: {clause}: needs p=<prob>")
+            fields["link_degrade_p"] = _parse_prob(clause, "p", params["p"])
+            if "factor" in params:
+                fields["link_degrade_factor"] = _parse_int(
+                    clause, "factor", params["factor"], min_val=2)
+            if "queue" in params:
+                fields["link_degrade_queue"] = _parse_int(
+                    clause, "queue", params["queue"], min_val=1)
         else:
             raise ConfigError(
                 f"fault spec: unknown clause {name!r} (known: net_jitter, "
-                f"dir_nack, timer_skew, slow_core)")
+                f"dir_nack, timer_skew, slow_core, link_degrade)")
     return FaultSpec(**fields)

@@ -57,6 +57,14 @@ def run_experiment(exp_id: str,
     if faults is not None:
         base = common.get("config") or MachineConfig()
         common["config"] = replace(base, fault_spec=faults)
+    # A ``network=SPEC`` override swaps in the contended interconnect
+    # (repro.coherence.links); the raw spec string rides inside the nested
+    # NetworkConfig so it, too, survives pickling to --jobs workers.
+    network = common.pop("network", None)
+    if network is not None:
+        base = common.get("config") or MachineConfig()
+        common["config"] = replace(
+            base, network=replace(base.network, spec=network))
     # An ``engine=...`` override picks the run-loop engine the same way
     # (results are bit-identical on either; this exists for A/B timing and
     # as an escape hatch).

@@ -155,7 +155,15 @@ class SnapshotCodec:
         for name in ("_arrive", "_process", "_apply_eviction",
                      "_retry_after", "_probe_done", "issue"):
             self._register(p + ("dir", name), getattr(d, name))
-        self._register(p + ("net", "send"), machine.network.send)
+        net = machine.network
+        self._register(p + ("net", "send"), net.send)
+        # Contended-network continuations (repro.coherence.links): the
+        # guard keeps the plain MeshNetwork's registry byte-for-byte what
+        # it always was, so default-spec checkpoints are unchanged.
+        for name in ("grant_delivery", "_service_done", "_retry", "_route",
+                     "_enter_port", "_deliver", "_mem_done"):
+            if hasattr(net, name):
+                self._register(p + ("net", name), getattr(net, name))
 
     def encode_fn(self, fn: Any) -> list:
         desc = self._desc_by_key.get(self._key(fn))

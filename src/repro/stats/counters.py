@@ -35,6 +35,14 @@ class Counters:
     dir_queued_requests: int = 0     # arrived while line transaction busy
     dir_max_queue_depth: int = 0
 
+    # -- interconnect resources (repro.coherence.links; all stay 0 on the
+    # -- default contention-free network) -----------------------------------
+    link_msgs: int = 0               # messages granted a finite link
+    link_flits: int = 0              # flits serialized over finite links
+    link_queued: int = 0             # messages that found their link busy
+    link_stall_cycles: int = 0       # total cycles spent in link queues
+    port_stalls: int = 0             # messages/fetches that found a port busy
+
     # -- leases ----------------------------------------------------------
     leases_requested: int = 0
     leases_granted: int = 0

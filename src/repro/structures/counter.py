@@ -127,10 +127,16 @@ class CasCounter:
     the DHM cas-backoff arm manages, with the same lease placement as the
     Treiber loop (lease over the read-CAS window; no-op when disabled)."""
 
-    def __init__(self, machine: Machine, *, backoff=None,
-                 lease_time: int = 1 << 62, lease_policy=None) -> None:
+    def __init__(self, machine: Machine, *, critical_work: int = 0,
+                 backoff=None, lease_time: int = 1 << 62,
+                 lease_policy=None) -> None:
         self.machine = machine
         self.value_addr = machine.alloc_var(0, label="counter.value")
+        #: Extra cycles spent between the load and the CAS (inside the
+        #: lease window), matching LockedCounter's critical-section work so
+        #: cross-arm comparisons measure the synchronization, not a
+        #: workload asymmetry.
+        self.critical_work = critical_work
         self.backoff = backoff
         self.lease_time = lease_time
         self.lease_policy = lease_policy
@@ -143,6 +149,8 @@ class CasCounter:
                   if self.lease_policy is not None else self.lease_time)
             yield Lease(self.value_addr, lt)
             v = yield Load(self.value_addr)
+            if self.critical_work:
+                yield Work(self.critical_work)
             ok = yield CAS(self.value_addr, v, v + 1)
             yield Release(self.value_addr)
             if ok:

@@ -25,6 +25,7 @@ evictions             ``eviction_issued``, ``eviction_applied``
 caches / memory       ``l1_hit``, ``l1_miss``, ``l1_evicted``,
                       ``mesi_upgrade``, ``l2_access``, ``writeback``
 network               ``message``
+interconnect          ``link_queued``, ``link_granted``, ``port_busy``
 synchronization       ``cas``, ``lock_attempt``, ``lock_failed``, ``stm``
 workload              ``op_completed``
 faults                ``fault_injected``, ``dir_nack``, ``retry_scheduled``
@@ -382,6 +383,55 @@ class MessageSent(TraceEvent):
         self.msg = msg
         self.hops = hops
         self.data = data
+
+
+# ---------------------------------------------------------------------------
+# Interconnect resources (repro.coherence.links; only a contended
+# ``--network`` spec emits these -- the default analytic mesh never does)
+# ---------------------------------------------------------------------------
+
+class LinkQueued(TraceEvent):
+    """A message found link ``link`` busy and joined flow ``flow``'s
+    egress queue at depth ``depth`` (0 = control, 1 = data)."""
+
+    __slots__ = ("link", "flow", "depth")
+    kind = "link_queued"
+
+    def __init__(self, link: int, flow: int, depth: int) -> None:
+        super().__init__()
+        self.link = link
+        self.flow = flow
+        self.depth = depth
+
+
+class LinkGranted(TraceEvent):
+    """The arbiter granted link ``link`` to a message of flow ``flow``:
+    it starts serializing ``flits`` flits after ``waited`` cycles of
+    queueing (0 = the link was idle at offer time)."""
+
+    __slots__ = ("link", "flow", "flits", "waited")
+    kind = "link_granted"
+
+    def __init__(self, link: int, flow: int, flits: int,
+                 waited: int) -> None:
+        super().__init__()
+        self.link = link
+        self.flow = flow
+        self.flits = flits
+        self.waited = waited
+
+
+class PortBusy(TraceEvent):
+    """A message (or serialized L2 fetch) found intake/memory port
+    ``port`` busy and queued at depth ``depth``."""
+
+    __slots__ = ("port", "depth")
+    kind = "port_busy"
+
+    def __init__(self, port: int, depth: int) -> None:
+        super().__init__()
+        self.port = port
+        self.depth = depth
 
 
 # ---------------------------------------------------------------------------

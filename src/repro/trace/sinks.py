@@ -57,6 +57,9 @@ class CountersTracer(Tracer):
             ev.L2Access: self._on_l2_access,
             ev.Writeback: self._on_writeback,
             ev.MessageSent: self._on_message,
+            ev.LinkQueued: lambda e: self._bump("link_queued"),
+            ev.LinkGranted: self._on_link_granted,
+            ev.PortBusy: lambda e: self._bump("port_stalls"),
             ev.ReqIssued: self._on_req_issued,
             ev.ReqQueued: self._on_req_queued,
             ev.ProbeSent: self._on_probe_sent,
@@ -135,6 +138,12 @@ class CountersTracer(Tracer):
         k.hops += e.hops
         if e.data:
             k.data_messages += 1
+
+    def _on_link_granted(self, e: ev.LinkGranted) -> None:
+        k = self.counters
+        k.link_msgs += 1
+        k.link_flits += e.flits
+        k.link_stall_cycles += e.waited
 
     def _on_req_issued(self, e: ev.ReqIssued) -> None:
         if e.req == "GetS":
@@ -226,6 +235,17 @@ class CountersTracer(Tracer):
             k.hops += hops
             if data:
                 k.data_messages += 1
+
+        def link_queued(link, flow, depth):
+            k.link_queued += 1
+
+        def link_granted(link, flow, flits, waited):
+            k.link_msgs += 1
+            k.link_flits += flits
+            k.link_stall_cycles += waited
+
+        def port_busy(port, depth):
+            k.port_stalls += 1
 
         def req_issued(core, line, req, is_lease):
             if req == "GetS":
@@ -345,6 +365,8 @@ class CountersTracer(Tracer):
             ev.L1Hit: l1_hit, ev.L1Miss: l1_miss, ev.L1Evicted: l1_evicted,
             ev.MesiUpgrade: mesi_upgrade, ev.L2Access: l2_access,
             ev.Writeback: writeback, ev.MessageSent: message,
+            ev.LinkQueued: link_queued, ev.LinkGranted: link_granted,
+            ev.PortBusy: port_busy,
             ev.ReqIssued: req_issued, ev.ReqQueued: req_queued,
             ev.ProbeSent: probe_sent, ev.ProbeServiced: probe_serviced,
             ev.ProbeDeferred: probe_deferred,
@@ -553,6 +575,12 @@ _RECONCILE_RULES: tuple[tuple[str, Callable[[Mapping[str, int]], int],
      lambda k: k["l1_hits"]),
     ("l1 misses", lambda c: c.get("l1_miss", 0),
      lambda k: k["l1_misses"]),
+    ("link grants", lambda c: c.get("link_granted", 0),
+     lambda k: k.get("link_msgs", 0)),
+    ("link queueings", lambda c: c.get("link_queued", 0),
+     lambda k: k.get("link_queued", 0)),
+    ("port stalls", lambda c: c.get("port_busy", 0),
+     lambda k: k.get("port_stalls", 0)),
     ("requests issued", lambda c: c.get("req_issued", 0),
      lambda k: k["gets_requests"] + k["getx_requests"]),
     ("requests queued", lambda c: c.get("req_queued", 0),

@@ -285,7 +285,10 @@ def bench_sync_ablation(num_threads: int, *, structure: str = "treiber",
             c = McasCounter(m)
             count_of = c.peek_value
         elif policy == "cas-backoff":
-            c = CasCounter(m, backoff=backoff)
+            # Same critical-section work as the locked arms (40 cycles
+            # between load and CAS), so the cross-arm claim compares
+            # contention management, not critical-section length.
+            c = CasCounter(m, critical_work=40, backoff=backoff)
             count_of = lambda: m.peek(c.value_addr)
         elif policy == "reciprocating":
             c = LockedCounter(m, lock="reciprocating")

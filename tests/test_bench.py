@@ -42,7 +42,7 @@ def test_all_targets_registered():
         "event_queue", "coherence_storm", "treiber", "counter",
         "sweep_cell", "sync_ablation", "trace_fastpath",
         "fault_degradation", "snapshot_roundtrip", "engine_fastpath",
-        "cluster_scale", "tail_latency"}
+        "cluster_scale", "tail_latency", "link_saturation"}
     assert bench.default_target_names() == list(bench.TARGETS)
 
 
